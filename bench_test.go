@@ -1,0 +1,566 @@
+package r2c2
+
+// One benchmark per table/figure of the paper's evaluation (§5), plus the
+// ablation benchmarks DESIGN.md calls out and micro-benchmarks of the hot
+// paths. Benchmarks run at test scale (64-node torus) so `go test -bench=.`
+// finishes in minutes; the cmd/ tools run the same harnesses at the paper's
+// 512-node scale.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"r2c2/internal/core"
+	"r2c2/internal/discovery"
+	"r2c2/internal/emu"
+	"r2c2/internal/experiments"
+	"r2c2/internal/genetic"
+	"r2c2/internal/routing"
+	"r2c2/internal/sim"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/trafficgen"
+	"r2c2/internal/waterfill"
+	"r2c2/internal/wire"
+)
+
+func benchScale() experiments.Scale {
+	s := experiments.TestScale()
+	s.Flows = 600
+	return s
+}
+
+// --- Figure 2: routing-throughput table ---
+
+func BenchmarkFig2RoutingTable(b *testing.B) {
+	g, err := topology.NewTorus(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2(g, 10, 1)
+		if res.Get("uniform", routing.RPS) < 0.9 {
+			b.Fatal("uniform/RPS off its anchor")
+		}
+	}
+}
+
+// --- Figure 7: emulator/simulator cross-validation ---
+
+func BenchmarkFig7CrossValidation(b *testing.B) {
+	cfg := experiments.Fig7Config{
+		K: 3, LinkMbps: 200, Flows: 12, FlowBytes: 256 << 10,
+		MeanInterval: 5 * time.Millisecond, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SimThroughput.Len() != cfg.Flows {
+			b.Fatal("simulator lost flows")
+		}
+	}
+}
+
+// --- Figure 8: CPU overhead of rate recomputation ---
+
+func BenchmarkFig8RateComputation(b *testing.B) {
+	s := benchScale()
+	rhos := []simtime.Time{500 * simtime.Microsecond, simtime.Millisecond}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(s, s.Tau, rhos, 40)
+		if len(res.MedianHost) != len(rhos) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// --- Figure 9: broadcast overhead ---
+
+func BenchmarkFig9BroadcastOverhead(b *testing.B) {
+	fracs := []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9(fracs)
+		if len(res.Fraction) != 3 {
+			b.Fatal("missing topologies")
+		}
+	}
+}
+
+// --- Figures 10/11: FCT and throughput CDFs under R2C2/TCP/PFQ ---
+
+func BenchmarkFig10ShortFCT(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig10and11(s, s.Tau)
+		if res.Runs[0].Results.ShortFCT.Len() == 0 {
+			b.Fatal("no short flows measured")
+		}
+	}
+}
+
+func BenchmarkFig11LongThroughput(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig10and11(s, s.Tau)
+		if res.Runs[0].Results.LongThroughput.Len() == 0 {
+			b.Fatal("no long flows measured")
+		}
+	}
+}
+
+// --- Figures 12/13/14: load sweeps ---
+
+func BenchmarkFig12FCTvsLoad(b *testing.B) {
+	s := benchScale()
+	taus := []simtime.Time{s.Tau, 10 * s.Tau}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig12to14(s, taus)
+		if len(res.FCT99) != len(taus) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+func BenchmarkFig13ThroughputVsLoad(b *testing.B) {
+	s := benchScale()
+	taus := []simtime.Time{s.Tau, 10 * s.Tau}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig12to14(s, taus)
+		if len(res.LongAvg) != len(taus) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+func BenchmarkFig14QueueOccupancy(b *testing.B) {
+	s := benchScale()
+	taus := []simtime.Time{s.Tau, 10 * s.Tau}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig12to14(s, taus)
+		if len(res.QueueP99) != len(taus) {
+			b.Fatal("missing queue stats")
+		}
+	}
+}
+
+// --- Figures 15/16: rate accuracy of periodic recomputation ---
+
+func BenchmarkFig15RateError(b *testing.B) {
+	s := benchScale()
+	rhos := []simtime.Time{100 * simtime.Microsecond, simtime.Millisecond}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig15(s, s.Tau, rhos)
+		if len(res.Median) != len(rhos) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+func BenchmarkFig16RateErrorVsLoad(b *testing.B) {
+	s := benchScale()
+	taus := []simtime.Time{s.Tau, 25 * s.Tau}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig16(s, 500*simtime.Microsecond, taus)
+		if len(res.Median) != len(taus) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// --- Figure 17: headroom sensitivity ---
+
+func BenchmarkFig17Headroom(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig17(s, s.Tau, []float64{0, 0.05, 0.2})
+		if len(res.FCT99) != 3 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// --- Figure 18: adaptive routing selection ---
+
+func BenchmarkFig18AdaptiveRouting(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig18(s, []float64{0.25, 1.0},
+			genetic.Config{Population: 40, MaxGens: 20})
+		if res.Adaptive[0] < res.AllRPS[0]-1 {
+			b.Fatal("adaptive lost to a baseline")
+		}
+	}
+}
+
+// --- Figure 19: control traffic ---
+
+func BenchmarkFig19ControlTraffic(b *testing.B) {
+	g, err := topology.NewTorus(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig19(g, []int{1, 5, 10})
+		if res.Centralized[0] <= res.Decentralized[0] {
+			b.Fatal("centralized should cost more at 1 flow/server")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// Ablation: φ-vector caching. The paper's prototype precomputes per-
+// {protocol, destination} link-weight vectors (§4.2); this measures the
+// cached hit path against recomputing the DP from scratch each time.
+func BenchmarkAblationPhiPrecompute(b *testing.B) {
+	g, err := topology.NewTorus(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]topology.NodeID, 256)
+	for i := range pairs {
+		src := topology.NodeID(rng.Intn(g.Nodes()))
+		dst := topology.NodeID(rng.Intn(g.Nodes()))
+		for dst == src {
+			dst = topology.NodeID(rng.Intn(g.Nodes()))
+		}
+		pairs[i] = [2]topology.NodeID{src, dst}
+	}
+	b.Run("cached", func(b *testing.B) {
+		tab := routing.NewTable(g) // one table: second pass onward hits cache
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			_ = tab.Phi(routing.RPS, p[0], p[1])
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab := routing.NewTable(g) // fresh table: full DP every time
+			p := pairs[i%len(pairs)]
+			_ = tab.Phi(routing.RPS, p[0], p[1])
+		}
+	})
+}
+
+// Ablation: view-keyed allocation caching in the simulator. Identical
+// views share one water-filling run per recomputation round; this measures
+// the whole-run effect of disabling that (forcing per-node computation is
+// equivalent to a cache of size 0, approximated here by unique views).
+func BenchmarkAblationViewCache(b *testing.B) {
+	g, err := topology.NewTorus(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := routing.NewTable(g)
+	rc := core.NewRateComputer(tab, 10e9, 0.05)
+	view := core.NewView()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		src := topology.NodeID(rng.Intn(g.Nodes()))
+		dst := topology.NodeID(rng.Intn(g.Nodes()))
+		if src == dst {
+			continue
+		}
+		view.AddFlow(core.FlowInfo{
+			ID: wire.MakeFlowID(uint16(src), uint16(i)), Src: src, Dst: dst,
+			Weight: 1, Demand: core.UnlimitedDemand, Protocol: routing.RPS,
+		})
+	}
+	nodes := g.Nodes()
+	b.Run("shared-by-hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache := make(map[uint64]*core.Allocation)
+			for n := 0; n < nodes; n++ {
+				if _, ok := cache[view.Hash()]; !ok {
+					cache[view.Hash()] = rc.Compute(view)
+				}
+			}
+		}
+	})
+	b.Run("per-node", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for n := 0; n < nodes; n++ {
+				_ = rc.Compute(view)
+			}
+		}
+	})
+}
+
+// Ablation: batch (periodic) recomputation vs per-event recomputation in
+// the full packet simulator — the cost side of the Figure 15 trade-off.
+func BenchmarkAblationBatchRecompute(b *testing.B) {
+	g, err := topology.NewTorus(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
+		Nodes: g.Nodes(), MeanInterval: 10 * simtime.Microsecond, Count: 300, Seed: 3,
+	})
+	run := func(rho simtime.Time) *sim.Results {
+		return sim.Run(sim.RunConfig{
+			Graph:     g,
+			Net:       sim.NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond},
+			Transport: sim.TransportR2C2,
+			R2C2:      sim.R2C2Config{Headroom: 0.05, Recompute: rho, Protocol: routing.RPS},
+			Arrivals:  arrivals,
+			MaxTime:   arrivals[len(arrivals)-1].At + simtime.Second,
+		})
+	}
+	b.Run("rho=500us", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := run(500 * simtime.Microsecond); r.Completed == 0 {
+				b.Fatal("no flows completed")
+			}
+		}
+	})
+	b.Run("rho=20us", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := run(20 * simtime.Microsecond); r.Completed == 0 {
+				b.Fatal("no flows completed")
+			}
+		}
+	})
+}
+
+// Ablation: broadcast-tree choice. Random tree per event balances
+// broadcast load across links; a fixed tree concentrates it. Reported as
+// ns/op of building and measuring the load imbalance.
+func BenchmarkAblationBroadcastTrees(b *testing.B) {
+	g, err := topology.NewTorus(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	measure := func(trees int) float64 {
+		fib := topology.NewBroadcastFIB(g, trees, 7)
+		load := make([]int, g.NumLinks())
+		for src := 0; src < g.Nodes(); src++ {
+			for ev := 0; ev < trees; ev++ { // one event per tree, round-robin
+				t, _ := fib.Tree(topology.NodeID(src), uint8(ev%trees))
+				for _, l := range t.LinkLoad(g.NumLinks()) {
+					_ = l
+				}
+				for lid, c := range t.LinkLoad(g.NumLinks()) {
+					load[lid] += c
+				}
+			}
+		}
+		max, sum := 0, 0
+		for _, c := range load {
+			sum += c
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) * float64(g.NumLinks()) / float64(sum)
+	}
+	b.Run("single-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if measure(1) < 1 {
+				b.Fatal("imbalance below 1 impossible")
+			}
+		}
+	})
+	b.Run("four-trees", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if measure(4) < 1 {
+				b.Fatal("imbalance below 1 impossible")
+			}
+		}
+	})
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func BenchmarkWaterfillAllocate(b *testing.B) {
+	g, err := topology.NewTorus(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := routing.NewTable(g)
+	rng := rand.New(rand.NewSource(4))
+	flows := make([]waterfill.Flow, 512)
+	for i := range flows {
+		src := topology.NodeID(rng.Intn(g.Nodes()))
+		dst := topology.NodeID(rng.Intn(g.Nodes()))
+		for dst == src {
+			dst = topology.NodeID(rng.Intn(g.Nodes()))
+		}
+		flows[i] = waterfill.Flow{
+			Phi: tab.Phi(routing.RPS, src, dst), Weight: 1, Demand: waterfill.Unlimited,
+		}
+	}
+	alloc := waterfill.NewAllocator(waterfill.Config{
+		NumLinks: g.NumLinks(), Capacity: 10e9, Headroom: 0.05,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc.Allocate(flows) // the paper's 512-node, 512-flow recomputation
+	}
+}
+
+func BenchmarkPhiRPS512(b *testing.B) {
+	g, err := topology.NewTorus(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := routing.NewTable(g)
+		_ = tab.Phi(routing.RPS, 0, topology.NodeID(g.Nodes()-1))
+	}
+}
+
+func BenchmarkBroadcastEncodeDecode(b *testing.B) {
+	bc := &wire.Broadcast{Event: wire.EventFlowStart, Src: 3, Dst: 500, Demand: 123456}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := wire.EncodeBroadcast(bc)
+		if _, err := wire.DecodeBroadcast(pkt[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	g, err := topology.NewTorus(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
+		Nodes: g.Nodes(), MeanInterval: 10 * simtime.Microsecond, Count: 200, Seed: 5,
+	})
+	b.ResetTimer()
+	events := uint64(0)
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(sim.RunConfig{
+			Graph:     g,
+			Net:       sim.NetConfig{LinkGbps: 10},
+			Transport: sim.TransportR2C2,
+			R2C2:      sim.R2C2Config{Headroom: 0.05, Protocol: routing.RPS},
+			Arrivals:  arrivals,
+			MaxTime:   arrivals[len(arrivals)-1].At + simtime.Second,
+		})
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// --- Benchmarks of the operational extensions ---
+
+// One §3.4 selection round over a 64-flow view (GA with the paper's
+// population).
+func BenchmarkSelectorRound(b *testing.B) {
+	g, err := topology.NewTorus(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := routing.NewTable(g)
+	protocols := []routing.Protocol{routing.RPS, routing.VLB}
+	rng := rand.New(rand.NewSource(6))
+	flows := trafficgen.PermutationLoad(g, 1.0, rng)
+	fitness := genetic.AggregateFitness(tab, 10e9, 0.05, flows, protocols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		genetic.Optimize(genetic.Config{Population: 100, MaxGens: 10, Seed: int64(i)},
+			len(flows), len(protocols), genetic.UniformAssignment(len(flows), 0), fitness)
+	}
+}
+
+// Link-state discovery convergence over the full 512-node rack.
+func BenchmarkDiscoveryConverge512(b *testing.B) {
+	g, err := topology.NewTorus(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		nodes := discovery.FromGraph(g)
+		if rounds := discovery.Converge(nodes); rounds == 0 {
+			b.Fatal("no convergence")
+		}
+	}
+}
+
+// Failure reroute cost: degraded-fabric construction plus table/FIB swap.
+func BenchmarkFailureReroute(b *testing.B) {
+	g, err := topology.NewTorus(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ab, _ := g.LinkBetween(0, 1)
+	ba, _ := g.LinkBetween(1, 0)
+	failed := map[topology.LinkID]bool{ab: true, ba: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, _, err := g.WithoutLinks(failed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = routing.NewTable(sub)
+		_ = topology.NewBroadcastFIB(sub, 2, 1)
+	}
+}
+
+// Reliability overhead: identical workload with and without the §6 ack
+// layer on a lossless fabric.
+func BenchmarkReliabilityOverhead(b *testing.B) {
+	g, err := topology.NewTorus(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
+		Nodes: g.Nodes(), MeanInterval: 20 * simtime.Microsecond, Count: 150, Seed: 8,
+	})
+	run := func(reliable bool) {
+		res := sim.Run(sim.RunConfig{
+			Graph:     g,
+			Net:       sim.NetConfig{LinkGbps: 10},
+			Transport: sim.TransportR2C2,
+			R2C2:      sim.R2C2Config{Headroom: 0.05, Protocol: routing.RPS, Reliable: reliable},
+			Arrivals:  arrivals,
+			MaxTime:   arrivals[len(arrivals)-1].At + simtime.Second,
+		})
+		if res.Completed != len(arrivals) {
+			b.Fatalf("reliable=%v: %d/%d complete", reliable, res.Completed, len(arrivals))
+		}
+	}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(false)
+		}
+	})
+	b.Run("reliable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(true)
+		}
+	})
+}
+
+// Emulated-rack data path: wall-clock time to push 1 MB through the live
+// goroutine fabric.
+func BenchmarkEmuDataPath(b *testing.B) {
+	g, err := topology.NewTorus(3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rack, err := emu.New(emu.Config{Graph: g, LinkMbps: 400, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rack.Start()
+	defer rack.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := rack.StartFlow(0, 4, 1<<20, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Wait(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1 << 20)
+}

@@ -1,0 +1,80 @@
+// Command r2c2-sim drives the packet-level simulator through the §5.2
+// experiments: the FCT/throughput comparison against TCP and the idealised
+// per-flow-queue baseline (Figures 10–13), queue occupancy (Figure 14) and
+// the headroom sensitivity study (Figure 17).
+//
+// Usage:
+//
+//	r2c2-sim -fig10 -k 8 -dims 3 -flows 20000   # paper scale
+//	r2c2-sim -fig12 -k 4 -dims 3 -flows 2000    # reduced sweep
+//	r2c2-sim -fig17
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"r2c2/internal/experiments"
+	"r2c2/internal/simtime"
+)
+
+func main() {
+	var (
+		fig10    = flag.Bool("fig10", false, "Figures 10 & 11: FCT / throughput CDFs at fixed tau")
+		fig12    = flag.Bool("fig12", false, "Figures 12-14: sweep over flow inter-arrival times")
+		fig17    = flag.Bool("fig17", false, "Figure 17: headroom sensitivity")
+		k        = flag.Int("k", 4, "torus radix (paper: 8)")
+		dims     = flag.Int("dims", 3, "torus dimensions")
+		flows    = flag.Int("flows", 2000, "flows per run (paper: ~20k)")
+		tauUs    = flag.Float64("tau", 4, "mean flow inter-arrival time in microseconds (paper: 1 at 512 nodes)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		reliable = flag.Bool("reliable", false, "enable the §6 reliability extension for the R2C2 runs")
+		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+	if !*fig10 && !*fig12 && !*fig17 {
+		*fig10, *fig12, *fig17 = true, true, true
+	}
+
+	s := experiments.TestScale()
+	s.K, s.Dims, s.Flows, s.Seed = *k, *dims, *flows, *seed
+	s.Reliable = *reliable
+	tau := simtime.FromSeconds(*tauUs * 1e-6)
+	fmt.Printf("topology: %d-ary %d-cube (%d nodes), %d flows, tau=%v\n\n",
+		s.K, s.Dims, s.Torus().Nodes(), s.Flows, tau)
+
+	if *fig10 {
+		res := experiments.Fig10and11(s, tau)
+		render(res.ShortFCTTable(), *csv)
+		render(res.LongThroughputTable(), *csv)
+		for _, run := range res.Runs {
+			fmt.Printf("%-5s completed %d/%d flows, drops=%d, events=%d, simulated %v\n",
+				run.Transport, run.Results.Completed,
+				run.Results.Completed+run.Results.Incomplete,
+				run.Results.Drops, run.Results.Events, run.Results.EndTime)
+		}
+		fmt.Println()
+	}
+
+	if *fig12 {
+		taus := []simtime.Time{tau, 2 * tau, 10 * tau, 100 * tau}
+		res := experiments.Fig12to14(s, taus)
+		render(res.Fig12Table(), *csv)
+		render(res.Fig13Table(), *csv)
+		render(res.Fig14Table(), *csv)
+	}
+
+	if *fig17 {
+		res := experiments.Fig17(s, tau, []float64{0, 0.01, 0.05, 0.10, 0.20})
+		render(res.Table(), *csv)
+	}
+}
+
+// render prints a result table as aligned text or CSV.
+func render(t *experiments.Table, csv bool) {
+	if csv {
+		fmt.Print("# ", t.Title, "\n", t.CSV())
+		return
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,27 @@
+// Package r2c2 is a from-scratch Go reproduction of "R2C2: A Network Stack
+// for Rack-scale Computers" (Costa, Ballani, Razavi, Kash — SIGCOMM 2015).
+//
+// The implementation lives under internal/:
+//
+//   - internal/topology — torus/mesh/Clos fabrics, minimal-route DAGs,
+//     broadcast trees and the broadcast FIB (§3.2)
+//   - internal/wire — the Figure 6 packet formats
+//   - internal/routing — RPS, destination-tag, VLB, WLB and ECMP, with
+//     exact per-link rate fractions and per-packet path samplers (§2.2.1)
+//   - internal/waterfill — the weighted water-filling rate allocator (§3.3)
+//   - internal/core — flow views from broadcasts, local rate computation,
+//     demand estimation (§3.1–3.3)
+//   - internal/genetic — the routing-protocol selection heuristic (§3.4)
+//   - internal/sim — the packet-level simulator with TCP and per-flow-queue
+//     baselines (§5.2)
+//   - internal/fluid — the flow-level model behind the rate-accuracy and
+//     CPU-cost studies (Figures 8, 15, 16)
+//   - internal/emu — the in-process rack emulation platform, this repo's
+//     Maze substitute (§4.1)
+//   - internal/broadcastmodel — control-plane traffic analytics (Figures 9, 19)
+//   - internal/experiments — one harness per table/figure of §5
+//
+// The benchmarks in bench_test.go regenerate every table and figure at
+// test scale; the cmd/ tools run them at paper scale. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package r2c2

@@ -1,0 +1,3 @@
+module r2c2
+
+go 1.22

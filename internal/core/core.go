@@ -1,0 +1,319 @@
+// Package core implements the R2C2 control plane (§3): the per-node view
+// of the rack's global traffic matrix maintained from flow-event
+// broadcasts, the local rate computation that turns that view into
+// max-min fair sending rates, and the demand estimator for host-limited
+// flows.
+//
+// The central idea of the paper is that global visibility — every node
+// knows every active flow — turns distributed congestion control into a
+// local computation: no probing, no switch support, no per-flow queues on
+// path. A View is exactly that visibility; a RateComputer is exactly that
+// computation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/stats"
+	"r2c2/internal/topology"
+	"r2c2/internal/waterfill"
+	"r2c2/internal/wire"
+)
+
+// UnlimitedDemand is the broadcast demand field value meaning "network
+// limited" (no host-side cap).
+const UnlimitedDemand uint32 = 0xFFFFFFFF
+
+// FlowInfo is one entry of a node's traffic-matrix view: everything a
+// broadcast announces about a flow (§3.2, Figure 6).
+type FlowInfo struct {
+	ID       wire.FlowID
+	Src, Dst topology.NodeID
+	Weight   uint8
+	Priority uint8
+	Demand   uint32 // Kbps; UnlimitedDemand if network-limited
+	Protocol routing.Protocol
+}
+
+// DemandBits returns the demand in bits/s, or waterfill.Unlimited.
+func (f *FlowInfo) DemandBits() float64 {
+	if f.Demand == UnlimitedDemand {
+		return waterfill.Unlimited
+	}
+	return float64(f.Demand) * 1e3
+}
+
+// StartBroadcast builds the 16-byte broadcast announcing this flow's start,
+// to be routed along the given spanning tree.
+func (f *FlowInfo) StartBroadcast(tree uint8) *wire.Broadcast {
+	return f.broadcast(wire.EventFlowStart, tree)
+}
+
+// FinishBroadcast builds the broadcast announcing this flow's termination.
+func (f *FlowInfo) FinishBroadcast(tree uint8) *wire.Broadcast {
+	return f.broadcast(wire.EventFlowFinish, tree)
+}
+
+// DemandBroadcast builds the broadcast announcing a demand change.
+func (f *FlowInfo) DemandBroadcast(tree uint8) *wire.Broadcast {
+	return f.broadcast(wire.EventDemandUpdate, tree)
+}
+
+// RouteChangeBroadcast builds the broadcast announcing a routing-protocol
+// change decided by the selection heuristic (§3.4).
+func (f *FlowInfo) RouteChangeBroadcast(tree uint8) *wire.Broadcast {
+	return f.broadcast(wire.EventRouteChange, tree)
+}
+
+func (f *FlowInfo) broadcast(ev wire.EventKind, tree uint8) *wire.Broadcast {
+	return &wire.Broadcast{
+		Event:    ev,
+		Src:      uint16(f.Src),
+		Dst:      uint16(f.Dst),
+		FlowSeq:  f.ID.Seq(),
+		Weight:   f.Weight,
+		Priority: f.Priority,
+		Demand:   f.Demand,
+		Tree:     tree,
+		RP:       uint8(f.Protocol),
+	}
+}
+
+// View is one node's local picture of the rack's traffic matrix, built
+// purely from flow-event broadcasts (§3.1). Views at different nodes can
+// temporarily diverge while broadcasts are in flight; the bandwidth
+// headroom absorbs that (§3.3.2).
+//
+// A View maintains an order-independent hash of its contents so that
+// callers (the simulator's recomputation scheduler) can cheaply detect
+// that two nodes hold identical views and share one rate computation.
+type View struct {
+	flows   map[wire.FlowID]FlowInfo
+	version uint64
+	hash    uint64
+}
+
+// NewView returns an empty view.
+func NewView() *View {
+	return &View{flows: make(map[wire.FlowID]FlowInfo)}
+}
+
+// Len returns the number of flows in the view.
+func (v *View) Len() int { return len(v.flows) }
+
+// Version returns a counter incremented on every mutation.
+func (v *View) Version() uint64 { return v.version }
+
+// Hash returns an order-independent digest of the view's contents: two
+// views with equal flow sets have equal hashes.
+func (v *View) Hash() uint64 { return v.hash }
+
+// Get returns the view's entry for a flow.
+func (v *View) Get(id wire.FlowID) (FlowInfo, bool) {
+	f, ok := v.flows[id]
+	return f, ok
+}
+
+// Apply folds one broadcast event into the view. Duplicate starts and
+// finishes for unknown flows are tolerated (broadcasts can be retransmitted
+// after drops, §3.2 "Failures") and reported as no-ops.
+func (v *View) Apply(b *wire.Broadcast) error {
+	id := b.Flow()
+	info := FlowInfo{
+		ID:       id,
+		Src:      topology.NodeID(b.Src),
+		Dst:      topology.NodeID(b.Dst),
+		Weight:   b.Weight,
+		Priority: b.Priority,
+		Demand:   b.Demand,
+		Protocol: routing.Protocol(b.RP),
+	}
+	switch b.Event {
+	case wire.EventFlowStart:
+		v.upsert(info)
+	case wire.EventFlowFinish:
+		v.remove(id)
+	case wire.EventDemandUpdate, wire.EventRouteChange:
+		old, ok := v.flows[id]
+		if !ok {
+			// An update racing a finish; drop it.
+			return nil
+		}
+		if b.Event == wire.EventDemandUpdate {
+			old.Demand = b.Demand
+		} else {
+			old.Protocol = routing.Protocol(b.RP)
+		}
+		v.upsert(old)
+	default:
+		return fmt.Errorf("core: unknown broadcast event %v", b.Event)
+	}
+	return nil
+}
+
+// AddFlow inserts a locally originated flow (the sender updates its own
+// view immediately; the broadcast informs everyone else).
+func (v *View) AddFlow(info FlowInfo) { v.upsert(info) }
+
+// RemoveFlow removes a locally terminated flow.
+func (v *View) RemoveFlow(id wire.FlowID) { v.remove(id) }
+
+func (v *View) upsert(info FlowInfo) {
+	if old, ok := v.flows[info.ID]; ok {
+		v.hash ^= flowHash(old)
+	}
+	v.flows[info.ID] = info
+	v.hash ^= flowHash(info)
+	v.version++
+}
+
+func (v *View) remove(id wire.FlowID) {
+	old, ok := v.flows[id]
+	if !ok {
+		return
+	}
+	v.hash ^= flowHash(old)
+	delete(v.flows, id)
+	v.version++
+}
+
+// Flows returns the view's entries sorted by flow ID, so every node
+// enumerates an identical view in an identical order — a requirement for
+// all nodes converging on the same allocation (§3.3).
+func (v *View) Flows() []FlowInfo {
+	out := make([]FlowInfo, 0, len(v.flows))
+	for _, f := range v.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// flowHash digests one flow entry for the order-independent view hash.
+func flowHash(f FlowInfo) uint64 {
+	h := uint64(f.ID)<<32 | uint64(f.Demand)
+	h ^= uint64(f.Weight)<<8 | uint64(f.Priority)<<16 | uint64(f.Protocol)<<24
+	// splitmix64 finalizer.
+	h += 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// Allocation is the result of one rate computation: rates in bits/s,
+// indexed by flow ID.
+type Allocation struct {
+	Rates map[wire.FlowID]float64
+	// ViewHash identifies the view the allocation was computed from.
+	ViewHash uint64
+}
+
+// Rate returns the allocated rate for a flow (0 if absent).
+func (a *Allocation) Rate(id wire.FlowID) float64 { return a.Rates[id] }
+
+// RateComputer turns a View into rate allocations using the routing
+// φ-vectors and the water-filling allocator. One RateComputer can be shared
+// by all nodes that share a topology (the computation is a pure function of
+// the view), which is how the simulator amortises recomputation across
+// nodes holding identical views.
+//
+// A RateComputer is not safe for concurrent use; the emulator gives each
+// node its own.
+type RateComputer struct {
+	tab   *routing.Table
+	alloc *waterfill.Allocator
+
+	// scratch, reused across computations
+	specs []waterfill.Flow
+	ids   []wire.FlowID
+}
+
+// NewRateComputer builds a computer for the given topology, link capacity
+// in bits/s and headroom fraction (§3.3.2 uses 5%).
+func NewRateComputer(tab *routing.Table, capacityBits float64, headroom float64) *RateComputer {
+	return &RateComputer{
+		tab: tab,
+		alloc: waterfill.NewAllocator(waterfill.Config{
+			NumLinks: tab.Graph().NumLinks(),
+			Capacity: capacityBits,
+			Headroom: headroom,
+		}),
+	}
+}
+
+// Table returns the routing table the computer uses.
+func (rc *RateComputer) Table() *routing.Table { return rc.tab }
+
+// Compute runs the water-filling over every flow in the view and returns
+// the full allocation. Each node then rate-limits its own flows to their
+// allocated values (§3.3).
+func (rc *RateComputer) Compute(v *View) *Allocation {
+	flows := v.Flows()
+	rc.specs = rc.specs[:0]
+	rc.ids = rc.ids[:0]
+	for _, f := range flows {
+		spec := waterfill.Flow{
+			Weight:   float64(f.Weight),
+			Priority: f.Priority,
+			Demand:   f.DemandBits(),
+		}
+		if f.Src != f.Dst {
+			spec.Phi = rc.tab.Phi(f.Protocol, f.Src, f.Dst)
+		}
+		rc.specs = append(rc.specs, spec)
+		rc.ids = append(rc.ids, f.ID)
+	}
+	rates := rc.alloc.Allocate(rc.specs)
+	out := &Allocation{Rates: make(map[wire.FlowID]float64, len(rates)), ViewHash: v.Hash()}
+	for i, id := range rc.ids {
+		out.Rates[id] = rates[i]
+	}
+	return out
+}
+
+// DemandEstimator implements §3.3.2 Eq. (1): a flow's demand for the next
+// period is its current allocation plus the sender-side queue drained over
+// one period, smoothed with an EWMA to damp noisy observations.
+type DemandEstimator struct {
+	period simtime.Time
+	ewma   *stats.EWMA
+}
+
+// NewDemandEstimator returns an estimator with the given estimation period
+// and EWMA smoothing factor (alpha in (0,1]).
+func NewDemandEstimator(period simtime.Time, alpha float64) *DemandEstimator {
+	if period <= 0 {
+		panic("core: non-positive demand estimation period")
+	}
+	return &DemandEstimator{period: period, ewma: stats.NewEWMA(alpha)}
+}
+
+// Observe feeds one period's observation — the rate currently allocated
+// (bits/s) and the sender-side queue occupancy (bits) at period end — and
+// returns the smoothed demand estimate d[i+1] = r[i] + q[i]/T in bits/s.
+func (e *DemandEstimator) Observe(allocatedBits float64, queuedBits float64) float64 {
+	raw := allocatedBits + queuedBits/e.period.Seconds()
+	return e.ewma.Update(raw)
+}
+
+// Estimate returns the current smoothed demand estimate.
+func (e *DemandEstimator) Estimate() float64 { return e.ewma.Value() }
+
+// KbpsDemand converts a bits/s demand estimate to the Kbps wire field,
+// saturating at the 4 Tbps the format can carry.
+func KbpsDemand(bits float64) uint32 {
+	if bits < 0 {
+		return 0
+	}
+	k := bits / 1e3
+	if k >= float64(UnlimitedDemand) {
+		return UnlimitedDemand - 1
+	}
+	return uint32(k)
+}

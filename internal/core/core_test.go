@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/waterfill"
+	"r2c2/internal/wire"
+)
+
+func flowInfo(src, dst topology.NodeID, seq uint16) FlowInfo {
+	return FlowInfo{
+		ID:       wire.MakeFlowID(uint16(src), seq),
+		Src:      src,
+		Dst:      dst,
+		Weight:   1,
+		Demand:   UnlimitedDemand,
+		Protocol: routing.RPS,
+	}
+}
+
+func TestViewApplyStartFinish(t *testing.T) {
+	v := NewView()
+	f := flowInfo(1, 2, 7)
+	if err := v.Apply(f.StartBroadcast(0)); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 1 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	got, ok := v.Get(f.ID)
+	if !ok {
+		t.Fatal("flow missing after start")
+	}
+	if got != f {
+		t.Fatalf("round trip through broadcast: got %+v want %+v", got, f)
+	}
+	if err := v.Apply(f.FinishBroadcast(0)); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 0 {
+		t.Fatal("flow still present after finish")
+	}
+}
+
+func TestViewHashOrderIndependent(t *testing.T) {
+	a, b := NewView(), NewView()
+	f1, f2, f3 := flowInfo(1, 2, 1), flowInfo(3, 4, 2), flowInfo(5, 6, 3)
+	for _, f := range []FlowInfo{f1, f2, f3} {
+		a.AddFlow(f)
+	}
+	for _, f := range []FlowInfo{f3, f1, f2} {
+		b.AddFlow(f)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("hash depends on insertion order")
+	}
+	// Removing and re-adding restores the hash.
+	h := a.Hash()
+	a.RemoveFlow(f2.ID)
+	if a.Hash() == h {
+		t.Fatal("hash unchanged after removal")
+	}
+	a.AddFlow(f2)
+	if a.Hash() != h {
+		t.Fatal("hash not restored after re-add")
+	}
+	// Empty views hash equal.
+	if NewView().Hash() != NewView().Hash() {
+		t.Fatal("empty view hashes differ")
+	}
+}
+
+func TestViewVersionBumpsOnMutation(t *testing.T) {
+	v := NewView()
+	f := flowInfo(0, 1, 1)
+	v0 := v.Version()
+	v.AddFlow(f)
+	if v.Version() == v0 {
+		t.Fatal("version not bumped on add")
+	}
+	v1 := v.Version()
+	v.RemoveFlow(wire.MakeFlowID(9, 9)) // unknown: no-op
+	if v.Version() != v1 {
+		t.Fatal("version bumped on no-op removal")
+	}
+}
+
+func TestViewDemandAndRouteUpdates(t *testing.T) {
+	v := NewView()
+	f := flowInfo(1, 2, 1)
+	v.AddFlow(f)
+	f.Demand = 5000
+	if err := v.Apply(f.DemandBroadcast(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.Get(f.ID)
+	if got.Demand != 5000 {
+		t.Fatalf("demand = %d", got.Demand)
+	}
+	f.Protocol = routing.VLB
+	if err := v.Apply(f.RouteChangeBroadcast(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = v.Get(f.ID)
+	if got.Protocol != routing.VLB {
+		t.Fatalf("protocol = %v", got.Protocol)
+	}
+	// Update for an unknown flow is silently dropped (races a finish).
+	unknown := flowInfo(7, 8, 9)
+	if err := v.Apply(unknown.DemandBroadcast(0)); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 1 {
+		t.Fatal("dropped update created a flow")
+	}
+}
+
+func TestViewApplyUnknownEvent(t *testing.T) {
+	v := NewView()
+	b := &wire.Broadcast{Event: wire.EventKind(0xF)}
+	if err := v.Apply(b); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+}
+
+func TestViewFlowsSorted(t *testing.T) {
+	v := NewView()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		v.AddFlow(flowInfo(topology.NodeID(rng.Intn(8)), topology.NodeID(8+rng.Intn(8)), uint16(rng.Intn(1000))))
+	}
+	flows := v.Flows()
+	for i := 1; i < len(flows); i++ {
+		if flows[i].ID <= flows[i-1].ID {
+			t.Fatal("Flows() not sorted by ID")
+		}
+	}
+}
+
+func TestFlowInfoDemandBits(t *testing.T) {
+	f := flowInfo(0, 1, 1)
+	if f.DemandBits() != waterfill.Unlimited {
+		t.Fatal("unlimited demand not mapped")
+	}
+	f.Demand = 2000 // Kbps
+	if f.DemandBits() != 2e6 {
+		t.Fatalf("DemandBits = %v", f.DemandBits())
+	}
+}
+
+func TestBroadcastWireRoundTrip(t *testing.T) {
+	f := FlowInfo{
+		ID:       wire.MakeFlowID(3, 99),
+		Src:      3,
+		Dst:      40,
+		Weight:   2,
+		Priority: 1,
+		Demand:   123456,
+		Protocol: routing.WLB,
+	}
+	pkt := wire.EncodeBroadcast(f.StartBroadcast(5))
+	decoded, err := wire.DecodeBroadcast(pkt[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewView()
+	if err := v.Apply(decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.Get(f.ID)
+	if !ok || got != f {
+		t.Fatalf("wire round trip: %+v vs %+v", got, f)
+	}
+	if decoded.Tree != 5 {
+		t.Fatalf("tree = %d", decoded.Tree)
+	}
+}
+
+func newComputer(t testing.TB) *RateComputer {
+	t.Helper()
+	g, err := topology.NewTorus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRateComputer(routing.NewTable(g), 10e9, 0.05)
+}
+
+func TestComputeSingleFlow(t *testing.T) {
+	rc := newComputer(t)
+	v := NewView()
+	v.AddFlow(flowInfo(0, 5, 1))
+	alloc := rc.Compute(v)
+	r := alloc.Rate(wire.MakeFlowID(0, 1))
+	// A lone RPS flow on an idle 4x4 torus: two disjoint minimal directions
+	// from the source; with a 0.5/0.5 split the first-hop links bound the
+	// flow at 2 × 9.5 Gbps... unless an interior link is more loaded. At
+	// minimum it must beat a single link's effective capacity.
+	if r < 9.5e9-1 {
+		t.Fatalf("single-flow rate = %v, want >= 9.5e9", r)
+	}
+	if alloc.ViewHash != v.Hash() {
+		t.Fatal("allocation not stamped with view hash")
+	}
+	if alloc.Rate(wire.MakeFlowID(9, 9)) != 0 {
+		t.Fatal("unknown flow should have rate 0")
+	}
+}
+
+func TestComputeFairness(t *testing.T) {
+	rc := newComputer(t)
+	v := NewView()
+	// Two identical flows between the same endpoints must get equal rates.
+	v.AddFlow(flowInfo(0, 5, 1))
+	v.AddFlow(flowInfo(0, 5, 2))
+	alloc := rc.Compute(v)
+	r1, r2 := alloc.Rate(wire.MakeFlowID(0, 1)), alloc.Rate(wire.MakeFlowID(0, 2))
+	if math.Abs(r1-r2) > 1 {
+		t.Fatalf("equal flows got %v and %v", r1, r2)
+	}
+	if r1 <= 0 {
+		t.Fatal("zero rate")
+	}
+}
+
+// All nodes computing over identical views must produce identical
+// allocations — the keystone of probe-free congestion control (§3.3).
+func TestComputeDeterministicAcrossNodes(t *testing.T) {
+	rcA, rcB := newComputer(t), newComputer(t)
+	viewA, viewB := NewView(), NewView()
+	rng := rand.New(rand.NewSource(5))
+	var infos []FlowInfo
+	for i := 0; i < 30; i++ {
+		src := topology.NodeID(rng.Intn(16))
+		dst := topology.NodeID(rng.Intn(16))
+		if src == dst {
+			continue
+		}
+		f := flowInfo(src, dst, uint16(i))
+		f.Protocol = []routing.Protocol{routing.RPS, routing.DOR, routing.VLB, routing.WLB}[rng.Intn(4)]
+		infos = append(infos, f)
+	}
+	for _, f := range infos {
+		viewA.AddFlow(f)
+	}
+	for i := len(infos) - 1; i >= 0; i-- { // reversed arrival order at node B
+		viewB.AddFlow(infos[i])
+	}
+	a, b := rcA.Compute(viewA), rcB.Compute(viewB)
+	for id, ra := range a.Rates {
+		if rb := b.Rates[id]; math.Abs(ra-rb) > 1e-6*math.Max(ra, 1) {
+			t.Fatalf("flow %v: node A computed %v, node B %v", id, ra, rb)
+		}
+	}
+}
+
+func TestComputeRespectsHeadroom(t *testing.T) {
+	rc := newComputer(t)
+	v := NewView()
+	// Saturate one link with a DOR flow between neighbours.
+	f := flowInfo(0, 1, 1)
+	f.Protocol = routing.DOR
+	v.AddFlow(f)
+	alloc := rc.Compute(v)
+	if r := alloc.Rate(f.ID); math.Abs(r-9.5e9) > 1 {
+		t.Fatalf("rate = %v, want 9.5e9 (5%% headroom)", r)
+	}
+}
+
+func TestDemandEstimator(t *testing.T) {
+	e := NewDemandEstimator(simtime.Millisecond, 1.0) // no smoothing
+	// Eq (1): d = r + q/T. 1 Gbps allocated, 1 Mbit queued over 1 ms -> 2 Gbps.
+	got := e.Observe(1e9, 1e6)
+	if math.Abs(got-2e9) > 1 {
+		t.Fatalf("demand = %v, want 2e9", got)
+	}
+	if e.Estimate() != got {
+		t.Fatal("Estimate mismatch")
+	}
+	// With smoothing the estimate moves gradually.
+	e2 := NewDemandEstimator(simtime.Millisecond, 0.5)
+	e2.Observe(1e9, 0)
+	second := e2.Observe(3e9, 0)
+	if math.Abs(second-2e9) > 1 {
+		t.Fatalf("smoothed = %v, want 2e9", second)
+	}
+}
+
+func TestDemandEstimatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDemandEstimator(0, 0.5)
+}
+
+func TestKbpsDemand(t *testing.T) {
+	if KbpsDemand(-5) != 0 {
+		t.Error("negative demand")
+	}
+	if KbpsDemand(2e6) != 2000 {
+		t.Errorf("KbpsDemand(2e6) = %d", KbpsDemand(2e6))
+	}
+	if KbpsDemand(1e18) != UnlimitedDemand-1 {
+		t.Error("saturation failed")
+	}
+}

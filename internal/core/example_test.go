@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"r2c2/internal/core"
+	"r2c2/internal/routing"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// The R2C2 control loop in miniature: a flow-start broadcast arrives at a
+// node, its view updates, and local rate computation yields the flow's
+// fair sending rate — no probing, no switch support (§3.3).
+func ExampleRateComputer_Compute() {
+	g, _ := topology.NewTorus(4, 2)
+	rc := core.NewRateComputer(routing.NewTable(g), 10e9, 0.05)
+
+	// The 16-byte broadcast announcing a new DOR flow from node 0 to 1.
+	flow := core.FlowInfo{
+		ID: wire.MakeFlowID(0, 1), Src: 0, Dst: 1,
+		Weight: 1, Demand: core.UnlimitedDemand, Protocol: routing.DOR,
+	}
+	pkt := wire.EncodeBroadcast(flow.StartBroadcast(0))
+
+	// Every rack node folds the event into its local view...
+	view := core.NewView()
+	b, _ := wire.DecodeBroadcast(pkt[:])
+	_ = view.Apply(b)
+
+	// ...and can now compute the flow's rate locally.
+	alloc := rc.Compute(view)
+	fmt.Printf("flows visible: %d\n", view.Len())
+	fmt.Printf("allocated: %.2f Gbps (10 Gbps link minus 5%% headroom)\n",
+		alloc.Rate(flow.ID)/1e9)
+	// Output:
+	// flows visible: 1
+	// allocated: 9.50 Gbps (10 Gbps link minus 5% headroom)
+}

@@ -1,0 +1,192 @@
+// Package discovery implements the topology-discovery mechanism §3.2
+// presupposes ("To detect link and node failures, we rely on a topology
+// discovery mechanism that is required by the routing protocols anyway"):
+// a link-state protocol in which every node floods announcements of its
+// live adjacency, every node maintains a link-state database, and each
+// node can materialise the rack's current topology — including degraded
+// topologies after failures — from its database alone.
+//
+// The package is transport-agnostic: Handle/Originate produce and consume
+// LSA values, and the caller (simulator, emulator, or the synchronous
+// round-driver in Converge) moves them between nodes.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"r2c2/internal/topology"
+)
+
+// LSA is a link-state announcement: the origin's current out-neighbours,
+// versioned by a sequence number. Higher sequence numbers supersede lower.
+type LSA struct {
+	Origin    topology.NodeID
+	Seq       uint64
+	Neighbors []topology.NodeID
+}
+
+// clone returns a defensive copy (LSAs are shared across nodes when
+// flooded).
+func (l LSA) clone() LSA {
+	cp := l
+	cp.Neighbors = append([]topology.NodeID(nil), l.Neighbors...)
+	return cp
+}
+
+// Node is one participant's discovery state.
+type Node struct {
+	id        topology.NodeID
+	neighbors []topology.NodeID
+	seq       uint64
+	lsdb      map[topology.NodeID]LSA
+}
+
+// NewNode creates a discovery participant that currently sees the given
+// out-neighbours.
+func NewNode(id topology.NodeID, neighbors []topology.NodeID) *Node {
+	n := &Node{
+		id:        id,
+		neighbors: append([]topology.NodeID(nil), neighbors...),
+		lsdb:      make(map[topology.NodeID]LSA),
+	}
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() topology.NodeID { return n.id }
+
+// Originate produces a fresh LSA for this node's current adjacency and
+// installs it locally. Call it at startup and whenever local links change
+// (failure detection).
+func (n *Node) Originate() LSA {
+	n.seq++
+	lsa := LSA{Origin: n.id, Seq: n.seq, Neighbors: append([]topology.NodeID(nil), n.neighbors...)}
+	n.lsdb[n.id] = lsa.clone()
+	return lsa
+}
+
+// SetNeighbors updates the node's local adjacency (e.g. after a link
+// failure) without originating; pair with Originate.
+func (n *Node) SetNeighbors(neighbors []topology.NodeID) {
+	n.neighbors = append(n.neighbors[:0], neighbors...)
+}
+
+// Handle folds a received LSA into the database. It reports whether the
+// LSA was new (and must therefore be re-flooded to neighbours).
+func (n *Node) Handle(lsa LSA) bool {
+	cur, ok := n.lsdb[lsa.Origin]
+	if ok && cur.Seq >= lsa.Seq {
+		return false
+	}
+	n.lsdb[lsa.Origin] = lsa.clone()
+	return true
+}
+
+// KnownNodes returns how many origins the database covers.
+func (n *Node) KnownNodes() int { return len(n.lsdb) }
+
+// Edges materialises the directed edge set of the discovered topology,
+// sorted deterministically. An edge appears iff its origin announced it in
+// the origin's freshest LSA.
+func (n *Node) Edges() []topology.Link {
+	var edges []topology.Link
+	for _, lsa := range n.lsdb {
+		for _, to := range lsa.Neighbors {
+			edges = append(edges, topology.Link{From: lsa.Origin, To: to})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}
+
+// Graph builds the discovered topology as a Graph with `vertices` total
+// vertices (the rack size is configuration, not discovered). It fails if
+// the database references vertices out of range.
+func (n *Node) Graph(kind topology.Kind, endpoints, vertices int) (*topology.Graph, error) {
+	return topology.NewGraph(kind, endpoints, vertices, n.Edges())
+}
+
+// Converge drives a set of nodes to a converged link-state database by
+// synchronous flooding over the physical adjacency: every node originates,
+// and new LSAs propagate neighbour-to-neighbour until quiescence. It
+// returns the number of flooding rounds taken. This is the test/bootstrap
+// driver; live systems flood asynchronously over the fabric instead.
+func Converge(nodes map[topology.NodeID]*Node) int {
+	type delivery struct {
+		to  topology.NodeID
+		lsa LSA
+	}
+	var pending []delivery
+	for _, n := range nodes {
+		lsa := n.Originate()
+		for _, nb := range n.neighbors {
+			pending = append(pending, delivery{to: nb, lsa: lsa})
+		}
+	}
+	rounds := 0
+	for len(pending) > 0 {
+		rounds++
+		var next []delivery
+		for _, d := range pending {
+			target, ok := nodes[d.to]
+			if !ok {
+				continue // failed/unknown node: announcement is lost
+			}
+			if target.Handle(d.lsa) {
+				for _, nb := range target.neighbors {
+					next = append(next, delivery{to: nb, lsa: d.lsa})
+				}
+			}
+		}
+		pending = next
+	}
+	return rounds
+}
+
+// FromGraph builds one discovery Node per endpoint of g, seeded with its
+// physical adjacency (links toward other endpoints and switches alike).
+func FromGraph(g *topology.Graph) map[topology.NodeID]*Node {
+	nodes := make(map[topology.NodeID]*Node, g.Vertices())
+	for v := 0; v < g.Vertices(); v++ {
+		var nbs []topology.NodeID
+		for _, lid := range g.Out(topology.NodeID(v)) {
+			nbs = append(nbs, g.Link(lid).To)
+		}
+		nodes[topology.NodeID(v)] = NewNode(topology.NodeID(v), nbs)
+	}
+	return nodes
+}
+
+// Diff compares two edge sets and returns the links present in old but
+// missing in new — the failures a node infers from consecutive database
+// snapshots.
+func Diff(old, new []topology.Link) []topology.Link {
+	have := make(map[topology.Link]bool, len(new))
+	for _, l := range new {
+		have[l] = true
+	}
+	var gone []topology.Link
+	for _, l := range old {
+		if !have[l] {
+			gone = append(gone, l)
+		}
+	}
+	return gone
+}
+
+// Validate checks a converged database against an expected vertex count,
+// returning an error naming any origin that never announced.
+func Validate(n *Node, vertices int) error {
+	for v := 0; v < vertices; v++ {
+		if _, ok := n.lsdb[topology.NodeID(v)]; !ok {
+			return fmt.Errorf("discovery: node %d has no LSA for vertex %d", n.id, v)
+		}
+	}
+	return nil
+}

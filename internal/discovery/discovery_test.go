@@ -1,0 +1,138 @@
+package discovery
+
+import (
+	"testing"
+
+	"r2c2/internal/topology"
+)
+
+func graphs(t *testing.T) []*topology.Graph {
+	t.Helper()
+	torus, err := topology.NewTorus(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := topology.NewMesh(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clos, err := topology.NewFoldedClos(4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*topology.Graph{torus, mesh, clos}
+}
+
+// After convergence every node's discovered edge set equals the physical
+// fabric, on every topology family.
+func TestDiscoveryConvergesToTruth(t *testing.T) {
+	for _, g := range graphs(t) {
+		nodes := FromGraph(g)
+		rounds := Converge(nodes)
+		if rounds == 0 {
+			t.Fatalf("%v: no flooding happened", g.Kind())
+		}
+		wantEdges := make([]topology.Link, 0, g.NumLinks())
+		for lid := 0; lid < g.NumLinks(); lid++ {
+			wantEdges = append(wantEdges, g.Link(topology.LinkID(lid)))
+		}
+		for id, n := range nodes {
+			if err := Validate(n, g.Vertices()); err != nil {
+				t.Fatalf("%v: %v", g.Kind(), err)
+			}
+			got := n.Edges()
+			if len(got) != len(wantEdges) {
+				t.Fatalf("%v node %d: %d edges, want %d", g.Kind(), id, len(got), len(wantEdges))
+			}
+			// Rebuild a Graph and spot-check distances agree.
+			dg, err := n.Graph(g.Kind(), g.Nodes(), g.Vertices())
+			if err != nil {
+				t.Fatalf("%v node %d: %v", g.Kind(), id, err)
+			}
+			for a := 0; a < g.Nodes(); a += 5 {
+				for b := 0; b < g.Nodes(); b += 7 {
+					if dg.Dist(topology.NodeID(a), topology.NodeID(b)) != g.Dist(topology.NodeID(a), topology.NodeID(b)) {
+						t.Fatalf("%v: discovered distances diverge", g.Kind())
+					}
+				}
+			}
+			break // one node per graph suffices for the Graph rebuild
+		}
+	}
+}
+
+// A failure re-origination must propagate: after a link is removed and the
+// endpoint re-announces, every node's database drops exactly that edge.
+func TestDiscoveryTracksFailure(t *testing.T) {
+	g, err := topology.NewTorus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := FromGraph(g)
+	Converge(nodes)
+	before := nodes[5].Edges()
+
+	// Node 0 loses its link to node 1.
+	var kept []topology.NodeID
+	for _, lid := range g.Out(0) {
+		if to := g.Link(lid).To; to != 1 {
+			kept = append(kept, to)
+		}
+	}
+	n0 := nodes[0]
+	n0.SetNeighbors(kept)
+	lsa := n0.Originate()
+	// Flood the update manually (synchronous rounds).
+	pendings := map[topology.NodeID]LSA{}
+	for _, nb := range kept {
+		pendings[nb] = lsa
+	}
+	for len(pendings) > 0 {
+		next := map[topology.NodeID]LSA{}
+		for to, l := range pendings {
+			if nodes[to].Handle(l) {
+				for _, lid := range g.Out(to) {
+					next[g.Link(lid).To] = l
+				}
+			}
+		}
+		pendings = next
+	}
+
+	after := nodes[5].Edges()
+	gone := Diff(before, after)
+	if len(gone) != 1 || gone[0].From != 0 || gone[0].To != 1 {
+		t.Fatalf("diff = %v, want exactly 0->1", gone)
+	}
+}
+
+func TestHandleOrdering(t *testing.T) {
+	n := NewNode(0, []topology.NodeID{1})
+	newer := LSA{Origin: 2, Seq: 5, Neighbors: []topology.NodeID{3}}
+	older := LSA{Origin: 2, Seq: 4, Neighbors: []topology.NodeID{9}}
+	if !n.Handle(newer) {
+		t.Fatal("fresh LSA rejected")
+	}
+	if n.Handle(older) {
+		t.Fatal("stale LSA accepted")
+	}
+	if n.Handle(newer) {
+		t.Fatal("duplicate LSA re-flooded")
+	}
+	if n.KnownNodes() != 1 {
+		t.Fatalf("known = %d", n.KnownNodes())
+	}
+	// Mutating the caller's slice must not corrupt the database.
+	newer.Neighbors[0] = 99
+	if n.Edges()[0].To != 3 {
+		t.Fatal("LSA not defensively copied")
+	}
+}
+
+func TestValidateReportsMissing(t *testing.T) {
+	n := NewNode(0, nil)
+	n.Originate()
+	if err := Validate(n, 2); err == nil {
+		t.Fatal("missing origin not reported")
+	}
+}

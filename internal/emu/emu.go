@@ -1,0 +1,688 @@
+// Package emu is an in-process rack emulation platform — this repo's
+// substitute for Maze, the RDMA-cluster emulator of §4.1. Where Maze maps
+// virtual links onto RDMA queue pairs between physical servers, emu maps
+// them onto goroutines and channels inside one process:
+//
+//   - every directed virtual link is a buffered channel (Maze's data ring
+//     buffer) plus a goroutine that paces packets at the configured link
+//     bandwidth (Maze's rate-controlled outgoing link),
+//   - packets are []byte in the real R2C2 wire format, forwarded zero-copy:
+//     intermediate nodes read the next-hop port from the route field and
+//     increment ridx in place, never parsing or copying the payload,
+//   - the full R2C2 user-space stack runs on every emulated node: flow
+//     event broadcasts over broadcast trees, per-node traffic-matrix views,
+//     periodic local rate computation, and one token-bucket rate limiter
+//     per flow at the sender (§4.2).
+//
+// Unlike package sim, emu runs in real (wall-clock) time with true
+// concurrency, so its results are statistical rather than deterministic —
+// exactly like the hardware testbed it replaces. The Figure 7
+// cross-validation compares its throughput and queueing distributions
+// against the simulator's.
+package emu
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"r2c2/internal/core"
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// Config parameterises an emulated rack.
+type Config struct {
+	Graph *topology.Graph
+	// LinkMbps is the virtual link bandwidth in megabits per second. The
+	// paper emulates 5 Gbps links on a 16-server RDMA cluster; a single
+	// process comfortably paces a few hundred Mbps per virtual link, which
+	// preserves all rate-allocation behaviour (everything scales with
+	// capacity). Default 200.
+	LinkMbps float64
+	// QueuePackets is the per-port queue depth in packets. Default 1024
+	// (~1.5 MB at MTU, matching the simulator's default drop-tail limit):
+	// the emulator has no end-to-end retransmission, so queues must absorb
+	// the line-rate bursts of newly started flows (§3.3.2) without loss.
+	QueuePackets int
+	// Headroom is the §3.3.2 bandwidth headroom. Default 0.05.
+	Headroom float64
+	// Recompute is the wall-clock rate recomputation interval ρ.
+	// Default 2ms.
+	Recompute time.Duration
+	// Protocol routes new flows. Default RPS.
+	Protocol routing.Protocol
+	// TreesPerSource is the number of broadcast trees per node. Default 2.
+	TreesPerSource int
+	Seed           int64
+}
+
+// maxBurst bounds how far a paced sender may fall behind its schedule
+// before credit stops accumulating: oversleeps inside the window are
+// repaid with back-to-back sends; longer stalls are forgiven.
+const maxBurst = 5 * time.Millisecond
+
+func (c *Config) defaults() {
+	if c.LinkMbps == 0 {
+		c.LinkMbps = 200
+	}
+	if c.QueuePackets == 0 {
+		c.QueuePackets = 1024
+	}
+	if c.Recompute == 0 {
+		c.Recompute = 2 * time.Millisecond
+	}
+	if c.TreesPerSource == 0 {
+		c.TreesPerSource = 2
+	}
+}
+
+// Rack is a running emulated rack. Create with New, then Start; flows are
+// injected with StartFlow and the rack is torn down with Stop.
+type Rack struct {
+	cfg Config
+	tab *routing.Table
+	fib *topology.BroadcastFIB
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	ports []*emuPort
+	nodes []*emuNode
+
+	flowsMu sync.Mutex
+	flows   map[wire.FlowID]*Flow
+
+	drops atomic.Uint64
+}
+
+type emuPort struct {
+	ch       chan []byte
+	queued   atomic.Int64 // bytes
+	maxSeen  atomic.Int64 // max queued bytes observed
+	sent     atomic.Uint64
+	enqueued atomic.Uint64
+}
+
+type emuNode struct {
+	id topology.NodeID
+
+	mu       sync.Mutex
+	view     *core.View
+	rc       *core.RateComputer
+	flows    map[wire.FlowID]*Flow // flows sourced here
+	nextSeq  uint16
+	nextTree uint8
+	rcvd     map[wire.FlowID]int64 // bytes received (this node is dst)
+}
+
+// Flow is a handle on one emulated flow.
+type Flow struct {
+	Info core.FlowInfo
+	Size int64
+
+	rate      atomic.Uint64 // bits/s
+	bytesRcvd atomic.Int64
+	started   time.Time
+	finished  atomic.Int64 // unix nanos; 0 while incomplete
+	done      chan struct{}
+	doneOnce  sync.Once
+
+	// Host-limited flows (§3.3.2): the application produces bytes at
+	// appRate bits/s; the sender estimates demand from its queue
+	// (Eq. 1: d[i+1] = r[i] + q[i]/T) and broadcasts changes so all nodes
+	// allocate demand-aware. demandKbps mirrors the last broadcast value.
+	appRate    float64
+	demandKbps atomic.Uint32
+}
+
+// Demand returns the flow's last broadcast demand in Kbps
+// (core.UnlimitedDemand if network-limited).
+func (f *Flow) Demand() uint32 {
+	if f.appRate <= 0 {
+		return core.UnlimitedDemand
+	}
+	return f.demandKbps.Load()
+}
+
+// Rate returns the flow's current allocated rate in bits/s.
+func (f *Flow) Rate() float64 { return float64(f.rate.Load()) }
+
+// Done is closed when the receiver has every byte.
+func (f *Flow) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the flow completes or the timeout elapses.
+func (f *Flow) Wait(timeout time.Duration) error {
+	select {
+	case <-f.done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("emu: flow %v incomplete after %v (%d/%d bytes)",
+			f.Info.ID, timeout, f.bytesRcvd.Load(), f.Size)
+	}
+}
+
+// Throughput returns the average goodput in bits/s (0 if incomplete).
+func (f *Flow) Throughput() float64 {
+	fin := f.finished.Load()
+	if fin == 0 {
+		return 0
+	}
+	dt := time.Duration(fin - f.started.UnixNano()).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(f.Size*8) / dt
+}
+
+// FCT returns the flow completion time (0 if incomplete).
+func (f *Flow) FCT() time.Duration {
+	fin := f.finished.Load()
+	if fin == 0 {
+		return 0
+	}
+	return time.Duration(fin - f.started.UnixNano())
+}
+
+// New builds an emulated rack. Call Start before injecting flows.
+func New(cfg Config) (*Rack, error) {
+	cfg.defaults()
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("emu: Config.Graph is required")
+	}
+	for v := 0; v < cfg.Graph.Vertices(); v++ {
+		if cfg.Graph.Degree(topology.NodeID(v)) > wire.MaxPorts {
+			return nil, fmt.Errorf("emu: node %d has %d ports; the wire format allows %d",
+				v, cfg.Graph.Degree(topology.NodeID(v)), wire.MaxPorts)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Rack{
+		cfg:    cfg,
+		tab:    routing.NewTable(cfg.Graph),
+		fib:    topology.NewBroadcastFIB(cfg.Graph, cfg.TreesPerSource, cfg.Seed),
+		ctx:    ctx,
+		cancel: cancel,
+		flows:  make(map[wire.FlowID]*Flow),
+	}
+	r.ports = make([]*emuPort, cfg.Graph.NumLinks())
+	for i := range r.ports {
+		r.ports[i] = &emuPort{ch: make(chan []byte, cfg.QueuePackets)}
+	}
+	r.nodes = make([]*emuNode, cfg.Graph.Nodes())
+	for i := range r.nodes {
+		r.nodes[i] = &emuNode{
+			id:    topology.NodeID(i),
+			view:  core.NewView(),
+			rc:    core.NewRateComputer(r.tab, cfg.LinkMbps*1e6, cfg.Headroom),
+			flows: make(map[wire.FlowID]*Flow),
+			rcvd:  make(map[wire.FlowID]int64),
+		}
+	}
+	return r, nil
+}
+
+// Start launches the link and control-plane goroutines.
+func (r *Rack) Start() {
+	for lid := range r.ports {
+		r.wg.Add(1)
+		go r.linkLoop(topology.LinkID(lid))
+	}
+	for _, n := range r.nodes {
+		r.wg.Add(1)
+		go r.recomputeLoop(n)
+	}
+}
+
+// Stop tears the rack down and waits for every goroutine to exit.
+func (r *Rack) Stop() {
+	r.cancel()
+	r.wg.Wait()
+}
+
+// Drops returns packets lost to full port queues.
+func (r *Rack) Drops() uint64 { return r.drops.Load() }
+
+// MaxQueueBytes returns the maximum queue occupancy observed per port.
+func (r *Rack) MaxQueueBytes() []int64 {
+	out := make([]int64, len(r.ports))
+	for i, p := range r.ports {
+		out[i] = p.maxSeen.Load()
+	}
+	return out
+}
+
+// linkLoop paces packets through one virtual link at the configured
+// bandwidth and hands them to the downstream node — the emu analogue of
+// Maze's outgoing-link machinery.
+func (r *Rack) linkLoop(lid topology.LinkID) {
+	defer r.wg.Done()
+	p := r.ports[lid]
+	to := r.cfg.Graph.Link(lid).To
+	perByte := time.Duration(float64(time.Second) * 8 / (r.cfg.LinkMbps * 1e6))
+	next := time.Now()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case pkt := <-p.ch:
+			p.queued.Add(int64(-len(pkt)))
+			// Token-bucket pacing with bounded catch-up: when the OS timer
+			// overshoots a sleep, the schedule may lag `now` by up to
+			// maxBurst and is repaid by back-to-back sends, keeping the
+			// long-run rate exact.
+			now := time.Now()
+			if floor := now.Add(-maxBurst); next.Before(floor) {
+				next = floor
+			}
+			next = next.Add(time.Duration(len(pkt)) * perByte)
+			// Batch small sleeps: exact pacing below the OS timer
+			// resolution is impossible, but long-run rates stay exact.
+			if wait := time.Until(next); wait > 500*time.Microsecond {
+				select {
+				case <-time.After(wait):
+				case <-r.ctx.Done():
+					return
+				}
+			}
+			p.sent.Add(uint64(len(pkt)))
+			r.receive(to, pkt)
+		}
+	}
+}
+
+// enqueue drops the packet if the port queue is full, mirroring drop-tail.
+func (r *Rack) enqueue(lid topology.LinkID, pkt []byte) bool {
+	p := r.ports[lid]
+	select {
+	case p.ch <- pkt:
+		q := p.queued.Add(int64(len(pkt)))
+		for {
+			max := p.maxSeen.Load()
+			if q <= max || p.maxSeen.CompareAndSwap(max, q) {
+				break
+			}
+		}
+		p.enqueued.Add(1)
+		return true
+	default:
+		r.drops.Add(1)
+		return false
+	}
+}
+
+// receive is the per-node forwarding layer (§3.5): zero-copy next-hop
+// lookup for transit packets, full decode only at the destination.
+func (r *Rack) receive(at topology.NodeID, pkt []byte) {
+	switch {
+	case wire.PacketType(pkt[0]) == wire.TypeData:
+		dst := topology.NodeID(binary.BigEndian.Uint16(pkt[9:11]))
+		if dst == at {
+			r.deliverData(at, pkt)
+			return
+		}
+		ridx := pkt[2]
+		if ridx >= pkt[1] {
+			panic(fmt.Sprintf("emu: route exhausted at node %d for dst %d", at, dst))
+		}
+		bit := int(ridx) * 3
+		port := pkt[19+bit/8] >> (bit % 8)
+		if bit%8 > 5 {
+			port |= pkt[19+bit/8+1] << (8 - bit%8)
+		}
+		port &= 0x7
+		pkt[2] = ridx + 1
+		out := r.cfg.Graph.Out(at)
+		if int(port) >= len(out) {
+			panic(fmt.Sprintf("emu: bad port %d at node %d", port, at))
+		}
+		r.enqueue(out[port], pkt)
+	case wire.PacketType(pkt[0]>>4) == wire.TypeBroadcast:
+		b, err := wire.DecodeBroadcast(pkt)
+		if err != nil {
+			r.drops.Add(1) // corrupted control packet
+			return
+		}
+		if topology.NodeID(b.Src) != at {
+			n := r.nodes[at]
+			n.mu.Lock()
+			_ = n.view.Apply(b)
+			n.mu.Unlock()
+		}
+		r.forwardBroadcast(at, topology.NodeID(b.Src), b.Tree, pkt)
+	default:
+		r.drops.Add(1)
+	}
+}
+
+func (r *Rack) forwardBroadcast(at, src topology.NodeID, tree uint8, pkt []byte) {
+	hops, ok := r.fib.NextHops(src, tree, at)
+	if !ok {
+		panic("emu: broadcast FIB miss")
+	}
+	for _, lid := range hops {
+		r.enqueue(lid, pkt) // same read-only buffer fans out to all children
+	}
+}
+
+func (r *Rack) deliverData(at topology.NodeID, pkt []byte) {
+	h, payload, err := wire.DecodeData(pkt)
+	if err != nil {
+		r.drops.Add(1)
+		return
+	}
+	n := r.nodes[at]
+	n.mu.Lock()
+	n.rcvd[h.Flow] += int64(len(payload))
+	total := n.rcvd[h.Flow]
+	n.mu.Unlock()
+
+	r.flowsMu.Lock()
+	f := r.flows[h.Flow]
+	r.flowsMu.Unlock()
+	if f == nil {
+		return
+	}
+	f.bytesRcvd.Store(total)
+	if total >= f.Size {
+		f.doneOnce.Do(func() {
+			f.finished.Store(time.Now().UnixNano())
+			close(f.done)
+			n.mu.Lock()
+			delete(n.rcvd, h.Flow)
+			n.mu.Unlock()
+		})
+	}
+}
+
+// recomputeLoop is one node's periodic rate recomputation (§3.3.2): every ρ
+// it water-fills its local view and updates the token buckets of the flows
+// it sources.
+func (r *Rack) recomputeLoop(n *emuNode) {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.Recompute)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-ticker.C:
+			n.mu.Lock()
+			if len(n.flows) > 0 {
+				alloc := n.rc.Compute(n.view)
+				for id, f := range n.flows {
+					f.rate.Store(uint64(alloc.Rate(id)))
+				}
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// StartFlow injects a flow of `size` bytes from src to dst and returns its
+// handle. The sender broadcasts the start event, transmits immediately at
+// line rate (the headroom absorbs the pre-recomputation burst, §3.3.2),
+// and paces at its allocated rate thereafter.
+func (r *Rack) StartFlow(src, dst topology.NodeID, size int64, weight, priority uint8) (*Flow, error) {
+	return r.startFlow(src, dst, size, weight, priority, 0)
+}
+
+// StartHostLimitedFlow is StartFlow for an application that produces data
+// at only appRateBits bits/s (§3.3.2, "Host-limited flows"): the sender
+// runs the Eq. (1) demand estimator against its application queue and
+// broadcasts demand updates, so every node allocates min(fair share,
+// demand) and the spare bandwidth goes to flows that can use it.
+func (r *Rack) StartHostLimitedFlow(src, dst topology.NodeID, size int64, weight, priority uint8, appRateBits float64) (*Flow, error) {
+	if appRateBits <= 0 {
+		return nil, fmt.Errorf("emu: non-positive app rate %v", appRateBits)
+	}
+	return r.startFlow(src, dst, size, weight, priority, appRateBits)
+}
+
+func (r *Rack) startFlow(src, dst topology.NodeID, size int64, weight, priority uint8, appRate float64) (*Flow, error) {
+	if src == dst || size <= 0 {
+		return nil, fmt.Errorf("emu: degenerate flow %d->%d size %d", src, dst, size)
+	}
+	if weight == 0 {
+		weight = 1
+	}
+	n := r.nodes[src]
+	n.mu.Lock()
+	id := wire.MakeFlowID(uint16(src), n.nextSeq)
+	n.nextSeq++
+	info := core.FlowInfo{
+		ID: id, Src: src, Dst: dst,
+		Weight: weight, Priority: priority,
+		Demand:   core.UnlimitedDemand,
+		Protocol: r.cfg.Protocol,
+	}
+	// Host-limited flows start network-limited too: the demand estimator
+	// discovers the application's rate from observed queuing (Eq. 1) and
+	// the sender broadcasts the estimate once it diverges from what the
+	// rack believes.
+	f := &Flow{Info: info, Size: size, started: time.Now(), done: make(chan struct{}), appRate: appRate}
+	f.rate.Store(uint64(r.cfg.LinkMbps * 1e6))
+	f.demandKbps.Store(core.UnlimitedDemand)
+	n.flows[id] = f
+	n.view.AddFlow(info)
+	tree := n.nextTree
+	n.nextTree = (n.nextTree + 1) % uint8(r.cfg.TreesPerSource)
+	n.mu.Unlock()
+
+	r.flowsMu.Lock()
+	r.flows[id] = f
+	r.flowsMu.Unlock()
+
+	pkt := wire.EncodeBroadcast(info.StartBroadcast(tree))
+	r.forwardBroadcast(src, src, tree, pkt[:])
+
+	r.wg.Add(1)
+	go r.flowSender(n, f)
+	return f, nil
+}
+
+// flowSender is one flow's token-bucket-paced sender: it samples a fresh
+// path per packet from the flow's routing protocol, encodes the wire
+// packet, and injects it into the first-hop port (blocking on a full NIC
+// queue, which is sender-side back-pressure, not network drop-tail).
+func (r *Rack) flowSender(n *emuNode, f *Flow) {
+	defer r.wg.Done()
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(f.Info.ID)))
+	remaining := f.Size
+	var seq uint32
+	next := time.Now()
+
+	// Demand estimation state for host-limited flows (§3.3.2 Eq. 1). The
+	// estimator feeds on the achieved sending rate plus the sender-side
+	// application backlog, so it converges onto the app rate from either
+	// side; estimates are smoothed with an EWMA and broadcast when they
+	// diverge >15% from what the rack currently believes.
+	estPeriod := 4 * r.cfg.Recompute
+	var estimator *core.DemandEstimator
+	appStart := time.Now()
+	periodStart := appStart
+	var sentBits float64
+	var sentAtPeriodStart float64
+	if f.appRate > 0 {
+		estimator = core.NewDemandEstimator(simtime.FromSeconds(estPeriod.Seconds()), 0.5)
+	}
+
+	for remaining > 0 {
+		if r.ctx.Err() != nil {
+			return
+		}
+		if f.appRate > 0 {
+			// The application has produced this many bits so far.
+			produced := f.appRate * time.Since(appStart).Seconds()
+			if max := float64(f.Size * 8); produced > max {
+				produced = max
+			}
+			backlog := produced - sentBits
+			if now := time.Now(); now.Sub(periodStart) >= estPeriod {
+				sentRate := (sentBits - sentAtPeriodStart) / now.Sub(periodStart).Seconds()
+				d := estimator.Observe(sentRate, backlog)
+				newKbps := core.KbpsDemand(d)
+				old := f.demandKbps.Load()
+				if diverges(old, newKbps) {
+					f.demandKbps.Store(newKbps)
+					n.mu.Lock()
+					f.Info.Demand = newKbps
+					if _, live := n.flows[f.Info.ID]; live {
+						n.view.AddFlow(f.Info)
+						tree := n.nextTree
+						n.nextTree = (n.nextTree + 1) % uint8(r.cfg.TreesPerSource)
+						n.mu.Unlock()
+						pkt := wire.EncodeBroadcast(f.Info.DemandBroadcast(tree))
+						r.forwardBroadcast(f.Info.Src, f.Info.Src, tree, pkt[:])
+					} else {
+						n.mu.Unlock()
+					}
+				}
+				periodStart = now
+				sentAtPeriodStart = sentBits
+			}
+			if backlog < 8 { // nothing produced yet to send
+				select {
+				case <-time.After(100 * time.Microsecond):
+				case <-r.ctx.Done():
+					return
+				}
+				continue
+			}
+		}
+		rate := f.Rate()
+		if rate <= 0 {
+			select {
+			case <-time.After(200 * time.Microsecond):
+			case <-r.ctx.Done():
+				return
+			}
+			continue
+		}
+		payload := int64(wire.MaxPayload)
+		if payload > 1500-wire.DataHeaderSize {
+			payload = 1500 - wire.DataHeaderSize
+		}
+		if remaining < payload {
+			payload = remaining
+		}
+		if f.appRate > 0 {
+			produced := f.appRate * time.Since(appStart).Seconds()
+			if max := float64(f.Size * 8); produced > max {
+				produced = max
+			}
+			if avail := int64((produced - sentBits) / 8); avail < payload {
+				payload = avail
+			}
+			if payload <= 0 {
+				continue
+			}
+		}
+		path := r.tab.SamplePath(f.Info.Protocol, f.Info.Src, f.Info.Dst, rng)
+		ports, err := r.tab.PortRoute(path)
+		if err != nil {
+			panic(err)
+		}
+		route, err := wire.PackRoute(ports)
+		if err != nil {
+			panic(err)
+		}
+		h := &wire.DataHeader{
+			RLen:  uint8(len(ports)),
+			RIdx:  1, // the sender consumes hop 0 by picking the first port
+			Flow:  f.Info.ID,
+			Src:   uint16(f.Info.Src),
+			Dst:   uint16(f.Info.Dst),
+			Seq:   seq,
+			PLen:  uint16(payload),
+			Route: route,
+		}
+		buf := make([]byte, 0, wire.DataHeaderSize+int(payload))
+		buf, err = wire.EncodeData(buf, h, make([]byte, payload))
+		if err != nil {
+			panic(err)
+		}
+		// Blocking send into the first-hop port: NIC back-pressure.
+		p := r.ports[path[0]]
+		select {
+		case p.ch <- buf:
+			q := p.queued.Add(int64(len(buf)))
+			for {
+				max := p.maxSeen.Load()
+				if q <= max || p.maxSeen.CompareAndSwap(max, q) {
+					break
+				}
+			}
+			p.enqueued.Add(1)
+		case <-r.ctx.Done():
+			return
+		}
+		seq++
+		remaining -= payload
+		sentBits += float64(payload * 8)
+
+		now := time.Now()
+		if floor := now.Add(-maxBurst); next.Before(floor) {
+			next = floor
+		}
+		next = next.Add(time.Duration(float64(len(buf)*8) / rate * float64(time.Second)))
+		if wait := time.Until(next); wait > 500*time.Microsecond {
+			select {
+			case <-time.After(wait):
+			case <-r.ctx.Done():
+				return
+			}
+		}
+	}
+	// Sender done: clear the flow from the local view and broadcast finish.
+	n.mu.Lock()
+	delete(n.flows, f.Info.ID)
+	n.view.RemoveFlow(f.Info.ID)
+	tree := n.nextTree
+	n.nextTree = (n.nextTree + 1) % uint8(r.cfg.TreesPerSource)
+	n.mu.Unlock()
+	pkt := wire.EncodeBroadcast(f.Info.FinishBroadcast(tree))
+	r.forwardBroadcast(f.Info.Src, f.Info.Src, tree, pkt[:])
+}
+
+// diverges reports whether a new demand estimate differs enough from the
+// advertised one to justify a broadcast (>15% relative, or a transition
+// to/from unlimited).
+func diverges(old, new uint32) bool {
+	if old == new {
+		return false
+	}
+	if old == core.UnlimitedDemand || new == core.UnlimitedDemand {
+		return true
+	}
+	lo, hi := old, new
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return float64(hi-lo) > 0.15*float64(lo)
+}
+
+// ViewLen reports how many flows a node currently sees (for tests).
+func (r *Rack) ViewLen(node topology.NodeID) int {
+	n := r.nodes[node]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.Len()
+}
+
+// FlowDemandAt reports the demand (Kbps) that a node's view holds for a
+// flow, and whether the view contains the flow at all.
+func (r *Rack) FlowDemandAt(node topology.NodeID, id wire.FlowID) (uint32, bool) {
+	n := r.nodes[node]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	info, ok := n.view.Get(id)
+	return info.Demand, ok
+}

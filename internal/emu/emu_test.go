@@ -1,0 +1,175 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/topology"
+)
+
+func newRack(t *testing.T, cfg Config) *Rack {
+	t.Helper()
+	if cfg.Graph == nil {
+		g, err := topology.NewTorus(4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Graph = g
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(r.Stop)
+	return r
+}
+
+func TestEmuSingleFlowCompletes(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 200, Recompute: time.Millisecond, Protocol: routing.RPS})
+	f, err := r.StartFlow(0, 5, 256<<10, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if f.Throughput() <= 0 || f.FCT() <= 0 {
+		t.Fatalf("throughput=%v fct=%v", f.Throughput(), f.FCT())
+	}
+	// A lone RPS flow should achieve a solid fraction of the headroom-
+	// adjusted link rate (wall-clock jitter allows slack).
+	if f.Throughput() < 0.4*200e6 {
+		t.Fatalf("throughput = %.3g, want > 80 Mbps", f.Throughput())
+	}
+}
+
+func TestEmuGlobalVisibilityAndCleanup(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 200, Protocol: routing.RPS})
+	f, err := r.StartFlow(0, 5, 2<<20, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Broadcasts settle within milliseconds of wall time.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for n := 0; n < r.cfg.Graph.Nodes(); n++ {
+			if r.ViewLen(topology.NodeID(n)) != 1 {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for n := 0; n < r.cfg.Graph.Nodes(); n++ {
+		if got := r.ViewLen(topology.NodeID(n)); got != 1 {
+			t.Fatalf("node %d sees %d flows while flow active", n, got)
+		}
+	}
+	if err := f.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// After the finish broadcast, views drain.
+	deadline = time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		empty := true
+		for n := 0; n < r.cfg.Graph.Nodes(); n++ {
+			if r.ViewLen(topology.NodeID(n)) != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("views not drained after flow finish")
+}
+
+func TestEmuFairness(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 200, Recompute: time.Millisecond, Protocol: routing.RPS})
+	a, err := r.StartFlow(0, 5, 1<<20, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.StartFlow(0, 5, 1<<20, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := a.Throughput(), b.Throughput()
+	if math.Abs(ta-tb)/math.Max(ta, tb) > 0.35 {
+		t.Fatalf("unfair emulated throughputs: %.3g vs %.3g", ta, tb)
+	}
+}
+
+func TestEmuWeightedAllocation(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 200, Recompute: time.Millisecond, Protocol: routing.DOR})
+	heavy, err := r.StartFlow(0, 2, 3<<20, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := r.StartFlow(0, 2, 1<<20, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := heavy.Wait(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := light.Wait(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ratio := heavy.Throughput() / light.Throughput()
+	if ratio < 1.8 || ratio > 5 {
+		t.Fatalf("weight-3:1 throughput ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestEmuValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	r := newRack(t, Config{})
+	if _, err := r.StartFlow(1, 1, 100, 1, 0); err == nil {
+		t.Error("src==dst accepted")
+	}
+	if _, err := r.StartFlow(0, 1, 0, 1, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestEmuQueueStats(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 100, Protocol: routing.DOR})
+	f, err := r.StartFlow(0, 1, 512<<10, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Wait(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	max := r.MaxQueueBytes()
+	if len(max) != r.cfg.Graph.NumLinks() {
+		t.Fatalf("queue stats size %d", len(max))
+	}
+	any := false
+	for _, m := range max {
+		if m > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no port ever held a queued packet")
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"r2c2/internal/routing"
+	"r2c2/internal/sim"
+	"r2c2/internal/simtime"
+	"r2c2/internal/trafficgen"
+)
+
+// TransportRun holds one simulated run's results under one transport.
+type TransportRun struct {
+	Transport sim.Transport
+	Results   *sim.Results
+}
+
+// RunTransports executes the same heavy-tailed workload (§5.2) under R2C2,
+// TCP and PFQ — the common machinery behind Figures 10–14.
+func RunTransports(s Scale, tau simtime.Time, headroom float64, rho simtime.Time) []TransportRun {
+	g := s.Torus()
+	arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
+		Nodes:        g.Nodes(),
+		MeanInterval: tau,
+		Count:        s.Flows,
+		Seed:         s.Seed,
+	})
+	var out []TransportRun
+	for _, tr := range []sim.Transport{sim.TransportR2C2, sim.TransportTCP, sim.TransportPFQ} {
+		res := sim.Run(sim.RunConfig{
+			Graph:     g,
+			Net:       sim.NetConfig{LinkGbps: s.LinkGbps, PropDelay: s.PropLat},
+			Transport: tr,
+			R2C2: sim.R2C2Config{
+				Headroom:  headroom,
+				Recompute: rho,
+				Protocol:  routing.RPS,
+				Seed:      s.Seed,
+				Reliable:  s.Reliable,
+			},
+			PFQSeed:  s.Seed,
+			Arrivals: arrivals,
+			MaxTime:  arrivals[len(arrivals)-1].At + simtime.Second,
+		})
+		out = append(out, TransportRun{Transport: tr, Results: res})
+	}
+	return out
+}
+
+// Fig10Result holds the short-flow FCT CDFs (Figure 10) and long-flow
+// throughput CDFs (Figure 11).
+type Fig10Result struct {
+	Runs []TransportRun
+}
+
+// Fig10and11 runs the τ=1 µs (scaled) comparison of Figures 10 and 11.
+func Fig10and11(s Scale, tau simtime.Time) *Fig10Result {
+	return &Fig10Result{Runs: RunTransports(s, tau, 0.05, 500*simtime.Microsecond)}
+}
+
+// ShortFCTTable renders Figure 10 as CDF percentile rows.
+func (r *Fig10Result) ShortFCTTable() *Table {
+	t := &Table{Title: "Figure 10: FCT, short flows (<100KB), seconds",
+		Header: []string{"percentile"}}
+	for _, run := range r.Runs {
+		t.Header = append(t.Header, run.Transport.String())
+	}
+	for _, p := range []float64{10, 25, 50, 75, 90, 95, 99} {
+		row := []string{f2(p)}
+		for _, run := range r.Runs {
+			row = append(row, g3(run.Results.ShortFCT.Percentile(p)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// LongThroughputTable renders Figure 11 as CDF percentile rows.
+func (r *Fig10Result) LongThroughputTable() *Table {
+	t := &Table{Title: "Figure 11: average throughput, long flows (>1MB), bits/s",
+		Header: []string{"percentile"}}
+	for _, run := range r.Runs {
+		t.Header = append(t.Header, run.Transport.String())
+	}
+	for _, p := range []float64{10, 25, 50, 75, 90, 95, 99} {
+		row := []string{f2(p)}
+		for _, run := range r.Runs {
+			row = append(row, g3(run.Results.LongThroughput.Percentile(p)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig12to14Result is one row per inter-arrival time τ: 99th-percentile
+// short-flow FCT and mean long-flow throughput for each transport
+// (normalised against TCP in the rendering, as Figures 12/13 do), plus the
+// R2C2 queue-occupancy percentiles of Figure 14.
+type Fig12to14Result struct {
+	Taus []simtime.Time
+	// Indexed [tau][transport] in RunTransports order.
+	FCT99   [][]float64
+	LongAvg [][]float64
+	// R2C2 max-queue stats per tau (bytes).
+	QueueP50, QueueP99 []float64
+}
+
+// Fig12to14 sweeps τ and collects everything Figures 12, 13 and 14 plot.
+func Fig12to14(s Scale, taus []simtime.Time) *Fig12to14Result {
+	res := &Fig12to14Result{Taus: taus}
+	for _, tau := range taus {
+		runs := RunTransports(s, tau, 0.05, 500*simtime.Microsecond)
+		var fcts, longs []float64
+		for _, run := range runs {
+			fcts = append(fcts, run.Results.ShortFCT.Percentile(99))
+			longs = append(longs, run.Results.LongThroughput.Mean())
+			if run.Transport == sim.TransportR2C2 {
+				res.QueueP50 = append(res.QueueP50, run.Results.MaxQueue.Percentile(50))
+				res.QueueP99 = append(res.QueueP99, run.Results.MaxQueue.Percentile(99))
+			}
+		}
+		res.FCT99 = append(res.FCT99, fcts)
+		res.LongAvg = append(res.LongAvg, longs)
+	}
+	return res
+}
+
+// Fig12Table renders 99th-pct short-flow FCT normalised against TCP.
+func (r *Fig12to14Result) Fig12Table() *Table {
+	t := &Table{Title: "Figure 12: 99th-pct short-flow FCT normalised to TCP",
+		Header: []string{"tau", "R2C2", "TCP", "PFQ"}}
+	for i, tau := range r.Taus {
+		tcp := r.FCT99[i][1]
+		t.AddRow(tau.String(), f3(safeDiv(r.FCT99[i][0], tcp)), "1.000", f3(safeDiv(r.FCT99[i][2], tcp)))
+	}
+	return t
+}
+
+// Fig13Table renders mean long-flow throughput normalised against TCP.
+func (r *Fig12to14Result) Fig13Table() *Table {
+	t := &Table{Title: "Figure 13: long-flow throughput normalised to TCP",
+		Header: []string{"tau", "R2C2", "TCP", "PFQ"}}
+	for i, tau := range r.Taus {
+		tcp := r.LongAvg[i][1]
+		t.AddRow(tau.String(), f3(safeDiv(r.LongAvg[i][0], tcp)), "1.000", f3(safeDiv(r.LongAvg[i][2], tcp)))
+	}
+	return t
+}
+
+// Fig14Table renders the R2C2 max-queue-occupancy percentiles.
+func (r *Fig12to14Result) Fig14Table() *Table {
+	t := &Table{Title: "Figure 14: R2C2 max queue occupancy (bytes)",
+		Header: []string{"tau", "median", "p99"}}
+	for i, tau := range r.Taus {
+		t.AddRow(tau.String(), f2(r.QueueP50[i]), f2(r.QueueP99[i]))
+	}
+	return t
+}
+
+// Fig17Result is the headroom sensitivity study of Figure 17.
+type Fig17Result struct {
+	Headrooms []float64
+	FCT99     []float64 // 99th-pct short-flow FCT (Figure 17a)
+	LongAvg   []float64 // mean long-flow throughput (Figure 17b)
+}
+
+// Fig17 sweeps the headroom parameter for R2C2 at fixed τ.
+func Fig17(s Scale, tau simtime.Time, headrooms []float64) *Fig17Result {
+	g := s.Torus()
+	arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
+		Nodes: g.Nodes(), MeanInterval: tau, Count: s.Flows, Seed: s.Seed,
+	})
+	res := &Fig17Result{Headrooms: headrooms}
+	for _, h := range headrooms {
+		out := sim.Run(sim.RunConfig{
+			Graph:     g,
+			Net:       sim.NetConfig{LinkGbps: s.LinkGbps, PropDelay: s.PropLat},
+			Transport: sim.TransportR2C2,
+			R2C2: sim.R2C2Config{Headroom: h, Recompute: 500 * simtime.Microsecond,
+				Protocol: routing.RPS, Seed: s.Seed},
+			MaxTime:  arrivals[len(arrivals)-1].At + simtime.Second,
+			Arrivals: arrivals,
+		})
+		res.FCT99 = append(res.FCT99, out.ShortFCT.Percentile(99))
+		res.LongAvg = append(res.LongAvg, out.LongThroughput.Mean())
+	}
+	return res
+}
+
+// Table renders Figure 17.
+func (r *Fig17Result) Table() *Table {
+	t := &Table{Title: "Figure 17: headroom sensitivity (R2C2)",
+		Header: []string{"headroom", "fct99-short (s)", "mean-long (bit/s)"}}
+	for i, h := range r.Headrooms {
+		t.AddRow(f2(h), g3(r.FCT99[i]), g3(r.LongAvg[i]))
+	}
+	return t
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"r2c2/internal/fluid"
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/stats"
+	"r2c2/internal/trafficgen"
+)
+
+// Fig15Result records, per recomputation interval ρ, the median and 95th
+// percentile of the per-flow normalised rate error |r_ρ - r_0|/r_0
+// (Figure 15; τ fixed).
+type Fig15Result struct {
+	Rhos          []simtime.Time
+	Median, P95th []float64
+}
+
+// Fig15 sweeps ρ at fixed τ using the fluid model.
+func Fig15(s Scale, tau simtime.Time, rhos []simtime.Time) *Fig15Result {
+	g := s.Torus()
+	tab := routing.NewTable(g)
+	arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
+		Nodes: g.Nodes(), MeanInterval: tau, Count: s.Flows, Seed: s.Seed,
+	})
+	cfg := fluid.Config{Tab: tab, Protocol: routing.RPS,
+		CapacityBits: s.LinkGbps * 1e9, Headroom: 0.05}
+	ideal := fluid.Run(cfg, arrivals)
+	res := &Fig15Result{Rhos: rhos}
+	for _, rho := range rhos {
+		c := cfg
+		c.Recompute = rho
+		periodic := fluid.Run(c, arrivals)
+		var sample stats.Sample
+		sample.AddAll(fluid.RateErrorFiltered(ideal, periodic, rho))
+		res.Median = append(res.Median, sample.Median())
+		res.P95th = append(res.P95th, sample.Percentile(95))
+	}
+	return res
+}
+
+// Table renders Figure 15.
+func (r *Fig15Result) Table() *Table {
+	t := &Table{Title: "Figure 15: normalised rate error vs recomputation interval",
+		Header: []string{"rho", "median", "p95"}}
+	for i, rho := range r.Rhos {
+		t.AddRow(rho.String(), f3(r.Median[i]), f3(r.P95th[i]))
+	}
+	return t
+}
+
+// Fig16Result records the rate error against the flow inter-arrival time τ
+// at fixed ρ (Figure 16).
+type Fig16Result struct {
+	Taus          []simtime.Time
+	Median, P95th []float64
+}
+
+// Fig16 sweeps τ at fixed ρ using the fluid model.
+func Fig16(s Scale, rho simtime.Time, taus []simtime.Time) *Fig16Result {
+	g := s.Torus()
+	tab := routing.NewTable(g)
+	res := &Fig16Result{Taus: taus}
+	for _, tau := range taus {
+		arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
+			Nodes: g.Nodes(), MeanInterval: tau, Count: s.Flows, Seed: s.Seed,
+		})
+		cfg := fluid.Config{Tab: tab, Protocol: routing.RPS,
+			CapacityBits: s.LinkGbps * 1e9, Headroom: 0.05}
+		ideal := fluid.Run(cfg, arrivals)
+		c := cfg
+		c.Recompute = rho
+		periodic := fluid.Run(c, arrivals)
+		var sample stats.Sample
+		sample.AddAll(fluid.RateErrorFiltered(ideal, periodic, rho))
+		res.Median = append(res.Median, sample.Median())
+		res.P95th = append(res.P95th, sample.Percentile(95))
+	}
+	return res
+}
+
+// Table renders Figure 16.
+func (r *Fig16Result) Table() *Table {
+	t := &Table{Title: "Figure 16: normalised rate error vs flow inter-arrival time",
+		Header: []string{"tau", "median", "p95"}}
+	for i, tau := range r.Taus {
+		t.AddRow(tau.String(), f3(r.Median[i]), f3(r.P95th[i]))
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"r2c2/internal/genetic"
+	"r2c2/internal/routing"
+	"r2c2/internal/trafficgen"
+)
+
+// Fig18Result compares the adaptive genetic routing selection against the
+// single-protocol and random baselines across load levels (Figure 18).
+type Fig18Result struct {
+	Loads []float64
+	// Aggregate throughput (bits/s) per load.
+	Adaptive, AllRPS, AllVLB, Random []float64
+}
+
+// Fig18 runs the permutation workload of §5.2 ("a fraction L of nodes
+// generates a long-running flow each") and optimises the per-flow protocol
+// assignment with the §3.4 genetic heuristic. Candidate protocols are RPS
+// and VLB, as in the paper.
+func Fig18(s Scale, loads []float64, gaCfg genetic.Config) *Fig18Result {
+	g := s.Torus()
+	tab := routing.NewTable(g)
+	protocols := []routing.Protocol{routing.RPS, routing.VLB}
+	rng := rand.New(rand.NewSource(s.Seed))
+	res := &Fig18Result{Loads: loads}
+	for _, load := range loads {
+		flows := trafficgen.PermutationLoad(g, load, rng)
+		if len(flows) == 0 {
+			res.Adaptive = append(res.Adaptive, 0)
+			res.AllRPS = append(res.AllRPS, 0)
+			res.AllVLB = append(res.AllVLB, 0)
+			res.Random = append(res.Random, 0)
+			continue
+		}
+		fitness := genetic.AggregateFitness(tab, s.LinkGbps*1e9, 0.05, flows, protocols)
+		allRPS := fitness(genetic.UniformAssignment(len(flows), 0))
+		allVLB := fitness(genetic.UniformAssignment(len(flows), 1))
+		random := fitness(genetic.RandomAssignment(len(flows), len(protocols), rng))
+		cfg := gaCfg
+		cfg.Seed = s.Seed
+		best := genetic.Optimize(cfg, len(flows), len(protocols),
+			genetic.UniformAssignment(len(flows), 0), fitness)
+		res.Adaptive = append(res.Adaptive, best.Utility)
+		res.AllRPS = append(res.AllRPS, allRPS)
+		res.AllVLB = append(res.AllVLB, allVLB)
+		res.Random = append(res.Random, random)
+	}
+	return res
+}
+
+// Table renders Figure 18 as adaptive throughput normalised against each
+// baseline (values >= 1 reproduce the paper's claim).
+func (r *Fig18Result) Table() *Table {
+	t := &Table{Title: "Figure 18: adaptive routing selection vs baselines (normalised)",
+		Header: []string{"load", "vs-RPS", "vs-VLB", "vs-Random"}}
+	for i, load := range r.Loads {
+		t.AddRow(f3(load),
+			f3(safeDiv(r.Adaptive[i], r.AllRPS[i])),
+			f3(safeDiv(r.Adaptive[i], r.AllVLB[i])),
+			f3(safeDiv(r.Adaptive[i], r.Random[i])))
+	}
+	return t
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// Cross-validation at reduced scale: the emulator (wall clock, real
+// goroutine concurrency) and the simulator (virtual clock) replay the same
+// flow sequence; their throughput distributions must roughly agree. This is
+// the Figure 7 experiment; cmd/r2c2-emu runs it at larger scale.
+func TestFig7CrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock emulation")
+	}
+	cfg := Fig7Config{
+		K:            3,
+		LinkMbps:     200,
+		Flows:        24,
+		FlowBytes:    512 << 10,
+		MeanInterval: 5 * time.Millisecond,
+		Seed:         7,
+	}
+	res, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EmuThroughput.Len() != cfg.Flows || res.SimThroughput.Len() != cfg.Flows {
+		t.Fatalf("flow counts: emu=%d sim=%d", res.EmuThroughput.Len(), res.SimThroughput.Len())
+	}
+	// Wall-clock noise (scheduler, timer resolution) allows a generous
+	// band; the paper reports "high accuracy", we assert same ballpark.
+	if gap := res.MedianThroughputGap(); gap > 0.5 {
+		t.Errorf("median throughput gap emulator vs simulator = %.2f (emu %.3g, sim %.3g)",
+			gap, res.EmuThroughput.Median(), res.SimThroughput.Median())
+	}
+	_ = res.Table().String()
+}

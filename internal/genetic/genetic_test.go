@@ -1,0 +1,207 @@
+package genetic
+
+import (
+	"math/rand"
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/topology"
+	"r2c2/internal/trafficgen"
+)
+
+func TestOptimizeFindsOneMax(t *testing.T) {
+	// Fitness = number of 1-genes: global optimum is all ones.
+	n := 40
+	fit := func(a []uint8) float64 {
+		s := 0.0
+		for _, g := range a {
+			s += float64(g)
+		}
+		return s
+	}
+	res := Optimize(Config{Seed: 1, MaxGens: 80, StallGens: 80}, n, 2, make([]uint8, n), fit)
+	if res.Utility < float64(n)*0.95 {
+		t.Fatalf("GA reached %v of %d on OneMax", res.Utility, n)
+	}
+}
+
+// The result can never be worse than the seeded current assignment,
+// because the current assignment is in the initial population and elitism
+// preserves the best genotype.
+func TestOptimizeNeverRegresses(t *testing.T) {
+	n := 20
+	// Deceptive fitness: all-zeros scores 100, anything else scores the
+	// number of ones (max 20 < 100).
+	fit := func(a []uint8) float64 {
+		ones := 0.0
+		for _, g := range a {
+			ones += float64(g)
+		}
+		if ones == 0 {
+			return 100
+		}
+		return ones
+	}
+	res := Optimize(Config{Seed: 3}, n, 2, make([]uint8, n), fit)
+	if res.Utility < 100 {
+		t.Fatalf("GA regressed below the seeded optimum: %v", res.Utility)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	n := 15
+	fit := func(a []uint8) float64 {
+		s := 0.0
+		for i, g := range a {
+			if int(g) == i%2 {
+				s++
+			}
+		}
+		return s
+	}
+	r1 := Optimize(Config{Seed: 9}, n, 2, make([]uint8, n), fit)
+	r2 := Optimize(Config{Seed: 9}, n, 2, make([]uint8, n), fit)
+	if r1.Utility != r2.Utility {
+		t.Fatal("same seed, different result")
+	}
+	for i := range r1.Assignment {
+		if r1.Assignment[i] != r2.Assignment[i] {
+			t.Fatal("same seed, different assignment")
+		}
+	}
+}
+
+func TestOptimizeStallStops(t *testing.T) {
+	n := 5
+	fit := func(a []uint8) float64 { return 1 } // flat landscape
+	res := Optimize(Config{Seed: 1, MaxGens: 1000, StallGens: 3}, n, 2, make([]uint8, n), fit)
+	if res.Generations > 10 {
+		t.Fatalf("flat landscape ran %d generations; stall detection broken", res.Generations)
+	}
+}
+
+func TestOptimizePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no flows":    func() { Optimize(Config{}, 0, 2, nil, nil) },
+		"one choice":  func() { Optimize(Config{}, 3, 1, make([]uint8, 3), nil) },
+		"bad current": func() { Optimize(Config{}, 3, 2, make([]uint8, 2), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The Figure 18 mechanism: with per-flow protocol choice the GA must match
+// or beat both all-RPS and all-VLB on any workload.
+func TestAdaptiveBeatsUniformBaselines(t *testing.T) {
+	g, err := topology.NewTorus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := routing.NewTable(g)
+	protocols := []routing.Protocol{routing.RPS, routing.VLB}
+	rng := rand.New(rand.NewSource(11))
+	for _, load := range []float64{0.25, 1.0} {
+		flows := trafficgen.PermutationLoad(g, load, rng)
+		if len(flows) == 0 {
+			continue
+		}
+		fit := AggregateFitness(tab, 10e9, 0, flows, protocols)
+		allRPS := fit(UniformAssignment(len(flows), 0))
+		allVLB := fit(UniformAssignment(len(flows), 1))
+		res := Optimize(Config{Seed: 2, Population: 40, MaxGens: 30},
+			len(flows), len(protocols), UniformAssignment(len(flows), 0), fit)
+		if res.Utility < allRPS-1 || res.Utility < allVLB-1 {
+			t.Fatalf("load %v: adaptive %.3g below baselines RPS=%.3g VLB=%.3g",
+				load, res.Utility, allRPS, allVLB)
+		}
+	}
+}
+
+func TestTailFitness(t *testing.T) {
+	g, err := topology.NewTorus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := routing.NewTable(g)
+	protocols := []routing.Protocol{routing.RPS, routing.VLB}
+	rng := rand.New(rand.NewSource(4))
+	flows := trafficgen.PermutationLoad(g, 0.5, rng)
+	fit := TailFitness(tab, 10e9, 0, flows, protocols)
+	v := fit(UniformAssignment(len(flows), 0))
+	if v <= 0 {
+		t.Fatalf("tail fitness = %v", v)
+	}
+	empty := TailFitness(tab, 10e9, 0, nil, protocols)
+	if empty(nil) != 0 {
+		t.Fatal("tail fitness of empty flow set should be 0")
+	}
+}
+
+func TestRandomAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomAssignment(1000, 3, rng)
+	counts := [3]int{}
+	for _, g := range a {
+		if g > 2 {
+			t.Fatalf("gene %d out of range", g)
+		}
+		counts[g]++
+	}
+	for i, c := range counts {
+		if c < 200 {
+			t.Fatalf("choice %d severely under-represented: %d/1000", i, c)
+		}
+	}
+}
+
+// Job-tail utility: optimizing for the slowest flow of each job can prefer
+// a different assignment than aggregate throughput, and the GA must never
+// lose to the uniform baselines under it either.
+func TestJobTailFitness(t *testing.T) {
+	g, err := topology.NewTorus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := routing.NewTable(g)
+	protocols := []routing.Protocol{routing.RPS, routing.VLB}
+	rng := rand.New(rand.NewSource(21))
+	flows := trafficgen.PermutationLoad(g, 0.75, rng)
+	jobs := make([]string, len(flows))
+	for i := range jobs {
+		jobs[i] = []string{"mapreduce", "search", ""}[i%3]
+	}
+	fit := JobTailFitness(tab, 10e9, 0.05, flows, protocols, jobs)
+	allRPS := fit(UniformAssignment(len(flows), 0))
+	allVLB := fit(UniformAssignment(len(flows), 1))
+	if allRPS <= 0 || allVLB <= 0 {
+		t.Fatal("degenerate utilities")
+	}
+	res := Optimize(Config{Seed: 5, Population: 40, MaxGens: 20},
+		len(flows), len(protocols), UniformAssignment(len(flows), 0), fit)
+	if res.Utility < allRPS-1 || res.Utility < allVLB-1 {
+		t.Fatalf("adaptive %v below baselines %v / %v", res.Utility, allRPS, allVLB)
+	}
+	// A job's utility must equal its minimum flow rate: check by direct
+	// construction with two flows in one job.
+	two := flows[:2]
+	fit2 := JobTailFitness(tab, 10e9, 0.05, two, protocols, []string{"j", "j"})
+	agg := AggregateFitness(tab, 10e9, 0.05, two, protocols)
+	a := UniformAssignment(2, 0)
+	if fit2(a) > agg(a) {
+		t.Fatal("job-tail utility exceeds aggregate; min() broken")
+	}
+	// Mismatched jobOf panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on jobOf mismatch")
+		}
+	}()
+	JobTailFitness(tab, 10e9, 0.05, flows, protocols, nil)
+}

@@ -1,0 +1,157 @@
+// Package policy maps high-level datacenter allocation policies onto
+// R2C2's two allocation primitives — a flow weight and a priority —
+// exactly as §3.3.2 prescribes: "Many recently proposed high-level
+// fairness policies such as deadline-based [46] or tenant-based [37] can
+// be mapped onto these two primitives, similar to pFabric."
+//
+// The mappings are deliberately simple, quantising onto the single weight
+// byte and priority byte the broadcast packet carries (Figure 6).
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"r2c2/internal/simtime"
+)
+
+// Class is what a policy assigns to a flow: the two broadcastable
+// allocation primitives.
+type Class struct {
+	Weight   uint8
+	Priority uint8
+}
+
+// TenantID names a tenant.
+type TenantID string
+
+// Tenant implements tenant-based network sharing (FairCloud-style [37]):
+// each tenant holds a share, and a tenant's flows carry weights
+// proportional to that share, so tenants receive bandwidth in proportion
+// to their shares on every congested link regardless of flow counts —
+// when shares are divided across a tenant's active flows — or per-flow
+// weighted fairness when they are not.
+type Tenant struct {
+	shares map[TenantID]float64
+	// DividePerFlow divides a tenant's share across its active flows
+	// (per-tenant guarantees) instead of granting it per flow.
+	DividePerFlow bool
+}
+
+// NewTenant builds a tenant policy from shares. Shares must be positive;
+// they are normalised internally.
+func NewTenant(shares map[TenantID]float64) (*Tenant, error) {
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("policy: no tenants")
+	}
+	min := 0.0
+	for id, s := range shares {
+		if s <= 0 {
+			return nil, fmt.Errorf("policy: tenant %q has non-positive share %v", id, s)
+		}
+		if min == 0 || s < min {
+			min = s
+		}
+	}
+	norm := make(map[TenantID]float64, len(shares))
+	for id, s := range shares {
+		norm[id] = s / min // smallest share maps to weight 1
+	}
+	return &Tenant{shares: norm}, nil
+}
+
+// ClassFor returns the allocation class for one of a tenant's flows, given
+// how many flows the tenant currently has active (used only when
+// DividePerFlow is set).
+func (t *Tenant) ClassFor(id TenantID, activeFlows int) (Class, error) {
+	s, ok := t.shares[id]
+	if !ok {
+		return Class{}, fmt.Errorf("policy: unknown tenant %q", id)
+	}
+	if t.DividePerFlow && activeFlows > 1 {
+		s /= float64(activeFlows)
+	}
+	return Class{Weight: quantizeWeight(s)}, nil
+}
+
+// Tenants returns the tenant IDs in deterministic order.
+func (t *Tenant) Tenants() []TenantID {
+	out := make([]TenantID, 0, len(t.shares))
+	for id := range t.shares {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Deadline implements deadline-based scheduling (D3/D2TCP-style [46]):
+// flows with deadlines ride above best-effort traffic, in priority bands
+// by urgency, with weights proportional to the rate a flow needs to meet
+// its deadline (size / time-remaining).
+type Deadline struct {
+	// Bands is the number of deadline priority bands above best effort
+	// (default 3; the wire priority field allows up to 255).
+	Bands uint8
+	// BandEdges are the required-rate thresholds (bits/s) separating the
+	// bands, ascending. A flow whose required rate exceeds BandEdges[i]
+	// lands in band i+1 or higher. Defaults to {1e9, 5e9}²-style edges
+	// derived from LinkBits.
+	BandEdges []float64
+	// LinkBits is the fabric link capacity used for defaults and weight
+	// scaling (default 10e9).
+	LinkBits float64
+}
+
+func (d *Deadline) defaults() {
+	if d.Bands == 0 {
+		d.Bands = 3
+	}
+	if d.LinkBits == 0 {
+		d.LinkBits = 10e9
+	}
+	if d.BandEdges == nil {
+		d.BandEdges = make([]float64, d.Bands-1)
+		for i := range d.BandEdges {
+			// Evenly spaced urgency edges at fractions of link capacity.
+			d.BandEdges[i] = d.LinkBits * float64(i+1) / float64(d.Bands)
+		}
+	}
+}
+
+// ClassFor maps a flow with `size` bytes remaining and a deadline
+// `remaining` from now onto a class: priority 0 is best effort (no
+// deadline); deadline flows occupy priorities 1..Bands by required rate,
+// with weight proportional to required rate so that within a band, more
+// urgent flows get proportionally more.
+func (d *Deadline) ClassFor(size int64, remaining simtime.Time) Class {
+	d.defaults()
+	if remaining <= 0 {
+		// Missed or immediate deadline: topmost band, maximum weight —
+		// finish it as fast as the fabric allows.
+		return Class{Weight: 255, Priority: d.Bands}
+	}
+	required := float64(size*8) / remaining.Seconds()
+	band := uint8(1)
+	for _, edge := range d.BandEdges {
+		if required > edge {
+			band++
+		}
+	}
+	w := required / d.LinkBits * 64 // weight 64 ≈ needs a full link
+	return Class{Weight: quantizeWeight(w), Priority: band}
+}
+
+// BestEffort is the class for deadline-less traffic under a Deadline
+// policy: priority 0, unit weight.
+func (d *Deadline) BestEffort() Class { return Class{Weight: 1, Priority: 0} }
+
+// quantizeWeight clamps a positive real weight onto the wire's byte.
+func quantizeWeight(w float64) uint8 {
+	if w < 1 {
+		return 1
+	}
+	if w > 255 {
+		return 255
+	}
+	return uint8(w + 0.5)
+}

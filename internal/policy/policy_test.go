@@ -1,0 +1,137 @@
+package policy
+
+import (
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/sim"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+)
+
+func TestTenantShares(t *testing.T) {
+	p, err := NewTenant(map[TenantID]float64{"gold": 0.5, "silver": 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := p.ClassFor("gold", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silver, err := p.ClassFor("silver", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gold.Weight != 2 || silver.Weight != 1 {
+		t.Fatalf("weights = %d:%d, want 2:1", gold.Weight, silver.Weight)
+	}
+	if gold.Priority != silver.Priority {
+		t.Fatal("tenant policy should not use priorities")
+	}
+}
+
+func TestTenantDividePerFlow(t *testing.T) {
+	p, err := NewTenant(map[TenantID]float64{"a": 4, "b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DividePerFlow = true
+	// Tenant a runs 4 flows: each weight 1, so tenant a in aggregate still
+	// gets 4x tenant b's single flow... but per flow they are equal.
+	c, err := p.ClassFor("a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Weight != 1 {
+		t.Fatalf("divided weight = %d, want 1", c.Weight)
+	}
+}
+
+func TestTenantValidation(t *testing.T) {
+	if _, err := NewTenant(nil); err == nil {
+		t.Error("empty tenants accepted")
+	}
+	if _, err := NewTenant(map[TenantID]float64{"x": -1}); err == nil {
+		t.Error("negative share accepted")
+	}
+	p, _ := NewTenant(map[TenantID]float64{"x": 1})
+	if _, err := p.ClassFor("nope", 1); err == nil {
+		t.Error("unknown tenant accepted")
+	}
+	if got := p.Tenants(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Tenants = %v", got)
+	}
+}
+
+func TestDeadlineBands(t *testing.T) {
+	var d Deadline
+	// 1 MB with a generous second: ~8 Mbps required -> lowest band.
+	relaxed := d.ClassFor(1<<20, simtime.Second)
+	// 10 MB in 10 µs: hopelessly urgent -> top band.
+	urgent := d.ClassFor(10<<20, 10*simtime.Microsecond)
+	if relaxed.Priority >= urgent.Priority {
+		t.Fatalf("relaxed band %d not below urgent %d", relaxed.Priority, urgent.Priority)
+	}
+	if relaxed.Priority == 0 {
+		t.Fatal("deadline flow in the best-effort band")
+	}
+	if urgent.Weight <= relaxed.Weight {
+		t.Fatal("urgent flow should carry more weight")
+	}
+	missed := d.ClassFor(1<<20, 0)
+	if missed.Priority != d.Bands || missed.Weight != 255 {
+		t.Fatalf("missed deadline class = %+v", missed)
+	}
+	be := d.BestEffort()
+	if be.Priority != 0 || be.Weight != 1 {
+		t.Fatalf("best effort = %+v", be)
+	}
+}
+
+// Urgency monotonicity: shrinking the deadline never lowers the band.
+func TestDeadlineMonotone(t *testing.T) {
+	var d Deadline
+	last := uint8(0)
+	for _, rem := range []simtime.Time{
+		simtime.Second, 100 * simtime.Millisecond, 10 * simtime.Millisecond,
+		simtime.Millisecond, 100 * simtime.Microsecond,
+	} {
+		c := d.ClassFor(10<<20, rem)
+		if c.Priority < last {
+			t.Fatalf("band dropped to %d as deadline tightened to %v", c.Priority, rem)
+		}
+		last = c.Priority
+	}
+}
+
+// End to end: a deadline flow classed by the policy beats best-effort bulk
+// through the actual simulator.
+func TestDeadlineMeetsDeadlineUnderLoad(t *testing.T) {
+	g, err := topology.NewTorus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sim.Engine{}
+	net := sim.NewNetwork(g, eng, sim.NetConfig{LinkGbps: 10})
+	r := sim.NewR2C2(net, routing.NewTable(g), sim.R2C2Config{
+		Headroom: 0.05, Protocol: routing.DOR, Recompute: 50 * simtime.Microsecond})
+
+	var d Deadline
+	deadline := 3 * simtime.Millisecond
+	cls := d.ClassFor(1<<20, deadline) // 1 MB needs ~2.8 Gbps
+	be := d.BestEffort()
+
+	// Bulk best-effort congestion on the same path.
+	r.StartFlow(0, 2, 32<<20, be.Weight, be.Priority)
+	r.StartFlow(0, 2, 32<<20, be.Weight, be.Priority)
+	urgent := r.StartFlow(0, 2, 1<<20, cls.Weight, cls.Priority)
+
+	eng.Run(200 * simtime.Millisecond)
+	rec := r.Ledger()[urgent]
+	if !rec.Done {
+		t.Fatal("deadline flow incomplete")
+	}
+	if rec.FCT() > deadline {
+		t.Fatalf("deadline missed: FCT %v > %v", rec.FCT(), deadline)
+	}
+}

@@ -1,0 +1,47 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/topology"
+)
+
+// A corner-to-corner flow under random packet spraying splits evenly over
+// both minimal first hops — the Figure 3 example of the paper.
+func ExampleTable_Phi() {
+	g, _ := topology.NewTorus(4, 2)
+	tab := routing.NewTable(g)
+	src := g.NodeAt([]int{0, 0})
+	dst := g.NodeAt([]int{1, 1})
+	phi := tab.Phi(routing.RPS, src, dst)
+	for i, lid := range phi.Links {
+		l := g.Link(lid)
+		fmt.Printf("link %d->%d carries %.2f of the flow\n", l.From, l.To, phi.Frac[i])
+	}
+	// Output:
+	// link 0->1 carries 0.50 of the flow
+	// link 0->4 carries 0.50 of the flow
+	// link 1->5 carries 0.50 of the flow
+	// link 4->5 carries 0.50 of the flow
+}
+
+// Saturation throughput of uniform traffic on the paper's 8-ary 2-cube:
+// minimal routing achieves 1.0, Valiant exactly half (Figure 2).
+func ExampleSaturationThroughput() {
+	g, _ := topology.NewTorus(8, 2)
+	tab := routing.NewTable(g)
+	var uniform []routing.Demand
+	n := g.Nodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				uniform = append(uniform, routing.Demand{
+					Src: topology.NodeID(s), Dst: topology.NodeID(d), Rate: 1 / float64(n-1)})
+			}
+		}
+	}
+	fmt.Printf("VLB: %.2f\n", routing.SaturationThroughput(tab, routing.VLB, uniform))
+	// Output:
+	// VLB: 0.50
+}

@@ -1,0 +1,191 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// SamplePath draws one packet path from src to dst under protocol p, as the
+// sequence of directed links the packet traverses. This is what the sender
+// encodes into the packet header (§3.5): randomised protocols (RPS, VLB,
+// WLB) consult rng; deterministic ones (DOR) ignore it. For ECMP use
+// ECMPPath, which needs the flow identifier.
+func (t *Table) SamplePath(p Protocol, src, dst topology.NodeID, rng *rand.Rand) []topology.LinkID {
+	if src == dst {
+		return nil
+	}
+	switch p {
+	case RPS:
+		return t.sprayPath(src, dst, rng, nil)
+	case DOR:
+		return t.dorPath(src, dst)
+	case VLB:
+		// Uniform random waypoint, then minimal spraying in both phases.
+		w := topology.NodeID(rng.Intn(t.g.Nodes()))
+		path := t.sprayPath(src, w, rng, nil)
+		return t.sprayPath(w, dst, rng, path)
+	case WLB:
+		return t.wlbPath(src, dst, rng)
+	case ECMP:
+		panic("routing: SamplePath(ECMP) — use ECMPPath with the flow ID")
+	default:
+		panic(fmt.Sprintf("routing: SamplePath for unknown protocol %v", p))
+	}
+}
+
+// sprayPath appends a uniformly sprayed minimal path from src to dst onto
+// path and returns it.
+func (t *Table) sprayPath(src, dst topology.NodeID, rng *rand.Rand, path []topology.LinkID) []topology.LinkID {
+	if src == dst {
+		return path
+	}
+	succ := t.successors(dst)
+	at := src
+	for at != dst {
+		links := succ[at]
+		lid := links[rng.Intn(len(links))]
+		path = append(path, lid)
+		at = t.g.Link(lid).To
+	}
+	return path
+}
+
+// wlbPath samples one weighted-load-balancing path: per-dimension direction
+// choice (short way w.p. (k-δ)/k), then uniform interleaving of the
+// per-dimension hops. Falls back to RPS on non-torus graphs, mirroring
+// phiWLB.
+func (t *Table) wlbPath(src, dst topology.NodeID, rng *rand.Rand) []topology.LinkID {
+	g := t.g
+	if g.Kind() != topology.KindTorus || g.Degraded() {
+		return t.sprayPath(src, dst, rng, nil)
+	}
+	k := g.Radix()
+	dims := g.Dims()
+	off := g.TorusOffset(src, dst)
+	dirs := make([]int, dims)
+	remaining := make([]int, dims)
+	for d := 0; d < dims; d++ {
+		mag, dir := off[d], 1
+		if mag < 0 {
+			mag, dir = -mag, -1
+		}
+		if mag == 0 {
+			continue
+		}
+		if rng.Float64() < float64(k-mag)/float64(k) {
+			dirs[d], remaining[d] = dir, mag // short way
+		} else {
+			dirs[d], remaining[d] = -dir, k-mag // long way
+		}
+	}
+	coord := g.Coord(src)
+	var path []topology.LinkID
+	for {
+		active := 0
+		for d := 0; d < dims; d++ {
+			if remaining[d] > 0 {
+				active++
+			}
+		}
+		if active == 0 {
+			return path
+		}
+		pick := rng.Intn(active)
+		for d := 0; d < dims; d++ {
+			if remaining[d] == 0 {
+				continue
+			}
+			if pick > 0 {
+				pick--
+				continue
+			}
+			from := g.NodeAt(coord)
+			coord[d] = ((coord[d]+dirs[d])%k + k) % k
+			lid, ok := g.LinkBetween(from, g.NodeAt(coord))
+			if !ok {
+				panic("routing: missing torus link in WLB walk")
+			}
+			path = append(path, lid)
+			remaining[d]--
+			break
+		}
+	}
+}
+
+// ECMPPath returns the single minimal path used by an ECMP flow: at each
+// hop the successor is chosen by a deterministic hash of the flow ID and
+// the hop index, so all packets of a flow follow one path but different
+// flows between the same endpoints spread over different shortest paths
+// (§5.2: "we assign different shortest paths to different flows between the
+// same endpoints").
+func (t *Table) ECMPPath(src, dst topology.NodeID, flow wire.FlowID) []topology.LinkID {
+	if src == dst {
+		return nil
+	}
+	succ := t.successors(dst)
+	var path []topology.LinkID
+	at := src
+	h := uint64(flow)*0x9E3779B97F4A7C15 + 0x7F4A7C15
+	hop := 0
+	for at != dst {
+		links := succ[at]
+		h ^= h >> 33
+		h *= 0xFF51AFD7ED558CCD
+		h ^= uint64(hop) * 0xC4CEB9FE1A85EC53
+		lid := links[h%uint64(len(links))]
+		path = append(path, lid)
+		at = t.g.Link(lid).To
+		hop++
+	}
+	return path
+}
+
+// PortRoute converts a link path into the 3-bit-per-hop port route carried
+// in the data packet header: each entry is the index of the link within the
+// out-port list of the node the packet is at. It fails if any node on the
+// path has more than wire.MaxPorts links or if the path is longer than the
+// route field allows.
+func (t *Table) PortRoute(path []topology.LinkID) (wire.Route, error) {
+	if len(path) > wire.MaxRouteHops {
+		return nil, wire.ErrRouteTooLong
+	}
+	route := make(wire.Route, len(path))
+	for i, lid := range path {
+		from := t.g.Link(lid).From
+		port := -1
+		for p, out := range t.g.Out(from) {
+			if out == lid {
+				port = p
+				break
+			}
+		}
+		if port < 0 {
+			return nil, fmt.Errorf("routing: link %d not an out-port of node %d", lid, from)
+		}
+		if port >= wire.MaxPorts {
+			return nil, wire.ErrBadPort
+		}
+		route[i] = uint8(port)
+	}
+	return route, nil
+}
+
+// WalkPorts resolves a port route starting at src back into the node
+// sequence it visits, validating each hop. It is the receiver-side inverse
+// of PortRoute and the core of the forwarding layer (§3.5).
+func (t *Table) WalkPorts(src topology.NodeID, route wire.Route) ([]topology.NodeID, error) {
+	nodes := []topology.NodeID{src}
+	at := src
+	for i, port := range route {
+		out := t.g.Out(at)
+		if int(port) >= len(out) {
+			return nil, fmt.Errorf("routing: hop %d: port %d out of range at node %d", i, port, at)
+		}
+		at = t.g.Link(out[port]).To
+		nodes = append(nodes, at)
+	}
+	return nodes, nil
+}

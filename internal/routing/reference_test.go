@@ -1,0 +1,87 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"r2c2/internal/topology"
+)
+
+// enumerate walks every minimal path from v to dst, carrying the
+// probability of per-hop uniform spraying, and accumulates exact per-link
+// probabilities — an independent reference for the φ dynamic program.
+func enumerate(g *topology.Graph, succ [][]topology.LinkID, v, dst topology.NodeID,
+	prob float64, acc map[topology.LinkID]float64) {
+	if v == dst {
+		return
+	}
+	links := succ[v]
+	share := prob / float64(len(links))
+	for _, lid := range links {
+		acc[lid] += share
+		enumerate(g, succ, g.Link(lid).To, dst, share, acc)
+	}
+}
+
+// The φ DP must agree exactly with brute-force path enumeration.
+func TestPhiRPSMatchesEnumeration(t *testing.T) {
+	g := torus(t, 4, 2)
+	tab := NewTable(g)
+	for _, pair := range [][2]topology.NodeID{
+		{0, 1},                     // neighbours
+		{0, g.NodeAt([]int{1, 1})}, // 2-hop corner
+		{0, g.NodeAt([]int{2, 1})}, // 3 hops
+		{0, g.NodeAt([]int{2, 2})}, // 4 hops, ties in both dims
+		{5, g.NodeAt([]int{3, 2})}, // off-origin
+	} {
+		src, dst := pair[0], pair[1]
+		acc := make(map[topology.LinkID]float64)
+		enumerate(g, g.MinimalSuccessors(dst), src, dst, 1.0, acc)
+		phi := tab.Phi(RPS, src, dst)
+		if len(phi.Links) != len(acc) {
+			t.Fatalf("%d->%d: DP touches %d links, enumeration %d", src, dst, len(phi.Links), len(acc))
+		}
+		for i, lid := range phi.Links {
+			if math.Abs(phi.Frac[i]-acc[lid]) > 1e-12 {
+				t.Fatalf("%d->%d link %d: DP %v, enumeration %v", src, dst, lid, phi.Frac[i], acc[lid])
+			}
+		}
+	}
+}
+
+// VLB φ must equal brute-force two-phase enumeration over every waypoint.
+func TestPhiVLBMatchesEnumeration(t *testing.T) {
+	g := torus(t, 3, 2)
+	tab := NewTable(g)
+	src, dst := topology.NodeID(0), topology.NodeID(5)
+	want := make(map[topology.LinkID]float64)
+	n := float64(g.Nodes())
+	for w := 0; w < g.Nodes(); w++ {
+		wp := topology.NodeID(w)
+		phase := make(map[topology.LinkID]float64)
+		if wp != src {
+			enumerate(g, g.MinimalSuccessors(wp), src, wp, 1.0, phase)
+		}
+		if wp != dst {
+			enumerate(g, g.MinimalSuccessors(dst), wp, dst, 1.0, phase)
+		}
+		for lid, f := range phase {
+			want[lid] += f / n
+		}
+	}
+	phi := tab.Phi(VLB, src, dst)
+	dense := make(map[topology.LinkID]float64)
+	for i, lid := range phi.Links {
+		dense[lid] = phi.Frac[i]
+	}
+	for lid, f := range want {
+		if math.Abs(dense[lid]-f) > 1e-12 {
+			t.Fatalf("link %d: DP %v, enumeration %v", lid, dense[lid], f)
+		}
+	}
+	for lid := range dense {
+		if _, ok := want[lid]; !ok && dense[lid] > 1e-12 {
+			t.Fatalf("DP uses link %d that enumeration never visits", lid)
+		}
+	}
+}

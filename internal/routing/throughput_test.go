@@ -1,0 +1,110 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"r2c2/internal/topology"
+)
+
+// uniformDemands: every ordered pair, each node injecting 1 unit total.
+func uniformDemands(g *topology.Graph) []Demand {
+	n := g.Nodes()
+	var ds []Demand
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			ds = append(ds, Demand{Src: topology.NodeID(s), Dst: topology.NodeID(d), Rate: 1 / float64(n-1)})
+		}
+	}
+	return ds
+}
+
+// tornadoDemands: each node sends to the node floor(k/2)-1 hops away in +X.
+func tornadoDemands(g *topology.Graph) []Demand {
+	k := g.Radix()
+	shift := k/2 - 1
+	var ds []Demand
+	for s := 0; s < g.Nodes(); s++ {
+		c := g.Coord(topology.NodeID(s))
+		c[0] = (c[0] + shift) % k
+		ds = append(ds, Demand{Src: topology.NodeID(s), Dst: g.NodeAt(c), Rate: 1})
+	}
+	return ds
+}
+
+// nearestNeighborDemands: each node spreads 1 unit across all its
+// neighbours equally.
+func nearestNeighborDemands(g *topology.Graph) []Demand {
+	var ds []Demand
+	for s := 0; s < g.Nodes(); s++ {
+		out := g.Out(topology.NodeID(s))
+		for _, lid := range out {
+			ds = append(ds, Demand{Src: topology.NodeID(s), Dst: g.Link(lid).To, Rate: 1 / float64(len(out))})
+		}
+	}
+	return ds
+}
+
+// Figure 2 anchor values on the 8-ary 2-cube. These are the classic
+// channel-load results from Dally & Towles that the paper reproduces; our
+// DP-based φ computation must land on them.
+func TestFig2AnchorValues(t *testing.T) {
+	g := torus(t, 8, 2)
+	tab := NewTable(g)
+
+	uniform := uniformDemands(g)
+	tornado := tornadoDemands(g)
+	nn := nearestNeighborDemands(g)
+
+	check := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: throughput = %.4f, want %.4f", name, got, want)
+		}
+	}
+
+	// Uniform: minimal routing achieves 1.0; VLB exactly half.
+	check("uniform/RPS", SaturationThroughput(tab, RPS, uniform), 1.0, 0.02)
+	check("uniform/DOR", SaturationThroughput(tab, DOR, uniform), 1.0, 0.02)
+	check("uniform/VLB", SaturationThroughput(tab, VLB, uniform), 0.5, 0.02)
+	check("uniform/WLB", SaturationThroughput(tab, WLB, uniform), 0.76, 0.03)
+
+	// Tornado: minimal = 1/3; VLB = 1/2; WLB ≈ 0.53.
+	check("tornado/RPS", SaturationThroughput(tab, RPS, tornado), 1.0/3, 0.01)
+	check("tornado/DOR", SaturationThroughput(tab, DOR, tornado), 1.0/3, 0.01)
+	check("tornado/VLB", SaturationThroughput(tab, VLB, tornado), 0.5, 0.01)
+	check("tornado/WLB", SaturationThroughput(tab, WLB, tornado), 0.533, 0.01)
+
+	// Nearest neighbour: minimal = 4 (each link carries 1/4); VLB stuck at 0.5.
+	check("nn/RPS", SaturationThroughput(tab, RPS, nn), 4.0, 0.01)
+	check("nn/VLB", SaturationThroughput(tab, VLB, nn), 0.5, 0.01)
+}
+
+// VLB's defining property: identical throughput on any admissible
+// permutation (workload obliviousness).
+func TestVLBUniformAcrossPatterns(t *testing.T) {
+	g := torus(t, 4, 2)
+	tab := NewTable(g)
+	thrUniform := SaturationThroughput(tab, VLB, uniformDemands(g))
+	thrTornado := SaturationThroughput(tab, VLB, tornadoDemands(g))
+	if math.Abs(thrUniform-thrTornado) > 0.02 {
+		t.Errorf("VLB throughput varies across patterns: %.4f vs %.4f", thrUniform, thrTornado)
+	}
+}
+
+func TestChannelLoadsSkipsDegenerate(t *testing.T) {
+	g := torus(t, 3, 2)
+	tab := NewTable(g)
+	loads := ChannelLoads(tab, RPS, []Demand{{Src: 1, Dst: 1, Rate: 5}, {Src: 0, Dst: 1, Rate: 0}})
+	for lid, l := range loads {
+		if l != 0 {
+			t.Fatalf("degenerate demands loaded link %d with %v", lid, l)
+		}
+	}
+	if thr := SaturationThroughput(tab, RPS, nil); thr != 0 {
+		t.Errorf("empty pattern throughput = %v, want 0", thr)
+	}
+}

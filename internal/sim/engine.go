@@ -1,0 +1,96 @@
+// Package sim is a packet-level discrete-event simulator for rack-scale
+// network fabrics, the equivalent of the (cross-validated) simulator used
+// for every scaling experiment in §5.2 of the paper.
+//
+// It models: per-output-port FIFO queues with drop-tail limits,
+// store-and-forward links with serialisation and propagation delay, source
+// routing, R2C2's full control plane (flow-event broadcasts over broadcast
+// trees, periodic local rate recomputation, token-bucket pacing at
+// senders), and the two baselines of §5.2 — a NewReno-style TCP over
+// ECMP single paths, and the idealised per-flow-queue (PFQ) back-pressure
+// fabric.
+package sim
+
+import (
+	"container/heap"
+
+	"r2c2/internal/simtime"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  simtime.Time
+	seq uint64 // FIFO tie-break for equal timestamps: determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler with a picosecond
+// clock. The zero value is ready to use.
+type Engine struct {
+	now    simtime.Time
+	nextID uint64
+	events eventHeap
+	count  uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Processed returns how many events have run (a cheap progress/size metric).
+func (e *Engine) Processed() uint64 { return e.count }
+
+// Schedule runs fn at the given absolute time. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) Schedule(at simtime.Time, fn func()) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	heap.Push(&e.events, event{at: at, seq: e.nextID, fn: fn})
+	e.nextID++
+}
+
+// After schedules fn delay from now.
+func (e *Engine) After(delay simtime.Time, fn func()) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run processes events until the queue is empty or the clock passes until.
+// It returns the number of events processed by this call.
+func (e *Engine) Run(until simtime.Time) uint64 {
+	start := e.count
+	for len(e.events) > 0 {
+		if e.events[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.count++
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.count - start
+}
+
+// Pending reports whether any events remain scheduled.
+func (e *Engine) Pending() bool { return len(e.events) > 0 }

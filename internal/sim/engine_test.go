@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"r2c2/internal/simtime"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var eng Engine
+	var order []int
+	eng.Schedule(30, func() { order = append(order, 3) })
+	eng.Schedule(10, func() { order = append(order, 1) })
+	eng.Schedule(20, func() { order = append(order, 2) })
+	eng.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if eng.Now() != 100 {
+		t.Fatalf("now = %v", eng.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	var eng Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(5, func() { order = append(order, i) })
+	}
+	eng.Run(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var eng Engine
+	hits := 0
+	eng.Schedule(10, func() {
+		hits++
+		eng.After(5, func() { hits++ })
+	})
+	eng.Run(20)
+	if hits != 2 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestEngineStopsAtHorizon(t *testing.T) {
+	var eng Engine
+	ran := false
+	eng.Schedule(100, func() { ran = true })
+	eng.Run(50)
+	if ran {
+		t.Fatal("event past horizon ran")
+	}
+	if !eng.Pending() {
+		t.Fatal("pending event lost")
+	}
+	eng.Run(100)
+	if !ran {
+		t.Fatal("event not run after horizon extended")
+	}
+}
+
+func TestEngineClockMonotonic(t *testing.T) {
+	var eng Engine
+	last := simtime.Time(-1)
+	for i := 0; i < 100; i++ {
+		at := simtime.Time((i * 7919) % 1000)
+		eng.Schedule(at, func() {
+			if eng.Now() < last {
+				t.Fatal("clock went backwards")
+			}
+			last = eng.Now()
+		})
+	}
+	eng.Run(1000)
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var eng Engine
+	eng.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		eng.Schedule(5, func() {})
+	})
+	eng.Run(10)
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	var eng Engine
+	for i := 0; i < 7; i++ {
+		eng.Schedule(simtime.Time(i), func() {})
+	}
+	if n := eng.Run(100); n != 7 {
+		t.Fatalf("Run returned %d", n)
+	}
+	if eng.Processed() != 7 {
+		t.Fatalf("Processed = %d", eng.Processed())
+	}
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+)
+
+func TestWithoutLinks(t *testing.T) {
+	g := torus(t, 4, 2)
+	a, b := g.NodeAt([]int{0, 0}), g.NodeAt([]int{1, 0})
+	ab, _ := g.LinkBetween(a, b)
+	ba, _ := g.LinkBetween(b, a)
+	sub, mapping, err := g.WithoutLinks(map[topology.LinkID]bool{ab: true, ba: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumLinks() != g.NumLinks()-2 {
+		t.Fatalf("links = %d", sub.NumLinks())
+	}
+	if !sub.Degraded() {
+		t.Fatal("subgraph not marked degraded")
+	}
+	if _, ok := sub.LinkBetween(a, b); ok {
+		t.Fatal("failed link still present")
+	}
+	// Distances reroute around the failure: a->b now 3 hops on a 4-ring.
+	if d := sub.Dist(a, b); d != 3 {
+		t.Fatalf("degraded dist = %d, want 3", d)
+	}
+	// Mapping points every surviving link back at the same physical pair.
+	for newID, oldID := range mapping {
+		if sub.Link(topology.LinkID(newID)) != g.Link(oldID) {
+			t.Fatalf("mapping broken at %d", newID)
+		}
+	}
+	// Partitioning failures are rejected: cut every link of one node on a
+	// 1D ring of 3 (node 1 has neighbours 0 and 2).
+	ring, err := topology.NewTorus(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := map[topology.LinkID]bool{}
+	for _, lid := range ring.Out(1) {
+		cut[lid] = true
+	}
+	for _, lid := range ring.In(1) {
+		cut[lid] = true
+	}
+	if _, _, err := ring.WithoutLinks(cut); err == nil {
+		t.Fatal("partitioning failure accepted")
+	}
+}
+
+// Degraded fabrics must still produce valid φ-vectors and paths for every
+// protocol (DOR and WLB fall back to DAG-based routing).
+func TestRoutingOnDegradedFabric(t *testing.T) {
+	g := torus(t, 4, 2)
+	ab, _ := g.LinkBetween(0, 1)
+	ba, _ := g.LinkBetween(1, 0)
+	sub, _, err := g.WithoutLinks(map[topology.LinkID]bool{ab: true, ba: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := routing.NewTable(sub)
+	for _, p := range []routing.Protocol{routing.RPS, routing.DOR, routing.VLB, routing.WLB} {
+		phi := tab.Phi(p, 0, 1)
+		for _, lid := range phi.Links {
+			l := sub.Link(lid)
+			if l.From == 0 && l.To == 1 {
+				t.Fatalf("%v routes over the failed link", p)
+			}
+		}
+	}
+}
+
+// End-to-end failure story: a reliable flow crossing a link that dies
+// mid-transfer must still complete after detection and rerouting.
+func TestR2C2SurvivesLinkFailure(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	tab := routing.NewTable(g)
+	r := NewR2C2(net, tab, R2C2Config{
+		Headroom: 0.05, Protocol: routing.RPS,
+		Recompute: 100 * simtime.Microsecond,
+		Reliable:  true, RTO: 300 * simtime.Microsecond,
+	})
+	// A neighbour flow 0->1: RPS uses exactly the direct link, which dies.
+	id := r.StartFlow(0, 1, 8<<20, 1, 0)
+	eng.Run(simtime.Millisecond) // mid-transfer
+	if err := r.FailLink(0, 1, 200*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(simtime.Second)
+	rec := r.Ledger()[id]
+	if !rec.Done {
+		t.Fatalf("flow did not survive the failure: %d/%d bytes (drops=%d retx=%d reroutes=%d)",
+			rec.BytesRcvd, rec.Size, net.TotalDrops(), r.Retransmissions, r.FailureReroutes)
+	}
+	if r.FailureReroutes != 1 {
+		t.Fatalf("reroutes = %d", r.FailureReroutes)
+	}
+	ab, _ := g.LinkBetween(0, 1)
+	if !net.LinkFailed(ab) {
+		t.Fatal("failed link not reported as failed")
+	}
+	if net.QueuedBytes(ab) != 0 {
+		t.Fatal("dead port still holds queued bytes")
+	}
+	if net.TotalDrops() == 0 {
+		t.Fatal("failure killed no packets — the flow never used the link?")
+	}
+	if r.Retransmissions == 0 {
+		t.Fatal("lost packets were never retransmitted")
+	}
+}
+
+// After rerouting, broadcasts still reach everyone: a new flow started
+// post-failure must appear in every view.
+func TestBroadcastAfterFailure(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10})
+	r := NewR2C2(net, routing.NewTable(g), R2C2Config{
+		Headroom: 0.05, Protocol: routing.RPS, Recompute: 100 * simtime.Microsecond})
+	if err := r.FailLink(0, 1, 50*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(simtime.Millisecond) // detection done
+	id := r.StartFlow(0, 15, 64<<20, 1, 0)
+	eng.Run(2 * simtime.Millisecond)
+	for n := 0; n < g.Nodes(); n++ {
+		if _, ok := r.View(topology.NodeID(n)).Get(id); !ok {
+			t.Fatalf("node %d missing post-failure flow", n)
+		}
+	}
+	if err := r.FailLink(0, 1, simtime.Microsecond); err == nil {
+		t.Fatal("re-failing the same link should error (no link left)")
+	}
+}
+
+// Failing a link under PFQ drains its per-flow queues and releases the
+// buffer credits so upstream senders do not deadlock.
+func TestFailLinkPFQDrains(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PerFlowQueues: true, PFQBufferPackets: 4})
+	tab := routing.NewTable(g)
+	pfq := NewPFQ(net, tab, 3)
+	id := pfq.StartFlow(0, 2, 1<<20)  // DOR-free: RPS spray over the quadrant
+	eng.Run(10 * simtime.Microsecond) // queues primed
+	// Kill one of the first-hop links the flow is using.
+	var victim topology.LinkID
+	found := false
+	for _, lid := range g.Out(0) {
+		if net.QueuedBytes(lid) > 0 {
+			victim, found = lid, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no queued first-hop packets at probe time")
+	}
+	net.FailLink(victim)
+	if net.QueuedBytes(victim) != 0 {
+		t.Fatal("PFQ drain left bytes behind")
+	}
+	if !net.LinkFailed(victim) {
+		t.Fatal("link not marked failed")
+	}
+	// The flow loses packets (no retransmit in raw PFQ) but the fabric
+	// must not deadlock: remaining packets keep flowing on other paths.
+	before := pfq.Ledger()[id].BytesRcvd
+	eng.Run(10 * simtime.Millisecond)
+	if after := pfq.Ledger()[id].BytesRcvd; after <= before {
+		t.Fatalf("no forward progress after PFQ link failure: %d -> %d", before, after)
+	}
+}
+
+// Node failure (§3.2): the dead node's flows are purged from every
+// surviving view (their bandwidth is returned), survivors' flows reroute
+// and complete, and flows to/from the dead node are abandoned.
+func TestR2C2SurvivesNodeFailure(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	r := NewR2C2(net, routing.NewTable(g), R2C2Config{
+		Headroom: 0.05, Protocol: routing.RPS,
+		Recompute: 100 * simtime.Microsecond,
+		Reliable:  true, RTO: 300 * simtime.Microsecond,
+	})
+	fromDead := r.StartFlow(5, 10, 32<<20, 1, 0) // sourced at the node that dies
+	toDead := r.StartFlow(0, 5, 32<<20, 1, 0)    // destined to it
+	survivor := r.StartFlow(1, 11, 8<<20, 1, 0)  // unrelated
+
+	eng.Run(simtime.Millisecond) // everyone sees all three flows
+	if err := r.FailNode(5, 200*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(simtime.Second)
+
+	if !r.Ledger()[survivor].Done {
+		t.Fatalf("survivor flow incomplete: %d/%d",
+			r.Ledger()[survivor].BytesRcvd, r.Ledger()[survivor].Size)
+	}
+	if r.Ledger()[fromDead].Done || r.Ledger()[toDead].Done {
+		t.Fatal("flows involving the dead node cannot complete")
+	}
+	// Every surviving view is clean: no trace of the dead node's flows.
+	for n := 0; n < g.Nodes(); n++ {
+		if n == 5 {
+			continue
+		}
+		view := r.View(topology.NodeID(n))
+		if _, ok := view.Get(fromDead); ok {
+			t.Fatalf("node %d still sees the dead node's flow", n)
+		}
+		if _, ok := view.Get(toDead); ok {
+			t.Fatalf("node %d still sees a flow to the dead node", n)
+		}
+	}
+	// Partitioning node failures are rejected: on a 3-ring, killing node 1
+	// leaves 0 and 2 connected... kill two nodes to partition.
+	ring, err := topology.NewTorus(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ring.WithoutNode(1); err != nil {
+		t.Fatalf("3-ring minus one node should stay connected: %v", err)
+	}
+}

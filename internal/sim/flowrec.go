@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// FlowRecord tracks one flow's life across any transport, for the
+// experiment statistics (FCT of short flows, average throughput of long
+// flows, completion accounting).
+type FlowRecord struct {
+	ID       wire.FlowID
+	Src, Dst topology.NodeID
+	Size     int64 // bytes the application wants delivered
+	Started  simtime.Time
+	Finished simtime.Time // receiver got every byte
+	Done     bool
+
+	BytesRcvd  int64
+	SenderDone bool // sender handed the last byte to the NIC
+}
+
+// FCT returns the flow completion time; it panics on incomplete flows.
+func (r *FlowRecord) FCT() simtime.Time {
+	if !r.Done {
+		panic("sim: FCT of incomplete flow")
+	}
+	return r.Finished - r.Started
+}
+
+// Throughput returns the average goodput in bits/s.
+func (r *FlowRecord) Throughput() float64 {
+	if !r.Done || r.Finished == r.Started {
+		return 0
+	}
+	return float64(r.Size*8) / (r.Finished - r.Started).Seconds()
+}
+
+// flowLedger indexes FlowRecords by ID.
+type flowLedger struct {
+	records map[wire.FlowID]*FlowRecord
+}
+
+func newFlowLedger() *flowLedger {
+	return &flowLedger{records: make(map[wire.FlowID]*FlowRecord)}
+}
+
+func (l *flowLedger) open(id wire.FlowID, src, dst topology.NodeID, size int64, at simtime.Time) *FlowRecord {
+	r := &FlowRecord{ID: id, Src: src, Dst: dst, Size: size, Started: at}
+	l.records[id] = r
+	return r
+}
+
+func (l *flowLedger) get(id wire.FlowID) *FlowRecord { return l.records[id] }

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// §6 inter-rack networking: the R2C2 stack runs unmodified across two racks
+// joined by direct cables — global visibility spans both racks, cross-rack
+// flows complete, and the bridge links are shared fairly.
+func TestR2C2AcrossTwoRacks(t *testing.T) {
+	rackA, err := topology.NewTorus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rackB, err := topology.NewTorus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.ConnectRacks([]*topology.Graph{rackA, rackB}, []topology.Bridge{
+		{RackA: 0, NodeA: 0, RackB: 1, NodeB: 0},
+		{RackA: 0, NodeA: 4, RackB: 1, NodeB: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	r := NewR2C2(net, routing.NewTable(g), R2C2Config{
+		Headroom: 0.05, Protocol: routing.RPS, Recompute: 100 * simtime.Microsecond})
+
+	// Two cross-rack flows plus one local flow per rack (rack B's nodes
+	// are 9..17 in the combined numbering).
+	flows := map[string]wire.FlowID{
+		"cross1": r.StartFlow(1, 10, 4<<20, 1, 0),
+		"cross2": r.StartFlow(2, 11, 4<<20, 1, 0),
+		"localA": r.StartFlow(3, 5, 4<<20, 1, 0),
+		"localB": r.StartFlow(12, 14, 4<<20, 1, 0),
+	}
+
+	// Global visibility spans racks: a node in rack B sees rack A's flows
+	// and vice versa.
+	eng.Run(100 * simtime.Microsecond)
+	if _, ok := r.View(13).Get(flows["localA"]); !ok {
+		t.Fatal("rack B node has no view of a rack A flow")
+	}
+	if _, ok := r.View(3).Get(flows["localB"]); !ok {
+		t.Fatal("rack A node has no view of a rack B flow")
+	}
+
+	eng.Run(simtime.Second)
+	for name, id := range flows {
+		rec := r.Ledger()[id]
+		if !rec.Done {
+			t.Fatalf("%s incomplete: %d/%d", name, rec.BytesRcvd, rec.Size)
+		}
+	}
+	if net.TotalDrops() != 0 {
+		t.Fatalf("drops = %d", net.TotalDrops())
+	}
+	// Cross-rack flows share two 10 Gbps bridges; each should land well
+	// above half of a single bridge.
+	tc1 := r.Ledger()[flows["cross1"]].Throughput()
+	tc2 := r.Ledger()[flows["cross2"]].Throughput()
+	if tc1 < 4e9 || tc2 < 4e9 {
+		t.Fatalf("cross-rack throughputs %.3g / %.3g; bridges underused", tc1, tc2)
+	}
+}

@@ -1,0 +1,462 @@
+package sim
+
+import (
+	"fmt"
+
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// PacketKind classifies simulated packets.
+type PacketKind uint8
+
+// Simulated packet kinds, mirroring the wire formats.
+const (
+	KindData PacketKind = iota
+	KindBroadcast
+	KindAck
+)
+
+// Sizes of simulated packets, matching the wire formats of §4.2.
+const (
+	DataHeaderBytes = wire.DataHeaderSize
+	BroadcastBytes  = wire.BroadcastSize
+	AckBytes        = wire.AckSize
+	MTU             = 1500 // max on-wire packet size
+	MaxPayload      = MTU - DataHeaderBytes
+)
+
+// Packet is a simulated packet. Data and ack packets carry their full
+// source route; broadcast packets carry the event payload and are forwarded
+// via the broadcast FIB.
+type Packet struct {
+	Kind     PacketKind
+	Size     int // on-wire bytes
+	Flow     wire.FlowID
+	Src, Dst topology.NodeID
+	Seq      uint32 // packet index within the flow (data/ack)
+	Payload  int    // payload bytes carried (data)
+
+	Path []topology.LinkID // source route (data/ack)
+	Hop  int               // index of the next link in Path
+
+	Bcast *wire.Broadcast // event payload (broadcast)
+	Retx  bool            // retransmission marker (TCP accounting)
+	// Retries counts how many times this broadcast has been re-flooded
+	// after a drop (§3.2: the dropping node informs the origin, which
+	// retransmits).
+	Retries uint8
+}
+
+// NetConfig describes the fabric the simulator models.
+type NetConfig struct {
+	LinkGbps   float64      // per-link bandwidth (paper: 10 Gbps)
+	PropDelay  simtime.Time // per-hop propagation latency (paper: 100 ns)
+	QueueBytes int          // drop-tail limit per output port
+	// PerFlowQueues switches ports to the idealised PFQ discipline:
+	// per-flow queues, round-robin service and hop-by-hop back-pressure
+	// with PFQBufferPackets per flow per node (§5.2's upper-bound baseline).
+	PerFlowQueues    bool
+	PFQBufferPackets int
+}
+
+func (c *NetConfig) defaults() {
+	if c.LinkGbps == 0 {
+		c.LinkGbps = 10
+	}
+	if c.PropDelay == 0 {
+		c.PropDelay = 100 * simtime.Nanosecond
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 1 << 20
+	}
+	if c.PFQBufferPackets == 0 {
+		c.PFQBufferPackets = 4
+	}
+}
+
+// PortStats accumulates per-output-port statistics.
+type PortStats struct {
+	MaxQueueBytes int
+	EnqueuedPkts  uint64
+	DroppedPkts   uint64
+	SentBytes     uint64
+}
+
+// port is one output port: the transmit side of a directed link.
+type port struct {
+	id     topology.LinkID
+	to     topology.NodeID
+	busy   bool
+	dead   bool // failed link: everything sent here is lost
+	queued int  // bytes across all queues
+
+	fifo pktQueue // FIFO discipline
+
+	// PFQ discipline.
+	flowQ  map[wire.FlowID]*pktQueue
+	rr     []wire.FlowID // round-robin order of flows with queued packets
+	rrNext int
+
+	stats PortStats
+}
+
+// pktQueue is a simple FIFO of packets backed by a slice with a head index.
+type pktQueue struct {
+	pkts []*Packet
+	head int
+}
+
+func (q *pktQueue) len() int { return len(q.pkts) - q.head }
+
+func (q *pktQueue) push(p *Packet) { q.pkts = append(q.pkts, p) }
+
+func (q *pktQueue) peek() *Packet { return q.pkts[q.head] }
+
+func (q *pktQueue) pop() *Packet {
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// Network simulates the fabric: forwarding, queueing and link timing.
+// Transports plug in via the Deliver callback and inject via Inject.
+type Network struct {
+	G   *topology.Graph
+	Eng *Engine
+	Cfg NetConfig
+
+	ports []*port
+
+	// Deliver is invoked when a packet reaches its destination (data/ack)
+	// or at every node a broadcast visits.
+	Deliver func(at topology.NodeID, pkt *Packet)
+	// NextBroadcastHops returns the links a broadcast is forwarded on from
+	// `at` (the broadcast FIB lookup). Set by the R2C2 transport.
+	NextBroadcastHops func(at topology.NodeID, pkt *Packet) []topology.LinkID
+	// OnDrop, if set, observes drop-tail losses.
+	OnDrop func(pkt *Packet, at topology.LinkID)
+
+	// PFQ back-pressure state: per node, per flow, packets charged to the
+	// node — those in its output queues plus those already in flight
+	// toward it (credits are reserved when the upstream port begins
+	// transmission, so concurrent senders cannot overshoot the bound).
+	buf []map[wire.FlowID]int
+	// Kick is invoked when PFQ buffer space frees at a node, so blocked
+	// senders located there can resume injection.
+	Kick func(at topology.NodeID, flow wire.FlowID)
+
+	totalDrops uint64
+	// BcastBytesOnWire accumulates broadcast bytes across all link
+	// traversals — the §3.2 / Figure 9 overhead metric.
+	BcastBytesOnWire uint64
+}
+
+// NewNetwork builds the fabric simulator.
+func NewNetwork(g *topology.Graph, eng *Engine, cfg NetConfig) *Network {
+	cfg.defaults()
+	n := &Network{G: g, Eng: eng, Cfg: cfg}
+	n.ports = make([]*port, g.NumLinks())
+	for lid := 0; lid < g.NumLinks(); lid++ {
+		p := &port{id: topology.LinkID(lid), to: g.Link(topology.LinkID(lid)).To}
+		if cfg.PerFlowQueues {
+			p.flowQ = make(map[wire.FlowID]*pktQueue)
+		}
+		n.ports[lid] = p
+	}
+	if cfg.PerFlowQueues {
+		n.buf = make([]map[wire.FlowID]int, g.Vertices())
+		for i := range n.buf {
+			n.buf[i] = make(map[wire.FlowID]int)
+		}
+	}
+	return n
+}
+
+// PortStats returns the statistics of one output port.
+func (n *Network) PortStats(lid topology.LinkID) PortStats { return n.ports[lid].stats }
+
+// TotalDrops returns the number of packets lost to drop-tail overflow.
+func (n *Network) TotalDrops() uint64 { return n.totalDrops }
+
+// QueuedBytes returns the current queue occupancy of a port.
+func (n *Network) QueuedBytes(lid topology.LinkID) int { return n.ports[lid].queued }
+
+// BufCount returns the PFQ per-node buffer occupancy for a flow.
+func (n *Network) BufCount(node topology.NodeID, flow wire.FlowID) int {
+	if n.buf == nil {
+		return 0
+	}
+	return n.buf[node][flow]
+}
+
+// HasRoom reports whether node has PFQ buffer space for another packet of
+// the flow. Always true in FIFO mode.
+func (n *Network) HasRoom(node topology.NodeID, flow wire.FlowID) bool {
+	if n.buf == nil {
+		return true
+	}
+	return n.buf[node][flow] < n.Cfg.PFQBufferPackets
+}
+
+// Inject places a packet into the output-port queue of the node it starts
+// at (the first link of its path, or the broadcast origin's tree links).
+// It returns false if the packet was dropped at enqueue. In PFQ mode the
+// caller must check HasRoom first; Inject panics otherwise to surface
+// transport bugs.
+func (n *Network) Inject(pkt *Packet) bool {
+	if pkt.Kind == KindBroadcast {
+		panic("sim: broadcasts are injected with InjectBroadcast")
+	}
+	if pkt.Hop != 0 || len(pkt.Path) == 0 {
+		panic(fmt.Sprintf("sim: Inject with hop=%d pathlen=%d", pkt.Hop, len(pkt.Path)))
+	}
+	from := n.G.Link(pkt.Path[0]).From
+	if from != pkt.Src {
+		panic("sim: packet path does not start at its source")
+	}
+	pkt.Hop = 1 // Path[0] is consumed here; arrivals consume Path[Hop]
+	if n.buf != nil {
+		// PFQ: the injected packet is charged to the source node; the
+		// caller must have checked HasRoom.
+		n.buf[from][pkt.Flow]++
+	}
+	return n.enqueue(from, pkt.Path[0], pkt)
+}
+
+// InjectBroadcast delivers a broadcast locally at its origin and forwards
+// copies along the origin's broadcast-tree links.
+func (n *Network) InjectBroadcast(origin topology.NodeID, pkt *Packet) {
+	if n.Deliver != nil {
+		n.Deliver(origin, pkt)
+	}
+	n.forwardBroadcast(origin, pkt)
+}
+
+func (n *Network) forwardBroadcast(at topology.NodeID, pkt *Packet) {
+	if n.NextBroadcastHops == nil {
+		return
+	}
+	for _, lid := range n.NextBroadcastHops(at, pkt) {
+		cp := *pkt
+		n.BcastBytesOnWire += uint64(pkt.Size)
+		n.enqueue(at, lid, &cp)
+	}
+}
+
+// FailLink kills a directed link: its queue is lost and every packet
+// subsequently routed to it is dropped — the physical failure model of
+// §3.2 ("Failures"). Detection and rerouting are the transport's job.
+func (n *Network) FailLink(lid topology.LinkID) {
+	p := n.ports[lid]
+	if p.dead {
+		return
+	}
+	p.dead = true
+	lost := uint64(0)
+	if p.flowQ != nil {
+		from := n.G.Link(lid).From
+		for fid, q := range p.flowQ {
+			for q.len() > 0 {
+				q.pop()
+				n.buf[from][fid]--
+				lost++
+			}
+		}
+		p.flowQ = make(map[wire.FlowID]*pktQueue)
+		p.rr = nil
+	} else {
+		for p.fifo.len() > 0 {
+			p.fifo.pop()
+			lost++
+		}
+	}
+	p.queued = 0
+	p.stats.DroppedPkts += lost
+	n.totalDrops += lost
+}
+
+// LinkFailed reports whether a directed link has been failed.
+func (n *Network) LinkFailed(lid topology.LinkID) bool { return n.ports[lid].dead }
+
+// enqueue appends pkt to the drop-tail queue of the given output port and
+// starts transmission if the port is idle.
+func (n *Network) enqueue(at topology.NodeID, lid topology.LinkID, pkt *Packet) bool {
+	p := n.ports[lid]
+	if n.G.Link(lid).From != at {
+		panic("sim: enqueue at wrong node")
+	}
+	if p.dead {
+		p.stats.DroppedPkts++
+		n.totalDrops++
+		if n.OnDrop != nil {
+			n.OnDrop(pkt, lid)
+		}
+		return false
+	}
+	if p.flowQ != nil {
+		// PFQ mode: per-flow queue. The buffer charge was taken at
+		// injection (source) or reservation (upstream transmission start).
+		q, ok := p.flowQ[pkt.Flow]
+		if !ok {
+			q = &pktQueue{}
+			p.flowQ[pkt.Flow] = q
+		}
+		if q.len() == 0 {
+			p.rr = append(p.rr, pkt.Flow)
+		}
+		q.push(pkt)
+	} else {
+		if p.queued+pkt.Size > n.Cfg.QueueBytes {
+			p.stats.DroppedPkts++
+			n.totalDrops++
+			if n.OnDrop != nil {
+				n.OnDrop(pkt, lid)
+			}
+			return false
+		}
+		p.fifo.push(pkt)
+	}
+	p.queued += pkt.Size
+	p.stats.EnqueuedPkts++
+	if p.queued > p.stats.MaxQueueBytes {
+		p.stats.MaxQueueBytes = p.queued
+	}
+	if !p.busy {
+		n.transmit(p)
+	}
+	return true
+}
+
+// transmit picks the next eligible packet on the port and starts its
+// serialisation. In PFQ mode a flow whose next-hop node has no buffer room
+// is skipped (back-pressure); if every queued flow is blocked the port
+// idles until a Kick.
+func (n *Network) transmit(p *port) {
+	var pkt *Packet
+	if p.flowQ != nil {
+		pkt = n.pfqPick(p)
+	} else if p.fifo.len() > 0 {
+		pkt = p.fifo.pop()
+	}
+	if pkt == nil {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	p.queued -= pkt.Size
+	txTime := simtime.TransmitTime(pkt.Size, n.Cfg.LinkGbps)
+	from := n.G.Link(p.id).From
+	n.Eng.After(txTime, func() {
+		p.stats.SentBytes += uint64(pkt.Size)
+		if p.flowQ != nil {
+			// Credit released: the packet has left this node.
+			n.buf[from][pkt.Flow]--
+			if n.buf[from][pkt.Flow] == 0 {
+				delete(n.buf[from], pkt.Flow)
+			}
+			n.kickUpstream(from, pkt.Flow)
+		}
+		arrive := pkt
+		to := p.to
+		n.Eng.After(n.Cfg.PropDelay, func() { n.arrive(to, arrive) })
+		n.transmit(p)
+	})
+}
+
+// pfqPick selects the next flow in round-robin order whose head packet can
+// make progress.
+func (n *Network) pfqPick(p *port) *Packet {
+	for scanned := 0; scanned < len(p.rr); scanned++ {
+		i := (p.rrNext + scanned) % len(p.rr)
+		fid := p.rr[i]
+		q := p.flowQ[fid]
+		if q == nil || q.len() == 0 {
+			continue
+		}
+		head := q.peek()
+		// The next-hop node must have room unless it is the destination;
+		// the credit is reserved NOW, so concurrent upstreams cannot
+		// collectively overshoot the bound.
+		nextNode := n.G.Link(p.id).To
+		if nextNode != head.Dst {
+			if !n.HasRoom(nextNode, fid) {
+				continue
+			}
+			n.buf[nextNode][fid]++
+		}
+		pkt := q.pop()
+		if q.len() == 0 {
+			p.rr = append(p.rr[:i], p.rr[i+1:]...)
+			p.rrNext = i % max(1, len(p.rr))
+		} else {
+			p.rrNext = (i + 1) % len(p.rr)
+		}
+		return pkt
+	}
+	return nil
+}
+
+// kickUpstream restarts idle ports feeding `node` (their head packets may
+// have been blocked on its buffers) and notifies local senders.
+func (n *Network) kickUpstream(node topology.NodeID, flow wire.FlowID) {
+	for _, lid := range n.G.In(node) {
+		p := n.ports[lid]
+		if !p.busy && p.queued > 0 {
+			n.transmit(p)
+		}
+	}
+	if n.Kick != nil {
+		n.Kick(node, flow)
+	}
+}
+
+// arrive handles a packet reaching `node`: delivery, broadcast fan-out, or
+// forwarding along its source route.
+func (n *Network) arrive(node topology.NodeID, pkt *Packet) {
+	switch pkt.Kind {
+	case KindBroadcast:
+		if n.Deliver != nil {
+			n.Deliver(node, pkt)
+		}
+		n.forwardBroadcast(node, pkt)
+	default:
+		if node == pkt.Dst {
+			if n.Deliver != nil {
+				n.Deliver(node, pkt)
+			}
+			return
+		}
+		if pkt.Hop >= len(pkt.Path) {
+			panic(fmt.Sprintf("sim: packet for %d stranded at %d (route exhausted)", pkt.Dst, node))
+		}
+		lid := pkt.Path[pkt.Hop]
+		pkt.Hop++
+		n.enqueue(node, lid, pkt)
+	}
+}
+
+// MaxQueueSample returns the per-port maximum queue occupancies in bytes —
+// the Figure 14 statistic ("maximum queue occupancy ... across all node
+// queues").
+func (n *Network) MaxQueueSample() []float64 {
+	out := make([]float64, len(n.ports))
+	for i, p := range n.ports {
+		out[i] = float64(p.stats.MaxQueueBytes)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+func torus(t testing.TB, k, dims int) *topology.Graph {
+	t.Helper()
+	g, err := topology.NewTorus(k, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// dataPacket builds a minimal data packet along the DOR path.
+func dataPacket(t testing.TB, tab *routing.Table, src, dst topology.NodeID, payload int) *Packet {
+	t.Helper()
+	path := tab.Phi(routing.DOR, src, dst).Links
+	return &Packet{
+		Kind:    KindData,
+		Size:    payload + DataHeaderBytes,
+		Flow:    wire.MakeFlowID(uint16(src), 0),
+		Src:     src,
+		Dst:     dst,
+		Payload: payload,
+		Path:    append([]topology.LinkID(nil), path...),
+	}
+}
+
+func TestPacketDeliveryTiming(t *testing.T) {
+	g := torus(t, 4, 1) // a 4-ring
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	tab := routing.NewTable(g)
+
+	var deliveredAt simtime.Time
+	var deliveredTo topology.NodeID
+	net.Deliver = func(at topology.NodeID, pkt *Packet) {
+		deliveredAt = eng.Now()
+		deliveredTo = at
+	}
+	pkt := dataPacket(t, tab, 0, 2, 1464) // 2 hops, 1500 B on wire
+	if !net.Inject(pkt) {
+		t.Fatal("inject failed")
+	}
+	eng.Run(simtime.Second)
+	if deliveredTo != 2 {
+		t.Fatalf("delivered to %d", deliveredTo)
+	}
+	// Store-and-forward: 2 × (1.2 µs serialisation + 100 ns propagation).
+	want := 2 * (1200 + 100) * simtime.Nanosecond
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+// Conservation: injected = delivered + dropped (no in-flight at drain).
+func TestPacketConservation(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, QueueBytes: 4 * 1500})
+	tab := routing.NewTable(g)
+	delivered := 0
+	net.Deliver = func(at topology.NodeID, pkt *Packet) { delivered++ }
+	injected := 0
+	// Flood one destination from everywhere to force drops.
+	for round := 0; round < 30; round++ {
+		for s := 1; s < g.Nodes(); s++ {
+			pkt := dataPacket(t, tab, topology.NodeID(s), 0, 1400)
+			injected++
+			net.Inject(pkt)
+		}
+	}
+	eng.Run(simtime.Second)
+	// TotalDrops includes packets rejected at inject time.
+	if delivered+int(net.TotalDrops()) != injected {
+		t.Fatalf("conservation violated: injected=%d delivered=%d drops=%d",
+			injected, delivered, net.TotalDrops())
+	}
+	if net.TotalDrops() == 0 {
+		t.Fatal("expected drops under incast flood with tiny queues")
+	}
+}
+
+func TestFIFOOrderPerPath(t *testing.T) {
+	g := torus(t, 4, 1)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10})
+	tab := routing.NewTable(g)
+	var seqs []uint32
+	net.Deliver = func(at topology.NodeID, pkt *Packet) { seqs = append(seqs, pkt.Seq) }
+	for i := 0; i < 20; i++ {
+		pkt := dataPacket(t, tab, 0, 1, 1000)
+		pkt.Seq = uint32(i)
+		net.Inject(pkt)
+	}
+	eng.Run(simtime.Second)
+	if len(seqs) != 20 {
+		t.Fatalf("delivered %d", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint32(i) {
+			t.Fatalf("FIFO violated: %v", seqs)
+		}
+	}
+}
+
+func TestQueueStatsTracked(t *testing.T) {
+	g := torus(t, 4, 1)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10})
+	tab := routing.NewTable(g)
+	net.Deliver = func(topology.NodeID, *Packet) {}
+	firstLink := tab.Phi(routing.DOR, 0, 1).Links[0]
+	for i := 0; i < 10; i++ {
+		net.Inject(dataPacket(t, tab, 0, 1, 1464))
+	}
+	eng.Run(simtime.Second)
+	st := net.PortStats(firstLink)
+	if st.EnqueuedPkts != 10 {
+		t.Fatalf("enqueued = %d", st.EnqueuedPkts)
+	}
+	if st.SentBytes != 10*1500 {
+		t.Fatalf("sent bytes = %d", st.SentBytes)
+	}
+	// 10 packets arrive instantaneously; at least 9 queue behind the first.
+	if st.MaxQueueBytes < 9*1500 {
+		t.Fatalf("max queue = %d", st.MaxQueueBytes)
+	}
+	if len(net.MaxQueueSample()) != g.NumLinks() {
+		t.Fatal("MaxQueueSample size wrong")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	g := torus(t, 4, 1)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{})
+	tab := routing.NewTable(g)
+	assertPanics(t, "broadcast via Inject", func() {
+		net.Inject(&Packet{Kind: KindBroadcast})
+	})
+	assertPanics(t, "empty path", func() {
+		net.Inject(&Packet{Kind: KindData})
+	})
+	assertPanics(t, "path not at source", func() {
+		pkt := dataPacket(t, tab, 1, 2, 10)
+		pkt.Src = 3
+		net.Inject(pkt)
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestBroadcastReachesAllNodes(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10})
+	fib := topology.NewBroadcastFIB(g, 2, 1)
+	got := make(map[topology.NodeID]int)
+	net.Deliver = func(at topology.NodeID, pkt *Packet) { got[at]++ }
+	net.NextBroadcastHops = func(at topology.NodeID, pkt *Packet) []topology.LinkID {
+		hops, ok := fib.NextHops(pkt.Src, pkt.Bcast.Tree, at)
+		if !ok {
+			t.Fatal("FIB miss")
+		}
+		return hops
+	}
+	b := &wire.Broadcast{Event: wire.EventFlowStart, Src: 5, Tree: 1}
+	net.InjectBroadcast(5, &Packet{Kind: KindBroadcast, Size: BroadcastBytes, Src: 5, Bcast: b})
+	eng.Run(simtime.Second)
+	if len(got) != g.Nodes() {
+		t.Fatalf("broadcast reached %d nodes, want %d", len(got), g.Nodes())
+	}
+	for node, count := range got {
+		if count != 1 {
+			t.Fatalf("node %d received %d copies", node, count)
+		}
+	}
+	// §3.2 accounting: n-1 link traversals × 16 bytes.
+	if want := uint64((g.Nodes() - 1) * 16); net.BcastBytesOnWire != want {
+		t.Fatalf("broadcast bytes = %d, want %d", net.BcastBytesOnWire, want)
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math/rand"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// PFQ is the idealised per-flow-queue baseline of §5.2: every node keeps a
+// queue per flow with hop-by-hop back-pressure, ports serve flows in
+// round-robin order, and sources inject whenever their local per-flow
+// buffer has room. The paper uses it as the upper bound achievable by any
+// rate-control protocol; it is impractical on real racks because of the
+// per-flow state and buffering it demands at every node.
+//
+// Routing is random packet spraying, matching the paper's setup.
+type PFQ struct {
+	Net *Network
+	Tab *routing.Table
+
+	rng     *rand.Rand
+	ledger  *flowLedger
+	sources map[wire.FlowID]*pfqSource
+	bySrc   map[topology.NodeID][]*pfqSource
+	nextSeq map[topology.NodeID]uint16
+}
+
+type pfqSource struct {
+	id        wire.FlowID
+	src, dst  topology.NodeID
+	remaining int64
+	seq       uint32
+	done      bool
+}
+
+// NewPFQ wires the PFQ baseline into a network. The network must have been
+// created with NetConfig.PerFlowQueues = true.
+func NewPFQ(net *Network, tab *routing.Table, seed int64) *PFQ {
+	if !net.Cfg.PerFlowQueues {
+		panic("sim: PFQ requires a network with PerFlowQueues enabled")
+	}
+	p := &PFQ{
+		Net:     net,
+		Tab:     tab,
+		rng:     rand.New(rand.NewSource(seed)),
+		ledger:  newFlowLedger(),
+		sources: make(map[wire.FlowID]*pfqSource),
+		bySrc:   make(map[topology.NodeID][]*pfqSource),
+		nextSeq: make(map[topology.NodeID]uint16),
+	}
+	net.Deliver = p.deliver
+	net.Kick = p.kick
+	return p
+}
+
+// Ledger exposes the flow records for results collection.
+func (p *PFQ) Ledger() map[wire.FlowID]*FlowRecord { return p.ledger.records }
+
+// StartFlow begins a flow of `size` bytes; injection is driven entirely by
+// back-pressure credits.
+func (p *PFQ) StartFlow(src, dst topology.NodeID, size int64) wire.FlowID {
+	if src == dst || size <= 0 {
+		panic("sim: degenerate flow")
+	}
+	seq := p.nextSeq[src]
+	p.nextSeq[src] = seq + 1
+	id := wire.MakeFlowID(uint16(src), seq)
+	s := &pfqSource{id: id, src: src, dst: dst, remaining: size}
+	p.sources[id] = s
+	p.bySrc[src] = append(p.bySrc[src], s)
+	p.ledger.open(id, src, dst, size, p.Net.Eng.Now())
+	p.fill(s)
+	return id
+}
+
+// fill injects packets while the source node has buffer room for the flow.
+func (p *PFQ) fill(s *pfqSource) {
+	for !s.done && s.remaining > 0 && p.Net.HasRoom(s.src, s.id) {
+		payload := int64(MaxPayload)
+		if s.remaining < payload {
+			payload = s.remaining
+		}
+		pkt := &Packet{
+			Kind:    KindData,
+			Size:    int(payload) + DataHeaderBytes,
+			Flow:    s.id,
+			Src:     s.src,
+			Dst:     s.dst,
+			Seq:     s.seq,
+			Payload: int(payload),
+			Path:    p.Tab.SamplePath(routing.RPS, s.src, s.dst, p.rng),
+		}
+		s.seq++
+		s.remaining -= payload
+		p.Net.Inject(pkt)
+	}
+	if s.remaining <= 0 && !s.done {
+		s.done = true
+		p.ledger.get(s.id).SenderDone = true
+	}
+}
+
+// kick resumes blocked sources at a node when buffer space frees.
+func (p *PFQ) kick(at topology.NodeID, flow wire.FlowID) {
+	if s, ok := p.sources[flow]; ok && s.src == at {
+		p.fill(s)
+	}
+}
+
+func (p *PFQ) deliver(at topology.NodeID, pkt *Packet) {
+	if pkt.Kind != KindData {
+		panic("sim: PFQ network saw unexpected packet kind")
+	}
+	rec := p.ledger.get(pkt.Flow)
+	rec.BytesRcvd += int64(pkt.Payload)
+	if !rec.Done && rec.BytesRcvd >= rec.Size {
+		rec.Done = true
+		rec.Finished = p.Net.Eng.Now()
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// The PFQ back-pressure invariant: no node ever buffers more than
+// PFQBufferPackets packets of one flow. Checked continuously via a
+// monitoring event while a contended workload runs.
+func TestPFQBufferBound(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	const bound = 3
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PerFlowQueues: true, PFQBufferPackets: bound})
+	tab := routing.NewTable(g)
+	pfq := NewPFQ(net, tab, 7)
+	var ids []wire.FlowID
+	for s := 1; s <= 6; s++ {
+		ids = append(ids, pfq.StartFlow(topology.NodeID(s), 0, 2<<20))
+	}
+	violations := 0
+	var monitor func()
+	monitor = func() {
+		for n := 0; n < g.Nodes(); n++ {
+			for _, id := range ids {
+				if c := net.BufCount(topology.NodeID(n), id); c > bound {
+					violations++
+				}
+			}
+		}
+		if eng.Pending() {
+			eng.After(10*simtime.Microsecond, monitor)
+		}
+	}
+	eng.After(simtime.Microsecond, monitor)
+	eng.Run(2 * simtime.Second)
+	if violations != 0 {
+		t.Fatalf("back-pressure bound violated %d times", violations)
+	}
+	for _, id := range ids {
+		if !pfq.Ledger()[id].Done {
+			t.Fatalf("flow %v incomplete", id)
+		}
+	}
+	if net.TotalDrops() != 0 {
+		t.Fatal("PFQ dropped packets")
+	}
+}
+
+// FIFO-mode networks report unlimited room and zero buffer counts.
+func TestBufAccountingFIFOMode(t *testing.T) {
+	g := torus(t, 3, 2)
+	net := NewNetwork(g, &Engine{}, NetConfig{})
+	if !net.HasRoom(0, 1) {
+		t.Fatal("FIFO mode should always have room")
+	}
+	if net.BufCount(0, 1) != 0 {
+		t.Fatal("FIFO mode buf count nonzero")
+	}
+}

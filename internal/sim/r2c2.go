@@ -1,0 +1,689 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"r2c2/internal/core"
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/stats"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// R2C2Config parameterises the R2C2 transport.
+type R2C2Config struct {
+	Headroom       float64          // bandwidth headroom (paper default 5%)
+	Recompute      simtime.Time     // rate recomputation interval ρ (paper: 500 µs)
+	Protocol       routing.Protocol // routing protocol for new flows (paper: minimal)
+	TreesPerSource int              // broadcast trees per source (default 4)
+	Seed           int64
+
+	// Reliable enables the end-to-end reliability extension sketched in §6:
+	// receivers return cumulative acknowledgements used *solely* for
+	// reliability (never for rate control — rates still come from the
+	// broadcast-driven computation), and senders go-back-N retransmit on
+	// timeout. A flow's finish event is then broadcast when every byte is
+	// acknowledged rather than when the last byte is handed to the NIC.
+	Reliable bool
+	// RTO is the retransmission timeout when Reliable is set (default 1 ms,
+	// generous against a <10 µs fabric RTT).
+	RTO simtime.Time
+}
+
+func (c *R2C2Config) defaults() {
+	if c.Recompute == 0 {
+		c.Recompute = 500 * simtime.Microsecond
+	}
+	if c.TreesPerSource == 0 {
+		c.TreesPerSource = 4
+	}
+	if c.RTO == 0 {
+		c.RTO = simtime.Millisecond
+	}
+}
+
+// R2C2 is the full R2C2 stack running over the simulated fabric: flow-event
+// broadcasts keep every node's View current; every node periodically
+// recomputes the rates of the flows it sources and paces them with one
+// token-bucket rate limiter per flow; packets are source-routed with
+// per-packet paths drawn from each flow's routing protocol (§3).
+type R2C2 struct {
+	Net *Network
+	Tab *routing.Table
+	Fib *topology.BroadcastFIB
+	Cfg R2C2Config
+
+	rc     *core.RateComputer
+	rng    *rand.Rand
+	nodes  []*r2c2Node
+	ledger *flowLedger
+
+	// Failure state (§3.2, "Failures"): after detection, Tab/Fib/rc are
+	// rebuilt over the degraded fabric and linkMap translates its link IDs
+	// back to physical ports. nil linkMap means the fabric is intact.
+	failedLinks map[topology.LinkID]bool
+	linkMap     []topology.LinkID
+	// FailureReroutes counts fabric rebuilds.
+	FailureReroutes uint64
+
+	// Reorder tracks the receive-side reorder-buffer occupancy observed at
+	// every data-packet arrival (§5.2's reordering analysis).
+	Reorder stats.Sample
+
+	// Recomputations counts allocator invocations; RecomputeRounds counts
+	// periodic ticks. Their ratio shows the view-cache amortisation.
+	Recomputations  uint64
+	RecomputeRounds uint64
+	// Retransmissions counts re-sent data chunks (Reliable mode only).
+	Retransmissions uint64
+	// BcastRetransmits counts §3.2 broadcast retransmissions after drops.
+	BcastRetransmits uint64
+}
+
+type r2c2Node struct {
+	id       topology.NodeID
+	view     *core.View
+	flows    map[wire.FlowID]*senderFlow
+	nextSeq  uint16
+	nextTree uint8
+	recv     map[wire.FlowID]*reorderState
+	// tombstones remembers finish events so that a §3.2-retransmitted
+	// start broadcast arriving after the finish cannot resurrect a dead
+	// flow in this node's view.
+	tombstones map[wire.FlowID]bool
+}
+
+type senderFlow struct {
+	info      core.FlowInfo
+	remaining int64
+	rate      float64 // bits/s, as allocated
+	demand    float64 // bits/s host-side cap; <= 0 means unlimited
+	armed     bool    // a send event is scheduled
+	seq       uint32
+
+	// Reliability state (Cfg.Reliable only). Chunk i carries the byte
+	// range [i·MaxPayload, min(size, (i+1)·MaxPayload)).
+	size      int64
+	totalPkts uint32
+	nextChunk uint32 // next chunk to transmit (pulled back on RTO)
+	cumAcked  uint32 // chunks acknowledged in order
+	rtoSeq    uint64 // invalidates stale RTO timers
+	rtoArmed  bool
+}
+
+// chunkPayload returns the payload size of chunk i.
+func (sf *senderFlow) chunkPayload(i uint32) int64 {
+	off := int64(i) * MaxPayload
+	left := sf.size - off
+	if left > MaxPayload {
+		return MaxPayload
+	}
+	return left
+}
+
+// paceRate returns the rate the token bucket enforces: the allocation,
+// additionally capped by the host-side demand.
+func (sf *senderFlow) paceRate() float64 {
+	if sf.demand > 0 && sf.demand < sf.rate {
+		return sf.demand
+	}
+	return sf.rate
+}
+
+type reorderState struct {
+	next uint32          // next in-order packet sequence expected
+	oob  map[uint32]bool // out-of-order packets buffered
+}
+
+// NewR2C2 wires the transport into a network. It installs the Deliver and
+// broadcast-FIB hooks, so one Network hosts exactly one transport.
+func NewR2C2(net *Network, tab *routing.Table, cfg R2C2Config) *R2C2 {
+	cfg.defaults()
+	r := &R2C2{
+		Net:    net,
+		Tab:    tab,
+		Fib:    topology.NewBroadcastFIB(net.G, cfg.TreesPerSource, cfg.Seed),
+		Cfg:    cfg,
+		rc:     core.NewRateComputer(tab, net.Cfg.LinkGbps*1e9, cfg.Headroom),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		ledger: newFlowLedger(),
+	}
+	r.nodes = make([]*r2c2Node, net.G.Nodes())
+	for i := range r.nodes {
+		r.nodes[i] = &r2c2Node{
+			id:         topology.NodeID(i),
+			view:       core.NewView(),
+			flows:      make(map[wire.FlowID]*senderFlow),
+			recv:       make(map[wire.FlowID]*reorderState),
+			tombstones: make(map[wire.FlowID]bool),
+		}
+	}
+	r.failedLinks = make(map[topology.LinkID]bool)
+	net.Deliver = r.deliver
+	net.NextBroadcastHops = r.broadcastHops
+	net.OnDrop = r.onDrop
+	// Arm the periodic recomputation tick.
+	net.Eng.After(cfg.Recompute, r.recomputeTick)
+	return r
+}
+
+// maxBcastRetries bounds §3.2 broadcast retransmission; failures beyond it
+// are covered by the periodic resynchronisation paths (finish broadcasts,
+// failure re-announcements).
+const maxBcastRetries = 3
+
+// onDrop implements §3.2's broadcast loss recovery: "To detect drops due
+// to queue overflows at intermediate nodes, the node dropping a broadcast
+// packet informs the sender who can then re-transmit." The notification
+// trip is modelled as one fabric traversal; the retransmission uses the
+// origin's next broadcast tree, so it avoids repeating the congested path.
+func (r *R2C2) onDrop(pkt *Packet, at topology.LinkID) {
+	if pkt.Kind != KindBroadcast || pkt.Retries >= maxBcastRetries {
+		return
+	}
+	r.BcastRetransmits++
+	origin := pkt.Src
+	b := *pkt.Bcast
+	retries := pkt.Retries + 1
+	// The drop notification crosses the fabric behind whatever congestion
+	// caused the drop (store-and-forward at MTU granularity), and repeated
+	// failures back off exponentially so retransmissions outlive the burst.
+	notify := simtime.Time(r.Net.G.Diameter()) *
+		(r.Net.Cfg.PropDelay + simtime.TransmitTime(MTU, r.Net.Cfg.LinkGbps)) *
+		simtime.Time(1<<retries)
+	r.Net.Eng.After(notify, func() {
+		node := r.nodes[origin]
+		nb := b
+		nb.Tree = r.pickTree(node)
+		cp := &Packet{
+			Kind:    KindBroadcast,
+			Size:    BroadcastBytes,
+			Flow:    nb.Flow(),
+			Src:     origin,
+			Bcast:   &nb,
+			Retries: retries,
+		}
+		r.Net.InjectBroadcast(origin, cp)
+	})
+}
+
+// phys translates a path expressed in the current fabric's link IDs to
+// physical port IDs. Identity while the fabric is intact.
+func (r *R2C2) phys(path []topology.LinkID) []topology.LinkID {
+	if r.linkMap == nil {
+		return path
+	}
+	out := make([]topology.LinkID, len(path))
+	for i, lid := range path {
+		out[i] = r.linkMap[lid]
+	}
+	return out
+}
+
+// FailLink fails both directions of the cable between a and b. Packets in
+// flight or later routed onto the dead ports are lost immediately; after
+// `detection` (the topology-discovery delay of §3.2) every node switches to
+// the degraded fabric and re-broadcasts information about all its ongoing
+// flows, resynchronising any views that missed events. It returns an error
+// if the failure would partition the rack.
+func (r *R2C2) FailLink(a, b topology.NodeID, detection simtime.Time) error {
+	var added []topology.LinkID
+	for _, pair := range [][2]topology.NodeID{{a, b}, {b, a}} {
+		lid, ok := r.Net.G.LinkBetween(pair[0], pair[1])
+		if !ok || r.failedLinks[lid] {
+			continue
+		}
+		r.failedLinks[lid] = true
+		added = append(added, lid)
+	}
+	if len(added) == 0 {
+		return fmt.Errorf("sim: no link between %d and %d", a, b)
+	}
+	// Validate connectivity before killing anything.
+	sub, mapping, err := r.Net.G.WithoutLinks(r.failedLinks)
+	if err != nil {
+		for _, lid := range added {
+			delete(r.failedLinks, lid)
+		}
+		return err
+	}
+	for lid := range r.failedLinks {
+		r.Net.FailLink(lid)
+	}
+	r.Net.Eng.After(detection, func() { r.reroute(sub, mapping) })
+	return nil
+}
+
+// FailNode kills an entire node (§3.2 considers node failures alongside
+// link failures): all its links go dark immediately; after `detection`,
+// survivors switch to the degraded fabric, purge the dead node's flows
+// from their views (their bandwidth must not stay reserved), and
+// re-announce their own flows. Flows sourced at or destined to the dead
+// node are abandoned and remain incomplete in the ledger.
+func (r *R2C2) FailNode(dead topology.NodeID, detection simtime.Time) error {
+	sub, mapping, err := r.Net.G.WithoutNode(dead)
+	if err != nil {
+		return err
+	}
+	for _, lid := range r.Net.G.Out(dead) {
+		r.failedLinks[lid] = true
+		r.Net.FailLink(lid)
+	}
+	for _, lid := range r.Net.G.In(dead) {
+		r.failedLinks[lid] = true
+		r.Net.FailLink(lid)
+	}
+	// The dead node stops sending instantly: drop its sender state so
+	// armed pacing events become no-ops.
+	node := r.nodes[dead]
+	for id := range node.flows {
+		delete(node.flows, id)
+	}
+	r.Net.Eng.After(detection, func() {
+		// Purge dead-node flows BEFORE rerouting so the re-announce loop
+		// never tries to route toward an unreachable destination.
+		for _, n := range r.nodes {
+			for _, info := range n.view.Flows() {
+				if info.Src == dead || info.Dst == dead {
+					n.view.RemoveFlow(info.ID)
+					delete(n.flows, info.ID) // abandon senders to the dead node
+				}
+			}
+		}
+		r.reroute(sub, mapping)
+	})
+	return nil
+}
+
+// reroute swaps in the degraded fabric and re-announces every live flow.
+func (r *R2C2) reroute(sub *topology.Graph, mapping []topology.LinkID) {
+	r.FailureReroutes++
+	r.Tab = routing.NewTable(sub)
+	r.Fib = topology.NewBroadcastFIB(sub, r.Cfg.TreesPerSource, r.Cfg.Seed)
+	r.linkMap = mapping
+	r.rc = core.NewRateComputer(r.Tab, r.Net.Cfg.LinkGbps*1e9, r.Cfg.Headroom)
+	// "Upon detecting a failure, nodes broadcast information about all
+	// their ongoing flows" (§3.2).
+	for _, node := range r.nodes {
+		for _, sf := range node.flows {
+			r.broadcast(node, sf.info.StartBroadcast(r.pickTree(node)))
+		}
+	}
+}
+
+// Ledger exposes the flow records for results collection.
+func (r *R2C2) Ledger() map[wire.FlowID]*FlowRecord { return r.ledger.records }
+
+// View returns a node's traffic-matrix view (for tests and inspection).
+func (r *R2C2) View(node topology.NodeID) *core.View { return r.nodes[node].view }
+
+// StartFlow begins a flow of `size` bytes from src to dst at the current
+// simulated time: the sender updates its own view, broadcasts the start
+// event, and starts transmitting immediately (§3.1) — at line rate until
+// the first recomputation covers the flow, with the headroom absorbing the
+// transient (§3.3.2).
+func (r *R2C2) StartFlow(src, dst topology.NodeID, size int64, weight, priority uint8) wire.FlowID {
+	return r.StartHostLimitedFlow(src, dst, size, weight, priority, 0)
+}
+
+// StartHostLimitedFlow is StartFlow for a flow whose application cannot
+// exceed demandBits bits/s (§3.3.2, "Host-limited flows"): the demand is
+// carried in the start broadcast, every node allocates min(fair share,
+// demand), and the sender additionally paces at the demand. demandBits <= 0
+// means network-limited.
+func (r *R2C2) StartHostLimitedFlow(src, dst topology.NodeID, size int64, weight, priority uint8, demandBits float64) wire.FlowID {
+	if src == dst || size <= 0 {
+		panic("sim: degenerate flow")
+	}
+	if weight == 0 {
+		weight = 1
+	}
+	node := r.nodes[src]
+	id := wire.MakeFlowID(uint16(src), node.nextSeq)
+	node.nextSeq++
+	demand := core.UnlimitedDemand
+	if demandBits > 0 {
+		demand = core.KbpsDemand(demandBits)
+	}
+	info := core.FlowInfo{
+		ID: id, Src: src, Dst: dst,
+		Weight: weight, Priority: priority,
+		Demand:   demand,
+		Protocol: r.Cfg.Protocol,
+	}
+	initial := r.Net.Cfg.LinkGbps * 1e9
+	if demandBits > 0 && demandBits < initial {
+		initial = demandBits
+	}
+	sf := &senderFlow{
+		info: info, remaining: size, rate: initial, demand: demandBits,
+		size:      size,
+		totalPkts: uint32((size + MaxPayload - 1) / MaxPayload),
+	}
+	node.flows[id] = sf
+	node.view.AddFlow(info)
+	r.ledger.open(id, src, dst, size, r.Net.Eng.Now())
+	r.broadcast(node, info.StartBroadcast(r.pickTree(node)))
+	r.armSender(node, sf)
+	return id
+}
+
+// UpdateDemand re-announces a live flow's demand (the sender-side estimator
+// of §3.3.2 Eq. (1) would drive this) so all nodes allocate demand-aware.
+// Unknown or finished flows are ignored.
+func (r *R2C2) UpdateDemand(id wire.FlowID, demandBits float64) {
+	if int(id.Src()) >= len(r.nodes) {
+		return
+	}
+	node := r.nodes[id.Src()]
+	sf, ok := node.flows[id]
+	if !ok {
+		return
+	}
+	sf.demand = demandBits
+	if demandBits > 0 {
+		sf.info.Demand = core.KbpsDemand(demandBits)
+	} else {
+		sf.info.Demand = core.UnlimitedDemand
+	}
+	node.view.AddFlow(sf.info)
+	r.broadcast(node, sf.info.DemandBroadcast(r.pickTree(node)))
+}
+
+// SetProtocol re-assigns a live flow's routing protocol (the §3.4 selection
+// mechanism) and broadcasts the change. Unknown flows are ignored.
+func (r *R2C2) SetProtocol(id wire.FlowID, p routing.Protocol) {
+	if int(id.Src()) >= len(r.nodes) {
+		return
+	}
+	node := r.nodes[id.Src()]
+	sf, ok := node.flows[id]
+	if !ok {
+		return
+	}
+	sf.info.Protocol = p
+	node.view.AddFlow(sf.info)
+	r.broadcast(node, sf.info.RouteChangeBroadcast(r.pickTree(node)))
+}
+
+func (r *R2C2) pickTree(node *r2c2Node) uint8 {
+	t := node.nextTree
+	node.nextTree = (node.nextTree + 1) % uint8(r.Cfg.TreesPerSource)
+	return t
+}
+
+// broadcast applies an event locally and floods it along the chosen tree.
+func (r *R2C2) broadcast(node *r2c2Node, b *wire.Broadcast) {
+	pkt := &Packet{
+		Kind:  KindBroadcast,
+		Size:  BroadcastBytes,
+		Flow:  b.Flow(),
+		Src:   topology.NodeID(b.Src),
+		Bcast: b,
+	}
+	r.Net.InjectBroadcast(node.id, pkt)
+}
+
+func (r *R2C2) broadcastHops(at topology.NodeID, pkt *Packet) []topology.LinkID {
+	hops, ok := r.Fib.NextHops(pkt.Src, pkt.Bcast.Tree, at)
+	if !ok {
+		panic("sim: broadcast FIB miss")
+	}
+	return r.phys(hops)
+}
+
+// armSender schedules the flow's next packet transmission according to its
+// token-bucket rate.
+func (r *R2C2) armSender(node *r2c2Node, sf *senderFlow) {
+	if sf.armed || sf.rate <= 0 {
+		return
+	}
+	if r.Cfg.Reliable {
+		if sf.nextChunk >= sf.totalPkts {
+			return // all sent; waiting for acks or an RTO pull-back
+		}
+	} else if sf.remaining <= 0 {
+		return
+	}
+	sf.armed = true
+	r.Net.Eng.After(0, func() { r.sendNext(node, sf) })
+}
+
+func (r *R2C2) sendNext(node *r2c2Node, sf *senderFlow) {
+	sf.armed = false
+	if _, live := node.flows[sf.info.ID]; !live {
+		return // abandoned (node failure purge) or already finished
+	}
+	if sf.rate <= 0 {
+		return // re-armed by the next recomputation
+	}
+	var payload int64
+	var seq uint32
+	if r.Cfg.Reliable {
+		if sf.nextChunk >= sf.totalPkts {
+			return
+		}
+		seq = sf.nextChunk
+		payload = sf.chunkPayload(seq)
+		if seq < sf.seq {
+			r.Retransmissions++ // re-sending a chunk transmitted before
+		}
+		sf.nextChunk++
+		if sf.nextChunk > sf.seq {
+			sf.seq = sf.nextChunk // high-water mark of chunks ever sent
+		}
+	} else {
+		if sf.remaining <= 0 {
+			return
+		}
+		payload = MaxPayload
+		if sf.remaining < payload {
+			payload = sf.remaining
+		}
+		seq = sf.seq
+		sf.seq++
+		sf.remaining -= payload
+	}
+	size := int(payload) + DataHeaderBytes
+	path := r.phys(r.Tab.SamplePath(sf.info.Protocol, sf.info.Src, sf.info.Dst, r.rng))
+	pkt := &Packet{
+		Kind:    KindData,
+		Size:    size,
+		Flow:    sf.info.ID,
+		Src:     sf.info.Src,
+		Dst:     sf.info.Dst,
+		Seq:     seq,
+		Payload: int(payload),
+		Path:    path,
+	}
+	r.Net.Inject(pkt)
+
+	if r.Cfg.Reliable {
+		r.armRTO(node, sf)
+		if sf.nextChunk >= sf.totalPkts {
+			return // everything in flight; completion is ack-driven
+		}
+	} else if sf.remaining <= 0 {
+		// Sender is done: announce the finish so capacity is reallocated
+		// (§3.1) and drop the flow from the local view.
+		r.finishSender(node, sf)
+		return
+	}
+	gap := simtime.Time(float64(size*8) / sf.paceRate() * float64(simtime.Second))
+	if gap < 1 {
+		gap = 1
+	}
+	sf.armed = true
+	r.Net.Eng.After(gap, func() { r.sendNext(node, sf) })
+}
+
+// finishSender retires a flow at its source and broadcasts the finish.
+func (r *R2C2) finishSender(node *r2c2Node, sf *senderFlow) {
+	r.ledger.get(sf.info.ID).SenderDone = true
+	node.view.RemoveFlow(sf.info.ID)
+	delete(node.flows, sf.info.ID)
+	r.broadcast(node, sf.info.FinishBroadcast(r.pickTree(node)))
+}
+
+// armRTO starts the retransmission timer for a reliable flow.
+func (r *R2C2) armRTO(node *r2c2Node, sf *senderFlow) {
+	if sf.rtoArmed {
+		return
+	}
+	sf.rtoArmed = true
+	sf.rtoSeq++
+	mySeq := sf.rtoSeq
+	r.Net.Eng.After(r.Cfg.RTO, func() { r.onRTO(node, sf, mySeq) })
+}
+
+// onRTO pulls the send pointer back to the cumulative-ack point: go-back-N
+// retransmission, paced at the flow's allocated rate like any other data.
+func (r *R2C2) onRTO(node *r2c2Node, sf *senderFlow, seq uint64) {
+	if sf.rtoSeq != seq || !sf.rtoArmed {
+		return
+	}
+	sf.rtoArmed = false
+	if _, live := node.flows[sf.info.ID]; !live || sf.cumAcked >= sf.totalPkts {
+		return
+	}
+	sf.nextChunk = sf.cumAcked
+	r.armRTO(node, sf)
+	r.armSender(node, sf)
+}
+
+// receiveAck advances a reliable sender's cumulative ack state.
+func (r *R2C2) receiveAck(pkt *Packet) {
+	node := r.nodes[pkt.Dst]
+	sf, ok := node.flows[pkt.Flow]
+	if !ok {
+		return // flow already fully acked
+	}
+	if pkt.Seq > sf.cumAcked {
+		sf.cumAcked = pkt.Seq
+		if sf.cumAcked > sf.nextChunk {
+			sf.nextChunk = sf.cumAcked
+		}
+		sf.rtoArmed = false
+		sf.rtoSeq++
+		if sf.cumAcked >= sf.totalPkts {
+			r.finishSender(node, sf)
+			return
+		}
+		r.armRTO(node, sf)
+	}
+}
+
+// deliver handles packets reaching a node: broadcasts update the view,
+// data packets update receive state and flow records.
+func (r *R2C2) deliver(at topology.NodeID, pkt *Packet) {
+	switch pkt.Kind {
+	case KindBroadcast:
+		if pkt.Bcast.Event == wire.EventFlowFinish && topology.NodeID(pkt.Bcast.Dst) == at {
+			// Reliable receivers keep per-flow state past completion so they
+			// can re-ack a lost final ack; the finish broadcast retires it.
+			// Guard on Done: a 16-byte finish broadcast can outrun the last
+			// queued data packets (it is sent when the sender finishes, and
+			// in reliable mode only after full acking, but stray orderings
+			// must not wipe live receive state).
+			if rec := r.ledger.get(pkt.Bcast.Flow()); rec != nil && rec.Done {
+				delete(r.nodes[at].recv, pkt.Bcast.Flow())
+			}
+		}
+		if topology.NodeID(pkt.Bcast.Src) == at {
+			// The origin mutated its own view before broadcasting (§3.1).
+			return
+		}
+		node := r.nodes[at]
+		switch pkt.Bcast.Event {
+		case wire.EventFlowFinish:
+			node.tombstones[pkt.Bcast.Flow()] = true
+		case wire.EventFlowStart:
+			if node.tombstones[pkt.Bcast.Flow()] {
+				return // a retransmitted start racing its own finish
+			}
+		}
+		if err := node.view.Apply(pkt.Bcast); err != nil {
+			panic(err)
+		}
+	case KindData:
+		r.receiveData(at, pkt)
+	case KindAck:
+		r.receiveAck(pkt)
+	}
+}
+
+func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
+	if r.ledger.get(pkt.Flow) == nil {
+		return // not a flow of this stack (stray traffic)
+	}
+	node := r.nodes[at]
+	rs, ok := node.recv[pkt.Flow]
+	if !ok {
+		rs = &reorderState{oob: make(map[uint32]bool)}
+		node.recv[pkt.Flow] = rs
+	}
+	isNew := pkt.Seq >= rs.next && !rs.oob[pkt.Seq]
+	if pkt.Seq == rs.next {
+		rs.next++
+		for rs.oob[rs.next] {
+			delete(rs.oob, rs.next)
+			rs.next++
+		}
+	} else if pkt.Seq > rs.next {
+		rs.oob[pkt.Seq] = true
+	}
+	r.Reorder.Add(float64(len(rs.oob)))
+
+	rec := r.ledger.get(pkt.Flow)
+	if isNew {
+		rec.BytesRcvd += int64(pkt.Payload)
+	}
+	if !rec.Done && rec.BytesRcvd >= rec.Size {
+		rec.Done = true
+		rec.Finished = r.Net.Eng.Now()
+		if !r.Cfg.Reliable {
+			delete(node.recv, pkt.Flow)
+		}
+	}
+	if r.Cfg.Reliable {
+		// Cumulative acknowledgement, solely for reliability (§6): routed
+		// minimally and deterministically back to the sender.
+		ackPath := r.phys(r.Tab.Phi(routing.DOR, pkt.Dst, pkt.Src).Links)
+		r.Net.Inject(&Packet{
+			Kind: KindAck,
+			Size: AckBytes,
+			Flow: pkt.Flow,
+			Src:  pkt.Dst,
+			Dst:  pkt.Src,
+			Seq:  rs.next,
+			Path: append([]topology.LinkID(nil), ackPath...),
+		})
+	}
+}
+
+// recomputeTick is the periodic batch recomputation (§3.3.2): every node
+// recomputes the fair rates of the flows it sources from its own view.
+// Nodes whose views are identical (the common case once broadcasts settle)
+// share a single allocator run, keyed by the view hash.
+func (r *R2C2) recomputeTick() {
+	r.RecomputeRounds++
+	cache := make(map[uint64]*core.Allocation)
+	for _, node := range r.nodes {
+		if len(node.flows) == 0 {
+			continue
+		}
+		alloc, ok := cache[node.view.Hash()]
+		if !ok {
+			alloc = r.rc.Compute(node.view)
+			cache[node.view.Hash()] = alloc
+			r.Recomputations++
+		}
+		for id, sf := range node.flows {
+			sf.rate = alloc.Rate(id)
+			r.armSender(node, sf)
+		}
+	}
+	r.Net.Eng.After(r.Cfg.Recompute, r.recomputeTick)
+}

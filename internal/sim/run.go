@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/stats"
+	"r2c2/internal/topology"
+	"r2c2/internal/trafficgen"
+	"r2c2/internal/wire"
+)
+
+// Transport selects which stack a run uses.
+type Transport int
+
+// The transports of the §5.2 comparison.
+const (
+	TransportR2C2 Transport = iota
+	TransportTCP
+	TransportPFQ
+)
+
+// String returns the transport name.
+func (t Transport) String() string {
+	switch t {
+	case TransportR2C2:
+		return "R2C2"
+	case TransportTCP:
+		return "TCP"
+	case TransportPFQ:
+		return "PFQ"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// Flow size classes used throughout the evaluation (§5.2).
+const (
+	ShortFlowMax = 100e3 // bytes; FCT is reported for flows under this
+	LongFlowMin  = 1e6   // bytes; throughput is reported for flows over this
+)
+
+// RunConfig describes one simulation experiment.
+type RunConfig struct {
+	Graph     *topology.Graph
+	Net       NetConfig
+	Transport Transport
+	R2C2      R2C2Config
+	TCP       TCPConfig
+	PFQSeed   int64
+
+	Arrivals []trafficgen.Arrival
+	// MaxTime hard-stops the simulation; incomplete flows are reported as
+	// such. Zero means 100 ms after the last arrival.
+	MaxTime simtime.Time
+}
+
+// Results aggregates everything the §5 figures need from one run.
+type Results struct {
+	Transport  Transport
+	Flows      []*FlowRecord
+	Completed  int
+	Incomplete int
+
+	ShortFCT       stats.Sample // seconds, flows < 100 KB
+	LongThroughput stats.Sample // bits/s, flows > 1 MB
+	AllFCT         stats.Sample // seconds, all completed flows
+	MaxQueue       stats.Sample // bytes, per output port
+
+	Reorder         stats.Sample // reorder-buffer occupancy (R2C2 only)
+	Drops           uint64
+	Retransmissions uint64 // TCP only
+	BcastBytes      uint64 // broadcast bytes on the wire (R2C2 only)
+	Recomputations  uint64 // allocator invocations (R2C2 only)
+	RecomputeRounds uint64
+	Events          uint64
+	EndTime         simtime.Time
+}
+
+// Run executes one experiment: it replays the arrival list over the chosen
+// transport and collects the statistics every figure of §5 is built from.
+func Run(cfg RunConfig) *Results {
+	if cfg.Graph == nil {
+		panic("sim: RunConfig.Graph is required")
+	}
+	if len(cfg.Arrivals) == 0 {
+		panic("sim: no arrivals")
+	}
+	if cfg.Transport == TransportPFQ {
+		cfg.Net.PerFlowQueues = true
+	}
+	eng := &Engine{}
+	net := NewNetwork(cfg.Graph, eng, cfg.Net)
+	tab := routing.NewTable(cfg.Graph)
+
+	maxTime := cfg.MaxTime
+	if maxTime == 0 {
+		maxTime = cfg.Arrivals[len(cfg.Arrivals)-1].At + 100*simtime.Millisecond
+	}
+
+	var ledger map[wire.FlowID]*FlowRecord
+	var r2c2 *R2C2
+	var tcp *TCP
+	switch cfg.Transport {
+	case TransportR2C2:
+		r2c2 = NewR2C2(net, tab, cfg.R2C2)
+		ledger = r2c2.Ledger()
+		for _, a := range cfg.Arrivals {
+			arr := a
+			eng.Schedule(arr.At, func() {
+				r2c2.StartFlow(arr.Src, arr.Dst, arr.Size, arr.Weight, arr.Priority)
+			})
+		}
+	case TransportTCP:
+		tcp = NewTCP(net, tab, cfg.TCP)
+		ledger = tcp.Ledger()
+		for _, a := range cfg.Arrivals {
+			arr := a
+			eng.Schedule(arr.At, func() { tcp.StartFlow(arr.Src, arr.Dst, arr.Size) })
+		}
+	case TransportPFQ:
+		pfq := NewPFQ(net, tab, cfg.PFQSeed)
+		ledger = pfq.Ledger()
+		for _, a := range cfg.Arrivals {
+			arr := a
+			eng.Schedule(arr.At, func() { pfq.StartFlow(arr.Src, arr.Dst, arr.Size) })
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown transport %v", cfg.Transport))
+	}
+
+	// Run in slices so completion can stop the clock early (the R2C2
+	// recomputation tick re-arms itself forever).
+	total := len(cfg.Arrivals)
+	slice := maxTime / 64
+	if slice < simtime.Microsecond {
+		slice = simtime.Microsecond
+	}
+	for eng.Now() < maxTime {
+		next := eng.Now() + slice
+		if next > maxTime {
+			next = maxTime
+		}
+		eng.Run(next)
+		if len(ledger) == total {
+			done := 0
+			for _, rec := range ledger {
+				if rec.Done {
+					done++
+				}
+			}
+			if done == total {
+				break
+			}
+		}
+		if !eng.Pending() {
+			break
+		}
+	}
+
+	res := &Results{Transport: cfg.Transport, EndTime: eng.Now(), Events: eng.Processed()}
+	for _, rec := range ledger {
+		res.Flows = append(res.Flows, rec)
+		if !rec.Done {
+			res.Incomplete++
+			continue
+		}
+		res.Completed++
+		fct := rec.FCT().Seconds()
+		res.AllFCT.Add(fct)
+		if rec.Size < ShortFlowMax {
+			res.ShortFCT.Add(fct)
+		}
+		if rec.Size > LongFlowMin {
+			res.LongThroughput.Add(rec.Throughput())
+		}
+	}
+	res.MaxQueue.AddAll(net.MaxQueueSample())
+	res.Drops = net.TotalDrops()
+	res.BcastBytes = net.BcastBytesOnWire
+	if r2c2 != nil {
+		res.Reorder = r2c2.Reorder
+		res.Recomputations = r2c2.Recomputations
+		res.RecomputeRounds = r2c2.RecomputeRounds
+	}
+	if tcp != nil {
+		res.Retransmissions = tcp.Retransmissions
+	}
+	return res
+}

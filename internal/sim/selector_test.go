@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"r2c2/internal/genetic"
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// A sparse long-flow workload (VLB territory): the selector must move
+// flows off minimal routing and the reassignment must reach every view.
+func TestSelectorReassignsSparseLoad(t *testing.T) {
+	g := torus(t, 4, 3)
+	eng, _, r := newR2C2Net(t, g, R2C2Config{
+		Headroom: 0.05, Protocol: routing.RPS, Recompute: 200 * simtime.Microsecond})
+	sel := NewSelector(r, SelectorConfig{
+		Period: 5 * simtime.Millisecond,
+		MinAge: simtime.Millisecond,
+		GA:     genetic.Config{Population: 30, MaxGens: 15, Seed: 3},
+	})
+	sel.Start()
+
+	// Few long flows across the rack: low load, where VLB's non-minimal
+	// spreading wins (the Figure 18 low-L regime).
+	flows := []wire.FlowID{
+		r.StartFlow(0, 63, 512<<20, 1, 0),
+		r.StartFlow(5, 58, 512<<20, 1, 0),
+		r.StartFlow(10, 53, 512<<20, 1, 0),
+	}
+
+	eng.Run(30 * simtime.Millisecond)
+	if sel.Runs == 0 {
+		t.Fatal("selector never ran")
+	}
+	if sel.Reassignments == 0 {
+		t.Fatal("selector reassigned nothing on a sparse long-flow load")
+	}
+	// At least one flow must be visibly on VLB in EVERY node's view.
+	movedEverywhere := 0
+	for _, id := range flows {
+		allVLB := true
+		for n := 0; n < g.Nodes(); n++ {
+			info, ok := r.View(topology.NodeID(n)).Get(id)
+			if !ok {
+				t.Fatalf("node %d lost flow %v", n, id)
+			}
+			if info.Protocol != routing.VLB {
+				allVLB = false
+				break
+			}
+		}
+		if allVLB {
+			movedEverywhere++
+		}
+	}
+	if movedEverywhere == 0 {
+		t.Fatal("no reassignment propagated to all views")
+	}
+}
+
+// A dense load where minimal routing is already optimal: the selector must
+// leave the assignment alone (the MinGain gate).
+func TestSelectorLeavesGoodAssignmentsAlone(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng, _, r := newR2C2Net(t, g, R2C2Config{
+		Headroom: 0.05, Protocol: routing.DOR, Recompute: 200 * simtime.Microsecond})
+	sel := NewSelector(r, SelectorConfig{
+		Period:    5 * simtime.Millisecond,
+		MinAge:    simtime.Millisecond,
+		Protocols: []routing.Protocol{routing.DOR}, // one choice: nothing to gain
+		GA:        genetic.Config{Population: 10, MaxGens: 3, Seed: 1},
+	})
+	// Two choices are required by the GA; use DOR twice worth of a single
+	// protocol set by giving DOR and DOR-equivalent ECMP? Keep it honest:
+	// use DOR+RPS but a workload where both tie (nearest-neighbour flows
+	// have a single minimal path, so RPS == DOR exactly).
+	sel.cfg.Protocols = []routing.Protocol{routing.DOR, routing.RPS}
+	sel.Start()
+	r.StartFlow(0, 1, 256<<20, 1, 0) // neighbours: single minimal path
+	r.StartFlow(2, 3, 256<<20, 1, 0)
+	eng.Run(25 * simtime.Millisecond)
+	if sel.Runs == 0 {
+		t.Fatal("selector never ran")
+	}
+	if sel.Reassignments != 0 {
+		t.Fatalf("selector churned %d reassignments with nothing to gain", sel.Reassignments)
+	}
+}
+
+// Selector must tolerate flows finishing between rounds.
+func TestSelectorHandlesChurn(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng, _, r := newR2C2Net(t, g, R2C2Config{
+		Headroom: 0.05, Protocol: routing.RPS, Recompute: 100 * simtime.Microsecond})
+	sel := NewSelector(r, SelectorConfig{
+		Period: 2 * simtime.Millisecond,
+		MinAge: 500 * simtime.Microsecond,
+		GA:     genetic.Config{Population: 16, MaxGens: 5, Seed: 2},
+	})
+	sel.Start()
+	for i := 0; i < 12; i++ {
+		src := topology.NodeID(i % g.Nodes())
+		dst := topology.NodeID((i*5 + 1) % g.Nodes())
+		if src == dst {
+			continue
+		}
+		r.StartFlow(src, dst, int64(1+i)<<19, 1, 0)
+	}
+	eng.Run(50 * simtime.Millisecond)
+	if sel.Runs < 5 {
+		t.Fatalf("selector ran only %d times", sel.Runs)
+	}
+	// All flows finished; the age map must not leak.
+	if len(sel.flowAge) != 0 {
+		t.Fatalf("selector leaked %d flow-age entries", len(sel.flowAge))
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+)
+
+// Slow start: with a large flow and no loss, the congestion window must
+// grow beyond its initial value quickly (exponential ramp).
+func TestTCPSlowStartRamps(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	tcp := NewTCP(net, routing.NewTable(g), TCPConfig{InitCwnd: 2, InitSSTh: 64})
+	id := tcp.StartFlow(0, 5, 4<<20)
+	s := tcp.senders[id]
+	if s.cwnd != 2 {
+		t.Fatalf("initial cwnd = %v", s.cwnd)
+	}
+	// After a handful of RTTs (tens of µs on this fabric), cwnd must have
+	// at least quadrupled.
+	eng.Run(200 * simtime.Microsecond)
+	if s.cwnd < 8 {
+		t.Fatalf("cwnd after 200us = %v; slow start not ramping", s.cwnd)
+	}
+	eng.Run(time500ms)
+	if !tcp.Ledger()[id].Done {
+		t.Fatal("flow incomplete")
+	}
+}
+
+// Congestion avoidance: past ssthresh, growth becomes sub-exponential
+// (roughly one packet per RTT).
+func TestTCPCongestionAvoidance(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	tcp := NewTCP(net, routing.NewTable(g), TCPConfig{InitCwnd: 8, InitSSTh: 8})
+	id := tcp.StartFlow(0, 5, 8<<20)
+	s := tcp.senders[id]
+	eng.Run(100 * simtime.Microsecond)
+	c1 := s.cwnd
+	eng.Run(200 * simtime.Microsecond)
+	c2 := s.cwnd
+	if c2 <= c1 {
+		t.Fatalf("congestion avoidance stalled: %v -> %v", c1, c2)
+	}
+	// CA growth over 100µs (a few RTTs) should be a few packets, not a
+	// doubling cascade.
+	if c2 > c1*4 {
+		t.Fatalf("growth %v -> %v looks exponential above ssthresh", c1, c2)
+	}
+	_ = id
+}
+
+// Fast retransmit: a single dropped packet with continued traffic must be
+// recovered via dup-acks without waiting for a full RTO, and the window
+// must halve rather than collapse to 1.
+func TestTCPFastRetransmit(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	tcp := NewTCP(net, routing.NewTable(g), TCPConfig{InitCwnd: 16, InitSSTh: 16, MinRTO: 10 * simtime.Millisecond})
+	id := tcp.StartFlow(0, 5, 2<<20)
+	s := tcp.senders[id]
+	// Drop exactly one data packet in flight by intercepting delivery.
+	dropped := false
+	orig := net.Deliver
+	net.Deliver = func(at topology.NodeID, pkt *Packet) {
+		if !dropped && pkt.Kind == KindData && pkt.Seq == 20 && !pkt.Retx {
+			dropped = true
+			return // swallowed: simulates a loss
+		}
+		orig(at, pkt)
+	}
+	eng.Run(5 * simtime.Millisecond) // well under the 10ms RTO
+	if !dropped {
+		t.Fatal("target packet never seen")
+	}
+	if tcp.Retransmissions == 0 {
+		t.Fatal("no fast retransmit before the RTO")
+	}
+	if s.cwnd < 2 {
+		t.Fatalf("cwnd collapsed to %v; fast retransmit should halve, not reset", s.cwnd)
+	}
+	eng.Run(2 * simtime.Second)
+	if !tcp.Ledger()[id].Done {
+		t.Fatalf("flow incomplete: %d/%d", tcp.Ledger()[id].BytesRcvd, tcp.Ledger()[id].Size)
+	}
+}

@@ -1,0 +1,79 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnits(t *testing.T) {
+	if Second != 1e12*Picosecond {
+		t.Fatal("unit chain broken")
+	}
+	if Millisecond*1000 != Second || Microsecond*1000 != Millisecond || Nanosecond*1000 != Microsecond {
+		t.Fatal("unit ratios wrong")
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	// Exact up to ~9e15 ps (the float64 mantissa), i.e. ~2.5 simulated
+	// hours; constrain to 1000 simulated seconds.
+	f := func(ms uint32) bool {
+		tt := Time(ms%1_000_000) * Millisecond
+		return FromSeconds(tt.Seconds()) == tt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	cases := []struct {
+		bytes int
+		gbps  float64
+		want  Time
+	}{
+		{1500, 10, 1200 * Nanosecond}, // MTU at 10G
+		{1500, 100, 120 * Nanosecond}, // MTU at 100G (§2.1's upper range)
+		{16, 10, Time(12800)},         // broadcast at 10G
+		{1, 100, Time(80)},            // single byte at 100G: 80 ps exactly
+		{0, 10, 0},
+		{10, 0, 0},
+		{-5, 10, 0},
+	}
+	for _, c := range cases {
+		if got := TransmitTime(c.bytes, c.gbps); got != c.want {
+			t.Errorf("TransmitTime(%d, %v) = %v, want %v", c.bytes, c.gbps, got, c.want)
+		}
+	}
+}
+
+// TransmitTime must round up, never down: undercounting serialisation time
+// would let the simulator exceed link capacity.
+func TestTransmitTimeNeverUndercounts(t *testing.T) {
+	f := func(b uint16, g uint8) bool {
+		bytes := int(b)%9000 + 1
+		gbps := float64(g%100) + 1
+		got := TransmitTime(bytes, gbps)
+		exact := float64(bytes) * 8 / gbps * 1000
+		return float64(got) >= exact && float64(got) < exact+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	for _, c := range []struct {
+		t    Time
+		want string
+	}{
+		{1500 * Millisecond, "1.500s"},
+		{42 * Millisecond, "42.000ms"},
+		{999 * Nanosecond, "999.000ns"},
+		{500, "500ps"},
+	} {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}

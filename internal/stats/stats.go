@@ -1,0 +1,215 @@
+// Package stats provides small, allocation-conscious statistical helpers
+// used throughout the R2C2 reproduction: exact sample collections with
+// percentile queries, CDF extraction, online mean/max tracking, and
+// exponentially weighted moving averages.
+//
+// All collectors are plain values; their zero values are ready to use.
+// None of them are safe for concurrent mutation — callers that share a
+// collector across goroutines must synchronise externally (the simulator is
+// single-threaded per run; the emulator keeps one collector per node).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations and answers percentile, mean and
+// CDF queries over the exact set of observations. It keeps every value, so
+// it is intended for experiment-sized data (up to a few million points).
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddAll records every observation in vs.
+func (s *Sample) AddAll(vs []float64) {
+	s.values = append(s.values, vs...)
+	s.sorted = false
+}
+
+// Len reports the number of recorded observations.
+func (s *Sample) Len() int { return len(s.values) }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. It returns NaN for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[len(s.values)-1]
+	}
+	rank := p / 100 * float64(len(s.values)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Min returns the smallest observation, or NaN for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// Max returns the largest observation, or NaN for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum
+}
+
+// Values returns the observations in ascending order. The returned slice is
+// owned by the Sample and must not be modified.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	return s.values
+}
+
+// CDFPoint is one point of an empirical CDF: a fraction F of observations
+// are <= Value.
+type CDFPoint struct {
+	Value float64
+	F     float64
+}
+
+// CDF returns the empirical CDF reduced to at most maxPoints points
+// (uniformly spaced in rank). maxPoints <= 0 means every distinct rank.
+func (s *Sample) CDF(maxPoints int) []CDFPoint {
+	n := len(s.values)
+	if n == 0 {
+		return nil
+	}
+	s.ensureSorted()
+	if maxPoints <= 0 || maxPoints > n {
+		maxPoints = n
+	}
+	pts := make([]CDFPoint, 0, maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		idx := (i + 1) * n / maxPoints
+		if idx > n {
+			idx = n
+		}
+		pts = append(pts, CDFPoint{Value: s.values[idx-1], F: float64(idx) / float64(n)})
+	}
+	return pts
+}
+
+// Summary returns a one-line human-readable digest of the sample.
+func (s *Sample) Summary() string {
+	if len(s.values) == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		s.Len(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Percentile(99), s.Max())
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0,1]: higher alpha weights recent observations more. The zero
+// value is unusable; construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. It panics if
+// alpha is outside (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update feeds one observation and returns the new average. The first
+// observation initialises the average directly.
+func (e *EWMA) Update(v float64) float64 {
+	if !e.init {
+		e.value = v
+		e.init = true
+		return v
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (zero before any update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Counter tracks a running maximum and sum of integer observations, used
+// for queue-occupancy accounting where storing every sample would be
+// wasteful.
+type Counter struct {
+	N   int64
+	Sum int64
+	Max int64
+}
+
+// Observe records one observation.
+func (c *Counter) Observe(v int64) {
+	c.N++
+	c.Sum += v
+	if v > c.Max {
+		c.Max = v
+	}
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (c *Counter) Mean() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.Sum) / float64(c.N)
+}

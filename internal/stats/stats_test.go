@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Len() != 0 {
+		t.Fatal("empty sample has nonzero Len")
+	}
+	for _, v := range []float64{s.Percentile(50), s.Mean(), s.Min(), s.Max()} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty-sample statistic = %v, want NaN", v)
+		}
+	}
+	if s.CDF(10) != nil {
+		t.Error("empty-sample CDF should be nil")
+	}
+	if s.Summary() != "n=0" {
+		t.Errorf("Summary = %q", s.Summary())
+	}
+}
+
+func TestSampleBasic(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{5, 1, 3, 2, 4})
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := s.Median(); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := s.Sum(); got != 15 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := s.Percentile(25); got != 2 {
+		t.Errorf("P25 = %v, want 2", got)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{0, 10})
+	if got := s.Percentile(50); got != 5 {
+		t.Errorf("P50 of {0,10} = %v, want 5", got)
+	}
+	if got := s.Percentile(75); got != 7.5 {
+		t.Errorf("P75 of {0,10} = %v, want 7.5", got)
+	}
+}
+
+// Percentile must be monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, pa, pb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Add(v)
+		}
+		pa = math.Abs(math.Mod(pa, 100))
+		pb = math.Abs(math.Mod(pb, 100))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	pts := s.CDF(10)
+	if len(pts) != 10 {
+		t.Fatalf("CDF points = %d, want 10", len(pts))
+	}
+	if pts[len(pts)-1].F != 1.0 {
+		t.Errorf("last CDF F = %v, want 1", pts[len(pts)-1].F)
+	}
+	if pts[len(pts)-1].Value != 100 {
+		t.Errorf("last CDF value = %v, want 100", pts[len(pts)-1].Value)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].F <= pts[i-1].F {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	// Full-resolution CDF.
+	all := s.CDF(0)
+	if len(all) != 100 {
+		t.Fatalf("full CDF has %d points", len(all))
+	}
+}
+
+func TestValuesSorted(t *testing.T) {
+	var s Sample
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.NormFloat64())
+	}
+	vs := s.Values()
+	if !sort.Float64sAreSorted(vs) {
+		t.Fatal("Values() not sorted")
+	}
+	// Adding after sorting must re-sort on next query.
+	s.Add(-1e9)
+	if got := s.Min(); got != -1e9 {
+		t.Fatalf("Min after late Add = %v", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if got := e.Update(10); got != 10 {
+		t.Errorf("first update = %v, want 10", got)
+	}
+	if got := e.Update(0); got != 5 {
+		t.Errorf("second update = %v, want 5", got)
+	}
+	if got := e.Value(); got != 5 {
+		t.Errorf("Value = %v", got)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.3)
+	for i := 0; i < 200; i++ {
+		e.Update(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Errorf("EWMA did not converge: %v", e.Value())
+	}
+}
+
+func TestEWMAPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) should panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Mean() != 0 {
+		t.Error("empty counter mean nonzero")
+	}
+	c.Observe(3)
+	c.Observe(9)
+	c.Observe(6)
+	if c.N != 3 || c.Sum != 18 || c.Max != 9 {
+		t.Fatalf("counter state = %+v", c)
+	}
+	if c.Mean() != 6 {
+		t.Errorf("Mean = %v", c.Mean())
+	}
+}

@@ -1,0 +1,153 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BroadcastTree is a shortest-path spanning tree rooted at Root, used to
+// broadcast flow events across the rack (§3.2). Children[v] lists the
+// links on which v forwards a copy of a broadcast packet; leaves have no
+// entries. Depth is the maximum hop count from Root to any node, i.e. the
+// broadcast time the construction minimises.
+type BroadcastTree struct {
+	Root     NodeID
+	ID       uint8 // tree identifier, carried in the broadcast header
+	Children [][]LinkID
+	Depth    int
+}
+
+// TotalEdges returns the number of tree edges (n-1 for a spanning tree).
+func (t *BroadcastTree) TotalEdges() int {
+	total := 0
+	for _, c := range t.Children {
+		total += len(c)
+	}
+	return total
+}
+
+// LinkLoad returns, per directed link, how many copies of one broadcast
+// packet traverse it (0 or 1 for a tree). Used to study broadcast load
+// balance across trees.
+func (t *BroadcastTree) LinkLoad(numLinks int) []int {
+	load := make([]int, numLinks)
+	for _, children := range t.Children {
+		for _, lid := range children {
+			load[lid]++
+		}
+	}
+	return load
+}
+
+// BuildBroadcastTrees constructs `count` distinct shortest-path broadcast
+// trees rooted at src by breadth-first traversal with randomised parent
+// choice (§3.2: "we enumerate multiple broadcast trees for each source by
+// traversing the rack's topology in a breadth-first fashion"). Every tree
+// is a spanning tree in which each node sits at its BFS distance from src,
+// so broadcast time is minimal. rngSeed makes construction deterministic.
+//
+// It panics if count is outside [1, 256) since the wire format carries the
+// tree ID in one byte.
+func BuildBroadcastTrees(g *Graph, src NodeID, count int, rngSeed int64) []*BroadcastTree {
+	if count < 1 || count > 255 {
+		panic(fmt.Sprintf("topology: broadcast tree count %d out of [1,255]", count))
+	}
+	rng := rand.New(rand.NewSource(rngSeed))
+	trees := make([]*BroadcastTree, count)
+	for i := 0; i < count; i++ {
+		trees[i] = buildOneTree(g, src, uint8(i), rng)
+	}
+	return trees
+}
+
+func buildOneTree(g *Graph, src NodeID, id uint8, rng *rand.Rand) *BroadcastTree {
+	t := &BroadcastTree{
+		Root:     src,
+		ID:       id,
+		Children: make([][]LinkID, g.Vertices()),
+	}
+	// For each non-root vertex pick a random parent among its predecessors
+	// at distance-1; this yields a shortest-path tree with randomised shape.
+	depth := 0
+	for v := 0; v < g.Vertices(); v++ {
+		if NodeID(v) == src {
+			continue
+		}
+		dv := g.Dist(src, NodeID(v))
+		if dv < 0 {
+			continue // unreachable vertices stay out of the tree
+		}
+		if dv > depth {
+			depth = dv
+		}
+		var candidates []LinkID
+		for _, lid := range g.In(NodeID(v)) {
+			p := g.Link(lid).From
+			if g.Dist(src, p) == dv-1 {
+				candidates = append(candidates, lid)
+			}
+		}
+		if len(candidates) == 0 {
+			panic("topology: BFS invariant violated: reachable node without shortest-path parent")
+		}
+		pick := candidates[rng.Intn(len(candidates))]
+		t.Children[g.Link(pick).From] = append(t.Children[g.Link(pick).From], pick)
+	}
+	t.Depth = depth
+	return t
+}
+
+// BroadcastFIB is the broadcast forwarding information base of §3.2: a
+// lookup keyed by <src-address, tree-id> yielding the set of next-hop links
+// a broadcast packet must be forwarded on from a given node. One FIB is
+// shared by all nodes (each node consults only its own row).
+type BroadcastFIB struct {
+	trees map[fibKey]*BroadcastTree
+	g     *Graph
+}
+
+type fibKey struct {
+	src  NodeID
+	tree uint8
+}
+
+// NewBroadcastFIB precomputes treesPerSource broadcast trees for every
+// endpoint node and indexes them for forwarding lookups.
+func NewBroadcastFIB(g *Graph, treesPerSource int, rngSeed int64) *BroadcastFIB {
+	fib := &BroadcastFIB{trees: make(map[fibKey]*BroadcastTree), g: g}
+	for s := 0; s < g.Nodes(); s++ {
+		for _, t := range BuildBroadcastTrees(g, NodeID(s), treesPerSource, rngSeed+int64(s)) {
+			fib.trees[fibKey{src: NodeID(s), tree: t.ID}] = t
+		}
+	}
+	return fib
+}
+
+// NextHops returns the links on which node `at` must forward a broadcast
+// packet originated by src on tree treeID. It returns nil (forward nowhere)
+// for leaves, and ok=false for an unknown <src, tree> pair.
+func (f *BroadcastFIB) NextHops(src NodeID, treeID uint8, at NodeID) ([]LinkID, bool) {
+	t, ok := f.trees[fibKey{src: src, tree: treeID}]
+	if !ok {
+		return nil, false
+	}
+	return t.Children[at], true
+}
+
+// Tree returns the broadcast tree for <src, treeID>.
+func (f *BroadcastFIB) Tree(src NodeID, treeID uint8) (*BroadcastTree, bool) {
+	t, ok := f.trees[fibKey{src: src, tree: treeID}]
+	return t, ok
+}
+
+// TreesPerSource reports how many trees exist for src.
+func (f *BroadcastFIB) TreesPerSource(src NodeID) int {
+	n := 0
+	for id := 0; id < 256; id++ {
+		if _, ok := f.trees[fibKey{src: src, tree: uint8(id)}]; !ok {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"testing"
+)
+
+// Every broadcast tree must be a spanning tree whose nodes sit at their BFS
+// depth (minimal broadcast time, §3.2).
+func TestBroadcastTreeSpanningShortest(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		for src := 0; src < g.Nodes(); src += 5 {
+			trees := BuildBroadcastTrees(g, NodeID(src), 4, 42)
+			for _, tree := range trees {
+				if tree.TotalEdges() != g.Vertices()-1 {
+					t.Fatalf("%v src=%d tree=%d: %d edges, want %d",
+						g.Kind(), src, tree.ID, tree.TotalEdges(), g.Vertices()-1)
+				}
+				depth := walkTree(t, g, tree)
+				if depth != tree.Depth {
+					t.Fatalf("%v: recorded depth %d, walked depth %d", g.Kind(), tree.Depth, depth)
+				}
+				// Minimal broadcast time: depth equals eccentricity of src.
+				ecc := 0
+				for v := 0; v < g.Vertices(); v++ {
+					if d := g.Dist(NodeID(src), NodeID(v)); d > ecc {
+						ecc = d
+					}
+				}
+				if depth != ecc {
+					t.Fatalf("%v src=%d: tree depth %d != eccentricity %d", g.Kind(), src, depth, ecc)
+				}
+			}
+		}
+	}
+}
+
+// walkTree delivers a copy down the tree and checks each vertex is reached
+// exactly once, at its BFS distance; it returns the max depth reached.
+func walkTree(t *testing.T, g *Graph, tree *BroadcastTree) int {
+	t.Helper()
+	depthOf := make([]int, g.Vertices())
+	for i := range depthOf {
+		depthOf[i] = -1
+	}
+	depthOf[tree.Root] = 0
+	queue := []NodeID{tree.Root}
+	maxDepth := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, lid := range tree.Children[v] {
+			l := g.Link(lid)
+			if l.From != v {
+				t.Fatalf("tree child link %v not rooted at %d", l, v)
+			}
+			if depthOf[l.To] != -1 {
+				t.Fatalf("vertex %d receives two copies", l.To)
+			}
+			depthOf[l.To] = depthOf[v] + 1
+			if want := g.Dist(tree.Root, l.To); depthOf[l.To] != want {
+				t.Fatalf("vertex %d at tree depth %d, BFS distance %d", l.To, depthOf[l.To], want)
+			}
+			if depthOf[l.To] > maxDepth {
+				maxDepth = depthOf[l.To]
+			}
+			queue = append(queue, l.To)
+		}
+	}
+	for v, d := range depthOf {
+		if d == -1 && g.Dist(tree.Root, NodeID(v)) >= 0 {
+			t.Fatalf("reachable vertex %d never receives the broadcast", v)
+		}
+	}
+	return maxDepth
+}
+
+func TestBroadcastTreesDiffer(t *testing.T) {
+	g, err := NewTorus(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := BuildBroadcastTrees(g, 0, 8, 1)
+	distinct := false
+	for i := 1; i < len(trees) && !distinct; i++ {
+		for v := 0; v < g.Vertices(); v++ {
+			if len(trees[0].Children[v]) != len(trees[i].Children[v]) {
+				distinct = true
+				break
+			}
+			for j := range trees[0].Children[v] {
+				if trees[0].Children[v][j] != trees[i].Children[v][j] {
+					distinct = true
+					break
+				}
+			}
+		}
+	}
+	if !distinct {
+		t.Error("8 randomised broadcast trees are all identical; load balancing impossible")
+	}
+}
+
+func TestBroadcastFIB(t *testing.T) {
+	g, err := NewTorus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib := NewBroadcastFIB(g, 3, 7)
+	for src := 0; src < g.Nodes(); src++ {
+		if n := fib.TreesPerSource(NodeID(src)); n != 3 {
+			t.Fatalf("TreesPerSource(%d) = %d, want 3", src, n)
+		}
+		for treeID := uint8(0); treeID < 3; treeID++ {
+			// Simulate forwarding via FIB lookups; count deliveries.
+			delivered := map[NodeID]bool{NodeID(src): true}
+			queue := []NodeID{NodeID(src)}
+			for len(queue) > 0 {
+				at := queue[0]
+				queue = queue[1:]
+				hops, ok := fib.NextHops(NodeID(src), treeID, at)
+				if !ok {
+					t.Fatalf("FIB miss for src=%d tree=%d at=%d", src, treeID, at)
+				}
+				for _, lid := range hops {
+					to := g.Link(lid).To
+					if delivered[to] {
+						t.Fatalf("duplicate delivery to %d", to)
+					}
+					delivered[to] = true
+					queue = append(queue, to)
+				}
+			}
+			if len(delivered) != g.Nodes() {
+				t.Fatalf("src=%d tree=%d delivered to %d nodes, want %d", src, treeID, len(delivered), g.Nodes())
+			}
+		}
+	}
+	if _, ok := fib.NextHops(0, 99, 0); ok {
+		t.Error("FIB hit for unknown tree ID")
+	}
+	if _, ok := fib.Tree(0, 99); ok {
+		t.Error("Tree hit for unknown tree ID")
+	}
+}
+
+// Broadcast cost accounting from §3.2: a 512-node rack broadcast costs
+// (n-1) * 16 bytes = ~8 KB of total traffic.
+func TestBroadcastCost512(t *testing.T) {
+	g, err := NewTorus(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := BuildBroadcastTrees(g, 0, 1, 1)
+	bytes := trees[0].TotalEdges() * 16
+	if bytes != 511*16 {
+		t.Fatalf("broadcast bytes = %d, want %d", bytes, 511*16)
+	}
+}
+
+func TestBuildBroadcastTreesPanicsOnBadCount(t *testing.T) {
+	g, err := NewTorus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for count=0")
+		}
+	}()
+	BuildBroadcastTrees(g, 0, 0, 1)
+}

@@ -1,0 +1,81 @@
+package topology
+
+import "testing"
+
+func twoRacks(t *testing.T) (*Graph, *Graph) {
+	t.Helper()
+	a, err := NewTorus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTorus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestConnectRacks(t *testing.T) {
+	a, b := twoRacks(t)
+	g, err := ConnectRacks([]*Graph{a, b}, []Bridge{
+		{RackA: 0, NodeA: 0, RackB: 1, NodeB: 0},
+		{RackA: 0, NodeA: 4, RackB: 1, NodeB: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 18 {
+		t.Fatalf("nodes = %d", g.Nodes())
+	}
+	if g.Kind() != KindMultiRack {
+		t.Fatalf("kind = %v", g.Kind())
+	}
+	// Intra-rack links plus 2 bridges in both directions.
+	if want := a.NumLinks() + b.NumLinks() + 4; g.NumLinks() != want {
+		t.Fatalf("links = %d, want %d", g.NumLinks(), want)
+	}
+	// Cross-rack distance goes via a bridge: node 1 (rack A) to node 9+1
+	// (rack B's node 1): 1 -> 0 -> bridge -> 9 -> 10 = 3 hops.
+	if d := g.Dist(1, 10); d != 3 {
+		t.Fatalf("cross-rack dist = %d, want 3", d)
+	}
+	// Intra-rack distances are preserved.
+	for x := 0; x < a.Nodes(); x++ {
+		for y := 0; y < a.Nodes(); y++ {
+			da := a.Dist(NodeID(x), NodeID(y))
+			if dg := g.Dist(NodeID(x), NodeID(y)); dg > da {
+				t.Fatalf("intra-rack dist grew: %d vs %d", dg, da)
+			}
+		}
+	}
+	// Coordinate routing is disabled on the combined fabric.
+	if g.Radix() != 0 {
+		t.Fatal("multi-rack graph should not claim a radix")
+	}
+}
+
+func TestConnectRacksValidation(t *testing.T) {
+	a, b := twoRacks(t)
+	cases := map[string]struct {
+		racks   []*Graph
+		bridges []Bridge
+	}{
+		"one rack":   {[]*Graph{a}, []Bridge{{RackB: 1}}},
+		"no bridges": {[]*Graph{a, b}, nil},
+		"rack oob":   {[]*Graph{a, b}, []Bridge{{RackA: 0, RackB: 7}}},
+		"same rack":  {[]*Graph{a, b}, []Bridge{{RackA: 1, RackB: 1}}},
+		"node oob":   {[]*Graph{a, b}, []Bridge{{RackA: 0, NodeA: 99, RackB: 1}}},
+	}
+	for name, c := range cases {
+		if _, err := ConnectRacks(c.racks, c.bridges); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	clos, err := NewFoldedClos(2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConnectRacks([]*Graph{a, clos}, []Bridge{{RackA: 0, RackB: 1}}); err == nil {
+		t.Error("rack with internal switches accepted")
+	}
+}

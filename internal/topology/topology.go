@@ -1,0 +1,332 @@
+// Package topology models the direct-connect network fabrics used by
+// rack-scale computers: k-ary n-cube tori, meshes, and (for comparison,
+// §6 of the paper) a two-level folded-Clos switched topology.
+//
+// A Graph is a directed multigraph of unidirectional links between nodes.
+// Every physical cable is represented as two directed links, one per
+// direction, because rate allocation and queueing are per-direction
+// concerns. All links in a rack have identical capacity, so the Graph does
+// not store per-link capacity; simulators and allocators attach it.
+//
+// The package also precomputes the artefacts every other layer relies on:
+// all-pairs BFS distances, minimal-route DAG successor sets, and per-source
+// broadcast trees with the forwarding information base (FIB) described in
+// §3.2 of the paper.
+package topology
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a node (micro-server) in the rack, in [0, N).
+type NodeID int32
+
+// LinkID identifies a directed link, in [0, L).
+type LinkID int32
+
+// Link is a unidirectional link from one node to a neighbouring node.
+type Link struct {
+	From NodeID
+	To   NodeID
+}
+
+// Kind enumerates the supported fabric families.
+type Kind int
+
+// Supported fabric families.
+const (
+	KindTorus     Kind = iota // k-ary n-cube with wraparound
+	KindMesh                  // k-ary n-cube without wraparound
+	KindClos                  // two-level folded Clos (switched, single path)
+	KindMultiRack             // racks joined by direct inter-rack cables (§6)
+)
+
+// String returns the family name.
+func (k Kind) String() string {
+	switch k {
+	case KindTorus:
+		return "torus"
+	case KindMesh:
+		return "mesh"
+	case KindClos:
+		return "clos"
+	case KindMultiRack:
+		return "multirack"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Graph is an immutable directed graph over rack nodes. Construct with
+// NewTorus, NewMesh, NewFoldedClos, or NewGraph; all precomputation happens
+// at construction.
+type Graph struct {
+	kind  Kind
+	k     int // radix per dimension (torus/mesh), 0 otherwise
+	dims  int // number of dimensions (torus/mesh), 0 otherwise
+	n     int // number of endpoint nodes
+	total int // total vertices including any internal switches (Clos)
+
+	links     []Link
+	out       [][]LinkID // outgoing links per node, stable port order
+	in        [][]LinkID
+	linkIndex map[Link]LinkID
+	degraded  bool // built by WithoutLinks: coordinate routing is unsafe
+
+	dist [][]int32 // all-pairs hop distance over all vertices
+}
+
+// NewGraph builds a graph from an explicit directed edge list over
+// `endpoints` endpoint nodes plus optional internal vertices. Vertices are
+// 0..total-1; the first `endpoints` of them are rack nodes that source and
+// sink traffic. It returns an error on out-of-range or duplicate edges.
+func NewGraph(kind Kind, endpoints, total int, edges []Link) (*Graph, error) {
+	if endpoints <= 0 || total < endpoints {
+		return nil, fmt.Errorf("topology: invalid sizes endpoints=%d total=%d", endpoints, total)
+	}
+	g := &Graph{
+		kind:      kind,
+		n:         endpoints,
+		total:     total,
+		out:       make([][]LinkID, total),
+		in:        make([][]LinkID, total),
+		linkIndex: make(map[Link]LinkID, len(edges)),
+	}
+	for _, e := range edges {
+		if e.From < 0 || int(e.From) >= total || e.To < 0 || int(e.To) >= total {
+			return nil, fmt.Errorf("topology: edge %v out of range [0,%d)", e, total)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("topology: self-loop at node %d", e.From)
+		}
+		if _, dup := g.linkIndex[e]; dup {
+			return nil, fmt.Errorf("topology: duplicate edge %v", e)
+		}
+		id := LinkID(len(g.links))
+		g.links = append(g.links, e)
+		g.linkIndex[e] = id
+		g.out[e.From] = append(g.out[e.From], id)
+		g.in[e.To] = append(g.in[e.To], id)
+	}
+	g.computeDistances()
+	return g, nil
+}
+
+// Kind reports the fabric family.
+func (g *Graph) Kind() Kind { return g.kind }
+
+// Nodes returns the number of endpoint nodes (micro-servers).
+func (g *Graph) Nodes() int { return g.n }
+
+// Vertices returns the total vertex count including internal switches.
+func (g *Graph) Vertices() int { return g.total }
+
+// NumLinks returns the number of directed links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Radix returns the per-dimension radix k for torus/mesh graphs, 0 otherwise.
+func (g *Graph) Radix() int { return g.k }
+
+// Degraded reports whether this graph was built by removing links from a
+// regular fabric: coordinate-based routing (dimension order, WLB quadrant
+// walks) must not assume every torus link exists on a degraded graph.
+func (g *Graph) Degraded() bool { return g.degraded }
+
+// Dims returns the dimension count for torus/mesh graphs, 0 otherwise.
+func (g *Graph) Dims() int { return g.dims }
+
+// Link returns the endpoints of a directed link.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// LinkBetween returns the directed link from a to b, if one exists.
+func (g *Graph) LinkBetween(a, b NodeID) (LinkID, bool) {
+	id, ok := g.linkIndex[Link{From: a, To: b}]
+	return id, ok
+}
+
+// Out returns the outgoing link IDs of v in stable port order. The returned
+// slice is owned by the Graph and must not be modified.
+func (g *Graph) Out(v NodeID) []LinkID { return g.out[v] }
+
+// In returns the incoming link IDs of v. The slice is owned by the Graph.
+func (g *Graph) In(v NodeID) []LinkID { return g.in[v] }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.out[v]) }
+
+// Dist returns the hop distance from a to b (precomputed BFS). It returns a
+// negative value if b is unreachable from a.
+func (g *Graph) Dist(a, b NodeID) int { return int(g.dist[a][b]) }
+
+// Diameter returns the maximum finite distance between endpoint nodes.
+func (g *Graph) Diameter() int {
+	d := 0
+	for a := 0; a < g.n; a++ {
+		for b := 0; b < g.n; b++ {
+			if int(g.dist[a][b]) > d {
+				d = int(g.dist[a][b])
+			}
+		}
+	}
+	return d
+}
+
+// MeanNodeDistance returns the average hop distance between distinct
+// endpoint pairs — the "average path length" figure used for broadcast
+// overhead accounting in §3.2.
+func (g *Graph) MeanNodeDistance() float64 {
+	sum, cnt := 0.0, 0
+	for a := 0; a < g.n; a++ {
+		for b := 0; b < g.n; b++ {
+			if a == b {
+				continue
+			}
+			sum += float64(g.dist[a][b])
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+func (g *Graph) computeDistances() {
+	g.dist = make([][]int32, g.total)
+	queue := make([]NodeID, 0, g.total)
+	for s := 0; s < g.total; s++ {
+		d := make([]int32, g.total)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue = queue[:0]
+		queue = append(queue, NodeID(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, lid := range g.out[v] {
+				u := g.links[lid].To
+				if d[u] < 0 {
+					d[u] = d[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		g.dist[s] = d
+	}
+}
+
+// MinimalSuccessors returns, for destination dst, the successor link sets of
+// the minimal-route DAG: succ[v] lists the outgoing links of v that lie on
+// some shortest path from v to dst. succ[dst] is empty. Random packet
+// spraying picks uniformly among these at every hop (§2.2.1).
+func (g *Graph) MinimalSuccessors(dst NodeID) [][]LinkID {
+	succ := make([][]LinkID, g.total)
+	for v := 0; v < g.total; v++ {
+		dv := g.dist[v][dst]
+		if dv <= 0 {
+			continue
+		}
+		for _, lid := range g.out[v] {
+			u := g.links[lid].To
+			if g.dist[u][dst] == dv-1 {
+				succ[v] = append(succ[v], lid)
+			}
+		}
+	}
+	return succ
+}
+
+// WithoutLinks returns the graph with the given directed links removed —
+// the degraded fabric after link or node failures (§3.2, "Failures") — and
+// a mapping from each new link ID to the corresponding link ID in the
+// original graph. Vertex IDs are preserved. It returns an error if any
+// endpoint node would become unreachable from another: R2C2 assumes the
+// rack stays connected (a torus survives many link failures).
+func (g *Graph) WithoutLinks(failed map[LinkID]bool) (*Graph, []LinkID, error) {
+	edges := make([]Link, 0, len(g.links)-len(failed))
+	mapping := make([]LinkID, 0, len(g.links)-len(failed))
+	for id, l := range g.links {
+		if failed[LinkID(id)] {
+			continue
+		}
+		edges = append(edges, l)
+		mapping = append(mapping, LinkID(id))
+	}
+	sub, err := NewGraph(g.kind, g.n, g.total, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub.k, sub.dims = g.k, g.dims
+	sub.degraded = g.degraded || len(failed) > 0
+	for a := 0; a < sub.n; a++ {
+		for b := 0; b < sub.n; b++ {
+			if sub.Dist(NodeID(a), NodeID(b)) < 0 {
+				return nil, nil, fmt.Errorf("topology: failures partition the rack (%d unreachable from %d)", b, a)
+			}
+		}
+	}
+	return sub, mapping, nil
+}
+
+// WithoutNode returns the graph with every link of `dead` removed — the
+// degraded fabric after a node failure — plus the link-ID mapping of
+// WithoutLinks. The dead node itself is allowed to be unreachable; every
+// pair of surviving endpoints must remain mutually connected.
+func (g *Graph) WithoutNode(dead NodeID) (*Graph, []LinkID, error) {
+	failed := make(map[LinkID]bool)
+	for _, lid := range g.out[dead] {
+		failed[lid] = true
+	}
+	for _, lid := range g.in[dead] {
+		failed[lid] = true
+	}
+	edges := make([]Link, 0, len(g.links)-len(failed))
+	mapping := make([]LinkID, 0, len(g.links)-len(failed))
+	for id, l := range g.links {
+		if failed[LinkID(id)] {
+			continue
+		}
+		edges = append(edges, l)
+		mapping = append(mapping, LinkID(id))
+	}
+	sub, err := NewGraph(g.kind, g.n, g.total, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub.k, sub.dims = g.k, g.dims
+	sub.degraded = true
+	for a := 0; a < sub.n; a++ {
+		if NodeID(a) == dead {
+			continue
+		}
+		for b := 0; b < sub.n; b++ {
+			if NodeID(b) == dead {
+				continue
+			}
+			if sub.Dist(NodeID(a), NodeID(b)) < 0 {
+				return nil, nil, fmt.Errorf("topology: losing node %d partitions the survivors (%d unreachable from %d)", dead, b, a)
+			}
+		}
+	}
+	return sub, mapping, nil
+}
+
+// NodesAtDistance returns the endpoint nodes grouped by distance from src:
+// result[d] lists nodes at exactly d hops. Used by broadcast-tree
+// construction and by overhead analytics.
+func (g *Graph) NodesAtDistance(src NodeID) [][]NodeID {
+	byDist := make([][]NodeID, 0, 8)
+	for v := 0; v < g.total; v++ {
+		d := int(g.dist[src][v])
+		if d < 0 {
+			continue
+		}
+		for len(byDist) <= d {
+			byDist = append(byDist, nil)
+		}
+		byDist[d] = append(byDist[d], NodeID(v))
+	}
+	return byDist
+}

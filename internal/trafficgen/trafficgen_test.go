@@ -1,0 +1,299 @@
+package trafficgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+)
+
+func torus(t testing.TB, k, dims int) *topology.Graph {
+	t.Helper()
+	g, err := topology.NewTorus(k, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPoissonBasics(t *testing.T) {
+	cfg := PoissonConfig{Nodes: 64, MeanInterval: simtime.Microsecond, Count: 20000, Seed: 1}
+	arrivals := Poisson(cfg)
+	if len(arrivals) != 20000 {
+		t.Fatalf("count = %d", len(arrivals))
+	}
+	last := simtime.Time(-1)
+	for i, a := range arrivals {
+		if a.At < last {
+			t.Fatalf("arrival %d out of order", i)
+		}
+		last = a.At
+		if a.Src == a.Dst {
+			t.Fatalf("arrival %d: src == dst", i)
+		}
+		if a.Src < 0 || int(a.Src) >= 64 || a.Dst < 0 || int(a.Dst) >= 64 {
+			t.Fatalf("arrival %d: endpoints out of range: %v", i, a)
+		}
+		if a.Size < 1 {
+			t.Fatalf("arrival %d: size %d", i, a.Size)
+		}
+	}
+	// Mean inter-arrival should be ~τ.
+	mean := arrivals[len(arrivals)-1].At.Seconds() / float64(len(arrivals))
+	if mean < 0.8e-6 || mean > 1.2e-6 {
+		t.Errorf("mean inter-arrival = %v s, want ~1e-6", mean)
+	}
+}
+
+// §5.2: "95% of the flows are less than 100 KB" with Pareto(1.05, 100 KB).
+func TestPoissonHeavyTail(t *testing.T) {
+	cfg := PoissonConfig{Nodes: 8, MeanInterval: simtime.Microsecond, Count: 50000, Seed: 7}
+	arrivals := Poisson(cfg)
+	small, totalBytes, smallBytes := 0, 0.0, 0.0
+	for _, a := range arrivals {
+		if a.Size < 100e3 {
+			small++
+			smallBytes += float64(a.Size)
+		}
+		totalBytes += float64(a.Size)
+	}
+	frac := float64(small) / float64(len(arrivals))
+	if frac < 0.93 || frac > 0.99 {
+		t.Errorf("fraction of flows < 100 KB = %.3f, want ~0.95", frac)
+	}
+	// The heavy tail means small flows carry a minority of bytes.
+	if smallBytes/totalBytes > 0.5 {
+		t.Errorf("small flows carry %.2f of bytes; tail not heavy enough", smallBytes/totalBytes)
+	}
+	// Mean should be in the vicinity of 100 KB (the tail cap biases down a
+	// touch; the α=1.05 tail has huge variance, so accept a wide band).
+	mean := totalBytes / float64(len(arrivals))
+	if mean < 20e3 || mean > 500e3 {
+		t.Errorf("mean flow size = %.0f, want ~1e5", mean)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	cfg := PoissonConfig{Nodes: 16, MeanInterval: simtime.Microsecond, Count: 100, Seed: 42}
+	a := Poisson(cfg)
+	b := Poisson(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across runs with same seed", i)
+		}
+	}
+}
+
+func TestPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad config")
+		}
+	}()
+	Poisson(PoissonConfig{Nodes: 1, MeanInterval: 1, Count: 1})
+}
+
+func TestFixedSize(t *testing.T) {
+	cfg := PoissonConfig{Nodes: 16, MeanInterval: simtime.Millisecond, Count: 1000, Seed: 3}
+	arrivals := FixedSize(cfg, 10<<20)
+	for _, a := range arrivals {
+		if a.Size != 10<<20 {
+			t.Fatalf("size = %d", a.Size)
+		}
+	}
+}
+
+func TestPatternsAreValidDemands(t *testing.T) {
+	g := torus(t, 8, 2)
+	rng := rand.New(rand.NewSource(1))
+	patterns := map[string][]routing.Demand{
+		"uniform":        Uniform(g),
+		"nn":             NearestNeighbor(g),
+		"bit-complement": BitComplement(g),
+		"transpose":      Transpose(g),
+		"tornado":        Tornado(g),
+		"random-perm":    RandomPermutation(g, rng),
+	}
+	for name, ds := range patterns {
+		if len(ds) == 0 {
+			t.Fatalf("%s: empty pattern", name)
+		}
+		perSrc := make(map[topology.NodeID]float64)
+		for _, d := range ds {
+			if d.Src == d.Dst {
+				t.Fatalf("%s: self demand", name)
+			}
+			perSrc[d.Src] += d.Rate
+		}
+		for src, rate := range perSrc {
+			if rate > 1+1e-9 {
+				t.Fatalf("%s: node %d injects %v > 1", name, src, rate)
+			}
+		}
+	}
+}
+
+func TestUniformInjection(t *testing.T) {
+	g := torus(t, 4, 2)
+	ds := Uniform(g)
+	if len(ds) != 16*15 {
+		t.Fatalf("uniform pairs = %d", len(ds))
+	}
+	total := 0.0
+	for _, d := range ds {
+		total += d.Rate
+	}
+	if math.Abs(total-16) > 1e-9 {
+		t.Errorf("total injection = %v, want 16", total)
+	}
+}
+
+func TestTornadoShift(t *testing.T) {
+	g := torus(t, 8, 2)
+	ds := Tornado(g)
+	if len(ds) != 64 {
+		t.Fatalf("tornado demands = %d", len(ds))
+	}
+	for _, d := range ds {
+		cs, cd := g.Coord(d.Src), g.Coord(d.Dst)
+		if (cs[0]+3)%8 != cd[0] || cs[1] != cd[1] {
+			t.Fatalf("tornado maps %v to %v", cs, cd)
+		}
+	}
+}
+
+func TestTransposeRequires2D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Transpose on 3D cube should panic")
+		}
+	}()
+	Transpose(torus(t, 4, 3))
+}
+
+func TestBitComplementIsInvolution(t *testing.T) {
+	g := torus(t, 4, 3)
+	ds := BitComplement(g)
+	fwd := make(map[topology.NodeID]topology.NodeID)
+	for _, d := range ds {
+		fwd[d.Src] = d.Dst
+	}
+	for s, d := range fwd {
+		if fwd[d] != s {
+			t.Fatalf("bit complement not an involution at %d", s)
+		}
+	}
+}
+
+func TestWorstCaseAtMostStructured(t *testing.T) {
+	g := torus(t, 4, 2)
+	tab := routing.NewTable(g)
+	_, worst := WorstCase(tab, routing.RPS, 20, 9)
+	tornado := routing.SaturationThroughput(tab, routing.RPS, Tornado(g))
+	if worst > tornado+1e-9 {
+		t.Errorf("worst-case throughput %v exceeds tornado %v", worst, tornado)
+	}
+	// VLB's worst case equals its uniform value: workload oblivious. On a
+	// 4-ary 2-cube uniform/minimal throughput is 2 and VLB's is 1.
+	_, worstVLB := WorstCase(tab, routing.VLB, 10, 9)
+	if math.Abs(worstVLB-1.0) > 0.05 {
+		t.Errorf("VLB worst case = %v, want ~1.0 on a 4-ary 2-cube", worstVLB)
+	}
+}
+
+func TestPermutationLoad(t *testing.T) {
+	g := torus(t, 8, 2)
+	rng := rand.New(rand.NewSource(4))
+	for _, load := range []float64{0.125, 0.5, 1.0} {
+		ds := PermutationLoad(g, load, rng)
+		want := int(math.Round(load * 64))
+		if len(ds) < want-1 || len(ds) > want {
+			t.Fatalf("load %v: %d flows, want ~%d", load, len(ds), want)
+		}
+		srcs := make(map[topology.NodeID]bool)
+		dsts := make(map[topology.NodeID]bool)
+		for _, d := range ds {
+			if srcs[d.Src] {
+				t.Fatalf("load %v: node %d sources two flows", load, d.Src)
+			}
+			if dsts[d.Dst] {
+				t.Fatalf("load %v: node %d sinks two flows", load, d.Dst)
+			}
+			srcs[d.Src], dsts[d.Dst] = true, true
+		}
+	}
+}
+
+func TestPermutationLoadPanics(t *testing.T) {
+	g := torus(t, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for load > 1")
+		}
+	}()
+	PermutationLoad(g, 1.5, rand.New(rand.NewSource(1)))
+}
+
+func TestSimtime(t *testing.T) {
+	if simtime.TransmitTime(1500, 10) != 1200*simtime.Nanosecond {
+		t.Errorf("1500B at 10 Gbps = %v, want 1.2us", simtime.TransmitTime(1500, 10))
+	}
+	if simtime.TransmitTime(16, 10) != simtime.Time(12800) {
+		t.Errorf("16B at 10 Gbps = %v ps, want 12800", int64(simtime.TransmitTime(16, 10)))
+	}
+	if simtime.TransmitTime(0, 10) != 0 || simtime.TransmitTime(10, 0) != 0 {
+		t.Error("degenerate TransmitTime should be 0")
+	}
+	if simtime.FromSeconds(1.5) != 1500*simtime.Millisecond {
+		t.Error("FromSeconds wrong")
+	}
+	if (2 * simtime.Second).Seconds() != 2 {
+		t.Error("Seconds wrong")
+	}
+	for _, c := range []struct {
+		t    simtime.Time
+		want string
+	}{
+		{2 * simtime.Second, "2.000s"},
+		{3 * simtime.Millisecond, "3.000ms"},
+		{4 * simtime.Microsecond, "4.000us"},
+		{5 * simtime.Nanosecond, "5.000ns"},
+		{7, "7ps"},
+	} {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+// The hill-climbing adversary must find a pattern at least as bad as any
+// structured or random one, and VLB must remain immune to it.
+func TestAdversarialPermutation(t *testing.T) {
+	g := torus(t, 8, 2)
+	tab := routing.NewTable(g)
+	_, randWorst := WorstCase(tab, routing.RPS, 10, 3)
+	_, advThr := AdversarialPermutation(tab, routing.RPS, 40*g.Nodes(), 3)
+	if advThr > randWorst+1e-9 {
+		t.Errorf("adversarial search (%v) worse than sampling (%v)", advThr, randWorst)
+	}
+	// Paper Figure 2: RPS worst-case 0.21, far below its tornado 0.33.
+	if advThr > 0.31 {
+		t.Errorf("RPS adversarial throughput = %v, expected < 0.31", advThr)
+	}
+	_, vlbWorst := AdversarialPermutation(tab, routing.VLB, 10*g.Nodes(), 3)
+	if math.Abs(vlbWorst-0.5) > 0.05 {
+		t.Errorf("VLB under adversary = %v, want ~0.5 (oblivious)", vlbWorst)
+	}
+	// Demands form a valid permutation: each node sources at most one.
+	ds, _ := AdversarialPermutation(tab, routing.DOR, 100, 4)
+	seen := map[topology.NodeID]bool{}
+	for _, d := range ds {
+		if seen[d.Src] {
+			t.Fatal("node sources two flows")
+		}
+		seen[d.Src] = true
+	}
+}

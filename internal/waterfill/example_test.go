@@ -1,0 +1,33 @@
+package waterfill_test
+
+import (
+	"fmt"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/topology"
+	"r2c2/internal/waterfill"
+)
+
+// Two flows share every link of a dimension-order path; the weight-3 flow
+// receives three times the weight-1 flow's rate, and together they fill
+// the headroom-adjusted link.
+func ExampleAllocator_Allocate() {
+	g, _ := topology.NewTorus(4, 2)
+	tab := routing.NewTable(g)
+	phi := tab.Phi(routing.DOR, 0, 1) // single path: one bottleneck link
+
+	alloc := waterfill.NewAllocator(waterfill.Config{
+		NumLinks: g.NumLinks(),
+		Capacity: 10e9, // 10 Gbps links
+		Headroom: 0.05, // §3.3.2: absorb flows not yet broadcast
+	})
+	rates := alloc.Allocate([]waterfill.Flow{
+		{Phi: phi, Weight: 3, Demand: waterfill.Unlimited},
+		{Phi: phi, Weight: 1, Demand: waterfill.Unlimited},
+	})
+	fmt.Printf("weight-3 flow: %.3f Gbps\n", rates[0]/1e9)
+	fmt.Printf("weight-1 flow: %.3f Gbps\n", rates[1]/1e9)
+	// Output:
+	// weight-3 flow: 7.125 Gbps
+	// weight-1 flow: 2.375 Gbps
+}

@@ -1,0 +1,94 @@
+package waterfill
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/topology"
+)
+
+// Property-based allocation checks over randomly generated sparse φ-vectors
+// (not tied to any topology): capacity feasibility, demand respect and
+// non-negativity must hold for arbitrary inputs, not just routed ones.
+func TestQuickAllocationFeasibility(t *testing.T) {
+	f := func(seed int64, nFlowsRaw, nLinksRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nFlows := int(nFlowsRaw)%40 + 1
+		nLinks := int(nLinksRaw)%30 + 2
+		flows := make([]Flow, nFlows)
+		for i := range flows {
+			nTouched := rng.Intn(nLinks) + 1
+			phi := routing.Phi{}
+			perm := rng.Perm(nLinks)[:nTouched]
+			for _, lid := range perm {
+				phi.Links = append(phi.Links, topology.LinkID(lid))
+				phi.Frac = append(phi.Frac, rng.Float64()+0.01)
+			}
+			flows[i] = Flow{
+				Phi:      phi,
+				Weight:   rng.Float64()*4 + 0.1,
+				Priority: uint8(rng.Intn(3)),
+				Demand:   Unlimited,
+			}
+			if rng.Intn(3) == 0 {
+				flows[i].Demand = rng.Float64() * 10
+			}
+		}
+		cfg := Config{NumLinks: nLinks, Capacity: 1 + rng.Float64()*9, Headroom: rng.Float64() * 0.3}
+		a := NewAllocator(cfg)
+		rates := a.Allocate(flows)
+		eff := cfg.Capacity * (1 - cfg.Headroom)
+		loads := LinkLoads(nLinks, flows, rates)
+		for _, l := range loads {
+			if l > eff*(1+1e-6)+1e-9 {
+				return false
+			}
+		}
+		for i, r := range rates {
+			if r < 0 {
+				return false
+			}
+			if flows[i].Demand != Unlimited && r > flows[i].Demand*(1+1e-6)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Work conservation: with one priority class, no demands, and every flow
+// having at least one link, some link must end up saturated (otherwise the
+// water could keep rising).
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(seed int64, nFlowsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nFlows := int(nFlowsRaw)%20 + 1
+		nLinks := 10
+		flows := make([]Flow, nFlows)
+		for i := range flows {
+			phi := routing.Phi{
+				Links: []topology.LinkID{topology.LinkID(rng.Intn(nLinks))},
+				Frac:  []float64{1},
+			}
+			flows[i] = Flow{Phi: phi, Weight: 1, Demand: Unlimited}
+		}
+		cfg := Config{NumLinks: nLinks, Capacity: 5}
+		a := NewAllocator(cfg)
+		rates := a.Allocate(flows)
+		loads := LinkLoads(nLinks, flows, rates)
+		for _, l := range loads {
+			if l >= 5*(1-1e-9) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package waterfill
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/topology"
+)
+
+// referenceAllocate is an independent, slow implementation of weighted
+// max-min with fixed per-link splits: progressive filling in tiny epsilon
+// steps. It exists purely to cross-check the production water-filling.
+func referenceAllocate(cfg Config, flows []Flow, steps int) []float64 {
+	cap := cfg.Capacity * (1 - cfg.Headroom)
+	rates := make([]float64, len(flows))
+	frozen := make([]bool, len(flows))
+	loads := make([]float64, cfg.NumLinks)
+	// Priorities: strictly higher classes first.
+	prios := map[uint8]bool{}
+	for _, f := range flows {
+		prios[f.Priority] = true
+	}
+	var order []int
+	for p := 256 - 1; p >= 0; p-- {
+		if !prios[uint8(p)] {
+			continue
+		}
+		order = append(order, p)
+	}
+	eps := cap / float64(steps)
+	for _, p := range order {
+		active := []int{}
+		for i, f := range flows {
+			if int(f.Priority) == p && len(f.Phi.Links) > 0 && f.Demand > 0 {
+				active = append(active, i)
+			} else if int(f.Priority) == p && len(f.Phi.Links) == 0 && f.Demand != Unlimited {
+				rates[i] = f.Demand
+				frozen[i] = true
+			}
+		}
+		for progress := true; progress; {
+			progress = false
+			for _, i := range active {
+				if frozen[i] {
+					continue
+				}
+				f := flows[i]
+				delta := eps * f.Weight
+				if f.Demand != Unlimited && rates[i]+delta > f.Demand {
+					delta = f.Demand - rates[i]
+				}
+				if delta <= 0 {
+					frozen[i] = true
+					continue
+				}
+				// Feasible?
+				ok := true
+				for j, lid := range f.Phi.Links {
+					if loads[lid]+delta*f.Phi.Frac[j] > cap+1e-12 {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					frozen[i] = true
+					continue
+				}
+				for j, lid := range f.Phi.Links {
+					loads[lid] += delta * f.Phi.Frac[j]
+				}
+				rates[i] += delta
+				progress = true
+			}
+		}
+	}
+	return rates
+}
+
+// The production allocator must agree with the epsilon-step reference on
+// random instances, within the reference's discretisation error.
+func TestAllocateMatchesReference(t *testing.T) {
+	g, err := topology.NewTorus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := routing.NewTable(g)
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 15; trial++ {
+		nFlows := 3 + rng.Intn(10)
+		flows := make([]Flow, nFlows)
+		for i := range flows {
+			src := topology.NodeID(rng.Intn(g.Nodes()))
+			dst := topology.NodeID(rng.Intn(g.Nodes()))
+			for dst == src {
+				dst = topology.NodeID(rng.Intn(g.Nodes()))
+			}
+			flows[i] = Flow{
+				Phi:      tab.Phi(routing.RPS, src, dst),
+				Weight:   1 + float64(rng.Intn(3)),
+				Priority: uint8(rng.Intn(2)),
+				Demand:   Unlimited,
+			}
+			if rng.Intn(4) == 0 {
+				flows[i].Demand = rng.Float64() * 0.5
+			}
+		}
+		cfg := Config{NumLinks: g.NumLinks(), Capacity: 1, Headroom: 0}
+		got := NewAllocator(cfg).Allocate(flows)
+		const steps = 20000
+		want := referenceAllocate(cfg, flows, steps)
+		for i := range flows {
+			tol := math.Max(0.01, flows[i].Weight*2.0/steps*10)
+			if math.Abs(got[i]-want[i]) > tol {
+				t.Fatalf("trial %d flow %d: allocator %v, reference %v (±%v)",
+					trial, i, got[i], want[i], tol)
+			}
+		}
+	}
+}

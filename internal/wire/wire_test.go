@@ -1,0 +1,322 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlowID(t *testing.T) {
+	f := MakeFlowID(511, 12345)
+	if f.Src() != 511 || f.Seq() != 12345 {
+		t.Fatalf("FlowID round trip: src=%d seq=%d", f.Src(), f.Seq())
+	}
+	if f.String() != "511.12345" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestPackRouteRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) > MaxRouteHops {
+			raw = raw[:MaxRouteHops]
+		}
+		route := make(Route, len(raw))
+		for i, b := range raw {
+			route[i] = b & 0x7
+		}
+		packed, err := PackRoute(route)
+		if err != nil {
+			return false
+		}
+		got, err := UnpackRoute(packed, len(route))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(route) {
+			return false
+		}
+		for i := range got {
+			if got[i] != route[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackRouteMax(t *testing.T) {
+	route := make(Route, MaxRouteHops)
+	for i := range route {
+		route[i] = uint8(i % 8)
+	}
+	packed, err := PackRoute(route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnpackRoute(packed, MaxRouteHops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != route[i] {
+			t.Fatalf("hop %d: got %d want %d", i, got[i], route[i])
+		}
+	}
+}
+
+func TestPackRouteErrors(t *testing.T) {
+	if _, err := PackRoute(make(Route, MaxRouteHops+1)); err != ErrRouteTooLong {
+		t.Errorf("long route: err = %v", err)
+	}
+	if _, err := PackRoute(Route{8}); err != ErrBadPort {
+		t.Errorf("bad port: err = %v", err)
+	}
+	if _, err := UnpackRoute([16]byte{}, MaxRouteHops+1); err != ErrRouteTooLong {
+		t.Errorf("long unpack: err = %v", err)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	route, err := PackRoute(Route{1, 2, 3, 4, 5, 0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("rack-scale payload")
+	h := &DataHeader{
+		RLen:  7,
+		RIdx:  2,
+		Flow:  MakeFlowID(17, 99),
+		Src:   17,
+		Dst:   403,
+		Seq:   0xDEADBEEF,
+		PLen:  uint16(len(payload)),
+		Route: route,
+	}
+	pkt, err := EncodeData(nil, h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) != DataHeaderSize+len(payload) {
+		t.Fatalf("packet size = %d", len(pkt))
+	}
+	got, gotPayload, err := DecodeData(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *h {
+		t.Fatalf("header round trip:\n got %+v\nwant %+v", got, h)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("payload round trip: %q", gotPayload)
+	}
+}
+
+func TestDataChecksumDetectsCorruption(t *testing.T) {
+	h := &DataHeader{RLen: 3, Flow: MakeFlowID(1, 2), Src: 1, Dst: 2, PLen: 4}
+	pkt, err := EncodeData(nil, h, []byte{9, 9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		corrupt := make([]byte, len(pkt))
+		copy(corrupt, pkt)
+		i := rng.Intn(DataHeaderSize)
+		if i == 2 {
+			continue // ridx is hop-mutable and deliberately unprotected
+		}
+		flip := byte(1 << rng.Intn(8))
+		corrupt[i] ^= flip
+		_, _, err := DecodeData(corrupt)
+		if err == nil {
+			t.Fatalf("single-bit header corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestDataErrors(t *testing.T) {
+	if _, _, err := DecodeData(make([]byte, 4)); err != ErrShortPacket {
+		t.Errorf("short: %v", err)
+	}
+	pkt, _ := EncodeData(nil, &DataHeader{PLen: 0}, nil)
+	pkt[0] = byte(TypeAck)
+	if _, _, err := DecodeData(pkt); err != ErrBadType {
+		t.Errorf("bad type: %v", err)
+	}
+	// Truncated payload.
+	pkt2, _ := EncodeData(nil, &DataHeader{PLen: 10}, make([]byte, 10))
+	if _, _, err := DecodeData(pkt2[:len(pkt2)-1]); err != ErrShortPacket {
+		t.Errorf("truncated payload: %v", err)
+	}
+	// Mismatched payload length at encode time.
+	if _, err := EncodeData(nil, &DataHeader{PLen: 5}, make([]byte, 4)); err == nil {
+		t.Error("plen mismatch accepted")
+	}
+	if _, err := EncodeData(nil, &DataHeader{RLen: MaxRouteHops + 1}, nil); err != ErrRouteTooLong {
+		t.Errorf("rlen too long: %v", err)
+	}
+}
+
+func TestBroadcastRoundTrip(t *testing.T) {
+	f := func(src, dst, seq uint16, weight, prio, tree, rp uint8, demand uint32, kind uint8) bool {
+		b := &Broadcast{
+			Event:    EventKind(kind%4 + 1),
+			Src:      src,
+			Dst:      dst,
+			FlowSeq:  seq,
+			Weight:   weight,
+			Priority: prio,
+			Demand:   demand,
+			Tree:     tree,
+			RP:       rp,
+		}
+		pkt := EncodeBroadcast(b)
+		got, err := DecodeBroadcast(pkt[:])
+		if err != nil {
+			return false
+		}
+		return *got == *b && got.Flow() == MakeFlowID(src, seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastIs16Bytes(t *testing.T) {
+	pkt := EncodeBroadcast(&Broadcast{Event: EventFlowStart})
+	if len(pkt) != 16 || BroadcastSize != 16 {
+		t.Fatalf("broadcast packet must be exactly 16 bytes (§3.2)")
+	}
+}
+
+func TestBroadcastChecksumDetectsCorruption(t *testing.T) {
+	pkt := EncodeBroadcast(&Broadcast{Event: EventFlowStart, Src: 3, Dst: 77, Demand: 123456})
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		corrupt := pkt
+		i := rng.Intn(BroadcastSize)
+		corrupt[i] ^= byte(1 << rng.Intn(8))
+		if _, err := DecodeBroadcast(corrupt[:]); err == nil {
+			t.Fatalf("single-bit broadcast corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestBroadcastErrors(t *testing.T) {
+	if _, err := DecodeBroadcast(make([]byte, 8)); err != ErrShortPacket {
+		t.Errorf("short: %v", err)
+	}
+	pkt := EncodeBroadcast(&Broadcast{Event: EventFlowStart})
+	pkt[0] = byte(TypeData) << 4
+	if _, err := DecodeBroadcast(pkt[:]); err != ErrBadType {
+		t.Errorf("bad type: %v", err)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	names := map[EventKind]string{
+		EventFlowStart:    "flow-start",
+		EventFlowFinish:   "flow-finish",
+		EventDemandUpdate: "demand-update",
+		EventRouteChange:  "route-change",
+		EventKind(9):      "EventKind(9)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestRoutingUpdateRoundTrip(t *testing.T) {
+	pairs := make([]RoutingPair, MaxRoutingPairs)
+	rng := rand.New(rand.NewSource(3))
+	for i := range pairs {
+		pairs[i] = RoutingPair{Flow: FlowID(rng.Uint32()), RP: uint8(rng.Intn(4))}
+	}
+	pkt, err := EncodeRoutingUpdate(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) > 1504 {
+		t.Fatalf("300-pair update is %d bytes; paper fits 300 pairs in one 1500-byte packet", len(pkt))
+	}
+	got, err := DecodeRoutingUpdate(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("decoded %d pairs", len(got))
+	}
+	for i := range got {
+		if got[i] != pairs[i] {
+			t.Fatalf("pair %d: got %+v want %+v", i, got[i], pairs[i])
+		}
+	}
+}
+
+func TestRoutingUpdateCapacity(t *testing.T) {
+	// §3.4: "up to 300 {flow, routing protocol} pairs can be advertised
+	// using a single 1,500-byte packet".
+	if MaxRoutingPairs < 299 {
+		t.Fatalf("MaxRoutingPairs = %d, want ~300", MaxRoutingPairs)
+	}
+	if _, err := EncodeRoutingUpdate(make([]RoutingPair, MaxRoutingPairs+1)); err != ErrTooManyPairs {
+		t.Errorf("overflow: %v", err)
+	}
+}
+
+func TestRoutingUpdateErrors(t *testing.T) {
+	pkt, err := EncodeRoutingUpdate([]RoutingPair{{Flow: 1, RP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRoutingUpdate(pkt[:2]); err != ErrShortPacket {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, len(pkt))
+	copy(bad, pkt)
+	bad[0] = byte(TypeData)
+	if _, err := DecodeRoutingUpdate(bad); err != ErrBadType {
+		t.Errorf("bad type: %v", err)
+	}
+	copy(bad, pkt)
+	bad[5] ^= 0x01 // single-bit flips are always caught by the mod-255 sum
+	if _, err := DecodeRoutingUpdate(bad); err != ErrBadChecksum {
+		t.Errorf("corruption: %v", err)
+	}
+	// Count larger than the packet actually carries.
+	copy(bad, pkt)
+	bad[2] = 200
+	if _, err := DecodeRoutingUpdate(bad); err != ErrShortPacket {
+		t.Errorf("overcount: %v", err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	a := &Ack{Flow: MakeFlowID(5, 6), Src: 5, Dst: 6, CumSeq: 424242}
+	pkt := EncodeAck(a)
+	got, err := DecodeAck(pkt[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("ack round trip: %+v vs %+v", got, a)
+	}
+	pkt[9] ^= 1
+	if _, err := DecodeAck(pkt[:]); err != ErrBadChecksum {
+		t.Errorf("corrupted ack: %v", err)
+	}
+	if _, err := DecodeAck(pkt[:8]); err != ErrShortPacket {
+		t.Errorf("short ack: %v", err)
+	}
+	var wrong [16]byte
+	if _, err := DecodeAck(wrong[:]); err != ErrBadType {
+		t.Errorf("bad type ack: %v", err)
+	}
+}
