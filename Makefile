@@ -1,0 +1,33 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: build test race debug lint fuzz vet verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Runtime invariant assertions in internal/sim (clock monotonicity, no
+# stale event pops, pacing within injection bandwidth) compile in only
+# under the debug tag.
+debug:
+	$(GO) test -tags debug ./internal/sim/
+
+vet:
+	$(GO) vet ./...
+
+# The repo's own static-analysis rules; see DESIGN.md "Determinism &
+# concurrency invariants" and `go run ./cmd/r2c2-lint -rules`.
+lint:
+	$(GO) run ./cmd/r2c2-lint ./...
+
+fuzz:
+	$(GO) test -run=^$$ -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME) ./internal/wire/
+
+verify: build vet lint test race debug
+	@echo verify: OK

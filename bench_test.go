@@ -267,7 +267,7 @@ func BenchmarkAblationViewCache(b *testing.B) {
 		}
 		view.AddFlow(core.FlowInfo{
 			ID: wire.MakeFlowID(uint16(src), uint16(i)), Src: src, Dst: dst,
-			Weight: 1, Demand: core.UnlimitedDemand, Protocol: routing.RPS,
+			Weight: 1, DemandKbps: core.UnlimitedDemand, Protocol: routing.RPS,
 		})
 	}
 	nodes := g.Nodes()
@@ -415,7 +415,7 @@ func BenchmarkPhiRPS512(b *testing.B) {
 }
 
 func BenchmarkBroadcastEncodeDecode(b *testing.B) {
-	bc := &wire.Broadcast{Event: wire.EventFlowStart, Src: 3, Dst: 500, Demand: 123456}
+	bc := &wire.Broadcast{Event: wire.EventFlowStart, Src: 3, Dst: 500, DemandKbps: 123456}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pkt := wire.EncodeBroadcast(bc)

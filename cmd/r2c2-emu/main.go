@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,17 +22,28 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "r2c2-emu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("r2c2-emu", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		cross = flag.Bool("crossvalidate", false, "run the Figure 7 cross-validation")
-		demo  = flag.Bool("demo", false, "run a short live workload on the emulated rack")
-		k     = flag.Int("k", 4, "2D-torus radix (paper: 4x4)")
-		mbps  = flag.Float64("mbps", 200, "virtual link bandwidth, Mbit/s (paper: 5000 on RDMA hardware)")
-		flows = flag.Int("flows", 60, "number of flows (paper: 1000)")
-		size  = flag.Int64("bytes", 1<<20, "flow size in bytes (paper: 10 MB)")
-		mean  = flag.Duration("interval", 10*time.Millisecond, "mean flow inter-arrival (paper: 1ms)")
-		seed  = flag.Int64("seed", 1, "random seed")
+		cross = fs.Bool("crossvalidate", false, "run the Figure 7 cross-validation")
+		demo  = fs.Bool("demo", false, "run a short live workload on the emulated rack")
+		k     = fs.Int("k", 4, "2D-torus radix (paper: 4x4)")
+		mbps  = fs.Float64("mbps", 200, "virtual link bandwidth, Mbit/s (paper: 5000 on RDMA hardware)")
+		flows = fs.Int("flows", 60, "number of flows (paper: 1000)")
+		size  = fs.Int64("bytes", 1<<20, "flow size in bytes (paper: 10 MB)")
+		mean  = fs.Duration("interval", 10*time.Millisecond, "mean flow inter-arrival (paper: 1ms)")
+		seed  = fs.Int64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !*cross && !*demo {
 		*cross = true
 	}
@@ -41,31 +53,31 @@ func main() {
 			K: *k, LinkMbps: *mbps, Flows: *flows, FlowBytes: *size,
 			MeanInterval: *mean, Seed: *seed,
 		}
-		fmt.Printf("cross-validating %dx%d 2D torus, %d x %d-byte flows at %v mean arrival, %.0f Mbps links\n\n",
+		fmt.Fprintf(stdout, "cross-validating %dx%d 2D torus, %d x %d-byte flows at %v mean arrival, %.0f Mbps links\n\n",
 			*k, *k, *flows, *size, *mean, *mbps)
 		res, err := experiments.Fig7(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(res.Table())
-		fmt.Printf("median throughput gap: %.1f%%\n", 100*res.MedianThroughputGap())
+		fmt.Fprintln(stdout, res.Table())
+		fmt.Fprintf(stdout, "median throughput gap: %.1f%%\n", 100*res.MedianThroughputGap())
 	}
 
 	if *demo {
 		g, err := topology.NewTorus(*k, 2)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		rack, err := emu.New(emu.Config{
 			Graph: g, LinkMbps: *mbps, Headroom: 0.05,
 			Protocol: routing.RPS, Seed: *seed,
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		rack.Start()
 		defer rack.Stop()
-		fmt.Printf("live rack: %d nodes, %.0f Mbps virtual links\n", g.Nodes(), *mbps)
+		fmt.Fprintf(stdout, "live rack: %d nodes, %.0f Mbps virtual links\n", g.Nodes(), *mbps)
 		var handles []*emu.Flow
 		for i := 0; i < *flows; i++ {
 			src := topology.NodeID(i % g.Nodes())
@@ -75,22 +87,18 @@ func main() {
 			}
 			f, err := rack.StartFlow(src, dst, *size, 1, 0)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			handles = append(handles, f)
 			time.Sleep(*mean / 4)
 		}
 		for _, f := range handles {
 			if err := f.Wait(5 * time.Minute); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("flow %v: %.1f Mbps, FCT %v\n", f.Info.ID, f.Throughput()/1e6, f.FCT().Round(time.Millisecond))
+			fmt.Fprintf(stdout, "flow %v: %.1f Mbps, FCT %v\n", f.Info.ID, f.Throughput()/1e6, f.FCT().Round(time.Millisecond))
 		}
-		fmt.Printf("drops: %d\n", rack.Drops())
+		fmt.Fprintf(stdout, "drops: %d\n", rack.Drops())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "r2c2-emu:", err)
-	os.Exit(1)
+	return nil
 }

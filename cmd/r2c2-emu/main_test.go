@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke cross-validates a handful of small flows. The emulator runs
+// in (scaled) wall-clock time, so the workload is kept tiny.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulator runs in wall-clock time")
+	}
+	var out bytes.Buffer
+	args := []string{"-crossvalidate", "-flows", "6", "-mbps", "500", "-bytes", "262144", "-interval", "2ms"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "median throughput gap") {
+		t.Fatalf("output missing gap summary:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

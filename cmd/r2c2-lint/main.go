@@ -1,0 +1,85 @@
+// Command r2c2-lint runs the repo's custom static-analysis rules (package
+// internal/analysis): the determinism and concurrency invariants that keep
+// the simulator bit-reproducible and the emulator race-free.
+//
+// Usage:
+//
+//	r2c2-lint ./...          # lint the whole module
+//	r2c2-lint -json ./...    # machine-readable findings
+//	r2c2-lint -rules         # list the rules and their scope
+//
+// It exits non-zero when any finding survives //lint:ignore suppression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"r2c2/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "r2c2-lint:", err)
+		os.Exit(1)
+	}
+}
+
+// errFindings signals a clean run that found violations (distinct from an
+// operational failure, though both exit non-zero).
+type errFindings int
+
+func (e errFindings) Error() string { return fmt.Sprintf("%d finding(s)", int(e)) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("r2c2-lint", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	listRules := fs.Bool("rules", false, "list the rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rules := analysis.Default()
+	if *listRules {
+		for _, a := range rules {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
+		}
+		return nil
+	}
+
+	root := "."
+	if fs.NArg() > 0 {
+		// Accept "./..." and friends: the runner always recurses.
+		root = strings.TrimSuffix(fs.Arg(0), "...")
+		root = strings.TrimSuffix(root, string(filepath.Separator))
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+	}
+	diags, err := analysis.Run(root, rules)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return errFindings(len(diags))
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRules(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rules"}, &out); err != nil {
+		t.Fatalf("run -rules: %v", err)
+	}
+	for _, rule := range []string{"no-wallclock", "no-global-rand", "mutex-by-value", "goroutine-leak", "unit-suffix"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Fatalf("rule listing missing %q:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestRunFindsViolations(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module example.com/fake\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "sim")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package sim\nimport \"time\"\nfunc now() int64 { return time.Now().UnixNano() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "clock.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err := run([]string{"-json", root + "/..."}, &out)
+	if err == nil {
+		t.Fatal("lint of a violating tree should exit non-zero")
+	}
+	if _, ok := err.(errFindings); !ok {
+		t.Fatalf("want errFindings, got %T: %v", err, err)
+	}
+	if !strings.Contains(out.String(), "no-wallclock") {
+		t.Fatalf("JSON output missing the finding:\n%s", out.String())
+	}
+}

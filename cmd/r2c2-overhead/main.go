@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"r2c2/internal/broadcastmodel"
@@ -14,56 +15,63 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "r2c2-overhead:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("r2c2-overhead", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		fig9  = flag.Bool("fig9", false, "Figure 9: broadcast overhead vs small-flow byte fraction")
-		fig19 = flag.Bool("fig19", false, "Figure 19: decentralized vs centralized control traffic")
-		k     = flag.Int("k", 8, "torus radix for fig19")
-		dims  = flag.Int("dims", 3, "torus dimensions for fig19")
-		csv   = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		fig9  = fs.Bool("fig9", false, "Figure 9: broadcast overhead vs small-flow byte fraction")
+		fig19 = fs.Bool("fig19", false, "Figure 19: decentralized vs centralized control traffic")
+		k     = fs.Int("k", 8, "torus radix for fig19")
+		dims  = fs.Int("dims", 3, "torus dimensions for fig19")
+		csv   = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !*fig9 && !*fig19 {
 		*fig9, *fig19 = true, true
 	}
 
 	if *fig9 {
 		res := experiments.Fig9([]float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1})
-		render(res.Table(), *csv)
+		render(stdout, res.Table(), *csv)
 
 		// The §3.2 spot checks.
 		g, err := topology.NewTorus(8, 3)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("spot checks on the 512-node 3D torus (§3.2):\n")
-		fmt.Printf("  one broadcast        = %.0f bytes on the wire (paper: ~8 KB)\n",
+		fmt.Fprintf(stdout, "spot checks on the 512-node 3D torus (§3.2):\n")
+		fmt.Fprintf(stdout, "  one broadcast        = %.0f bytes on the wire (paper: ~8 KB)\n",
 			broadcastmodel.EventBytes(g.Nodes()))
-		fmt.Printf("  10 KB flow overhead  = %.2f%% (paper: 26.66%%)\n",
+		fmt.Fprintf(stdout, "  10 KB flow overhead  = %.2f%% (paper: 26.66%%)\n",
 			100*broadcastmodel.FlowOverhead(g, 10e3))
-		fmt.Printf("  10 MB flow overhead  = %.4f%% (paper: 0.026%%)\n\n",
+		fmt.Fprintf(stdout, "  10 MB flow overhead  = %.4f%% (paper: 0.026%%)\n\n",
 			100*broadcastmodel.FlowOverhead(g, 10e6))
 	}
 
 	if *fig19 {
 		g, err := topology.NewTorus(*k, *dims)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		res := experiments.Fig19(g, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
-		render(res.Table(), *csv)
+		render(stdout, res.Table(), *csv)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "r2c2-overhead:", err)
-	os.Exit(1)
+	return nil
 }
 
 // render prints a result table as aligned text or CSV.
-func render(t *experiments.Table, csv bool) {
+func render(w io.Writer, t *experiments.Table, csv bool) {
 	if csv {
-		fmt.Print("# ", t.Title, "\n", t.CSV())
+		fmt.Fprint(w, "# ", t.Title, "\n", t.CSV())
 		return
 	}
-	fmt.Println(t)
+	fmt.Fprintln(w, t)
 }

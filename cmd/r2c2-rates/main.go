@@ -12,25 +12,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"r2c2/internal/experiments"
 	"r2c2/internal/simtime"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "r2c2-rates:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("r2c2-rates", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		fig8  = flag.Bool("fig8", false, "Figure 8: CPU overhead of rate recomputation")
-		fig15 = flag.Bool("fig15", false, "Figure 15: rate error vs recomputation interval")
-		fig16 = flag.Bool("fig16", false, "Figure 16: rate error vs flow inter-arrival time")
-		k     = flag.Int("k", 4, "torus radix (paper: 8)")
-		dims  = flag.Int("dims", 3, "torus dimensions")
-		flows = flag.Int("flows", 3000, "flows per run")
-		tauUs = flag.Float64("tau", 4, "mean inter-arrival time in microseconds (paper: 1)")
-		ticks = flag.Int("max-ticks", 200, "recomputations timed per interval (fig8)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		csv   = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		fig8  = fs.Bool("fig8", false, "Figure 8: CPU overhead of rate recomputation")
+		fig15 = fs.Bool("fig15", false, "Figure 15: rate error vs recomputation interval")
+		fig16 = fs.Bool("fig16", false, "Figure 16: rate error vs flow inter-arrival time")
+		k     = fs.Int("k", 4, "torus radix (paper: 8)")
+		dims  = fs.Int("dims", 3, "torus dimensions")
+		flows = fs.Int("flows", 3000, "flows per run")
+		tauUs = fs.Float64("tau", 4, "mean inter-arrival time in microseconds (paper: 1)")
+		ticks = fs.Int("max-ticks", 200, "recomputations timed per interval (fig8)")
+		seed  = fs.Int64("seed", 1, "random seed")
+		csv   = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !*fig8 && !*fig15 && !*fig16 {
 		*fig8, *fig15, *fig16 = true, true, true
 	}
@@ -38,7 +51,7 @@ func main() {
 	s := experiments.TestScale()
 	s.K, s.Dims, s.Flows, s.Seed = *k, *dims, *flows, *seed
 	tau := simtime.FromSeconds(*tauUs * 1e-6)
-	fmt.Printf("topology: %d-ary %d-cube (%d nodes), %d flows, tau=%v\n\n",
+	fmt.Fprintf(stdout, "topology: %d-ary %d-cube (%d nodes), %d flows, tau=%v\n\n",
 		s.K, s.Dims, s.Torus().Nodes(), s.Flows, tau)
 
 	rhos := []simtime.Time{
@@ -53,28 +66,29 @@ func main() {
 
 	if *fig8 {
 		res := experiments.Fig8(s, tau, rhos, *ticks)
-		render(res.Table(), *csv)
-		fmt.Println("(atom columns scale host times by the documented slowdown factor; see DESIGN.md)")
-		fmt.Println()
+		render(stdout, res.Table(), *csv)
+		fmt.Fprintln(stdout, "(atom columns scale host times by the documented slowdown factor; see DESIGN.md)")
+		fmt.Fprintln(stdout)
 	}
 
 	if *fig15 {
 		res := experiments.Fig15(s, tau, rhos)
-		render(res.Table(), *csv)
+		render(stdout, res.Table(), *csv)
 	}
 
 	if *fig16 {
 		taus := []simtime.Time{tau, 2 * tau, 5 * tau, 25 * tau, 100 * tau}
 		res := experiments.Fig16(s, 500*simtime.Microsecond, taus)
-		render(res.Table(), *csv)
+		render(stdout, res.Table(), *csv)
 	}
+	return nil
 }
 
 // render prints a result table as aligned text or CSV.
-func render(t *experiments.Table, csv bool) {
+func render(w io.Writer, t *experiments.Table, csv bool) {
 	if csv {
-		fmt.Print("# ", t.Title, "\n", t.CSV())
+		fmt.Fprint(w, "# ", t.Title, "\n", t.CSV())
 		return
 	}
-	fmt.Println(t)
+	fmt.Fprintln(w, t)
 }

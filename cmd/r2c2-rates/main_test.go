@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig15", "-k", "3", "-dims", "2", "-flows", "40", "-csv"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "topology: 3-ary 2-cube (9 nodes)") {
+		t.Fatalf("output missing topology line:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

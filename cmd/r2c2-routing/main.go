@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"r2c2/internal/experiments"
@@ -21,50 +22,62 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "r2c2-routing:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("r2c2-routing", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		fig2   = flag.Bool("fig2", false, "regenerate the Figure 2 routing-throughput table")
-		fig18  = flag.Bool("fig18", false, "regenerate the Figure 18 adaptive-selection comparison")
-		k      = flag.Int("k", 8, "torus radix")
-		dims   = flag.Int("dims", 3, "torus dimensions (fig18; fig2 always uses the paper's 8-ary 2-cube unless -k/-dims are set)")
-		trials = flag.Int("worst-trials", 50, "random permutations searched for the worst-case row")
-		pop    = flag.Int("population", 100, "GA population size (paper: 100)")
-		gens   = flag.Int("generations", 50, "GA generation budget")
-		seed   = flag.Int64("seed", 1, "random seed")
-		csv    = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		fig2   = fs.Bool("fig2", false, "regenerate the Figure 2 routing-throughput table")
+		fig18  = fs.Bool("fig18", false, "regenerate the Figure 18 adaptive-selection comparison")
+		k      = fs.Int("k", 8, "torus radix")
+		dims   = fs.Int("dims", 3, "torus dimensions (fig18; fig2 always uses the paper's 8-ary 2-cube unless -k/-dims are set)")
+		trials = fs.Int("worst-trials", 50, "random permutations searched for the worst-case row")
+		pop    = fs.Int("population", 100, "GA population size (paper: 100)")
+		gens   = fs.Int("generations", 50, "GA generation budget")
+		seed   = fs.Int64("seed", 1, "random seed")
+		csv    = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !*fig2 && !*fig18 {
 		*fig2, *fig18 = true, true
 	}
 
 	if *fig2 {
 		kk, dd := *k, *dims
-		if !flagSet("k") && !flagSet("dims") {
+		if !flagSet(fs, "k") && !flagSet(fs, "dims") {
 			kk, dd = 8, 2 // the paper's Figure 2 geometry
 		}
 		g, err := topology.NewTorus(kk, dd)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("Figure 2 topology: %d-ary %d-cube (%d nodes)\n", kk, dd, g.Nodes())
+		fmt.Fprintf(stdout, "Figure 2 topology: %d-ary %d-cube (%d nodes)\n", kk, dd, g.Nodes())
 		res := experiments.Fig2(g, *trials, *seed)
-		render(res.Table(), *csv)
+		render(stdout, res.Table(), *csv)
 	}
 
 	if *fig18 {
 		s := experiments.PaperScale()
 		s.K, s.Dims, s.Seed = *k, *dims, *seed
-		fmt.Printf("Figure 18 topology: %d-ary %d-cube (%d nodes)\n", s.K, s.Dims, s.Torus().Nodes())
+		fmt.Fprintf(stdout, "Figure 18 topology: %d-ary %d-cube (%d nodes)\n", s.K, s.Dims, s.Torus().Nodes())
 		res := experiments.Fig18(s,
 			[]float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0},
 			genetic.Config{Population: *pop, MaxGens: *gens})
-		render(res.Table(), *csv)
+		render(stdout, res.Table(), *csv)
 	}
+	return nil
 }
 
-func flagSet(name string) bool {
+func flagSet(fs *flag.FlagSet, name string) bool {
 	set := false
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == name {
 			set = true
 		}
@@ -72,16 +85,11 @@ func flagSet(name string) bool {
 	return set
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "r2c2-routing:", err)
-	os.Exit(1)
-}
-
 // render prints a result table as aligned text or CSV.
-func render(t *experiments.Table, csv bool) {
+func render(w io.Writer, t *experiments.Table, csv bool) {
 	if csv {
-		fmt.Print("# ", t.Title, "\n", t.CSV())
+		fmt.Fprint(w, "# ", t.Title, "\n", t.CSV())
 		return
 	}
-	fmt.Println(t)
+	fmt.Fprintln(w, t)
 }

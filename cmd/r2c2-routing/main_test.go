@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmokeFig2(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig2", "-k", "3", "-dims", "2", "-worst-trials", "4"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	// -k was set explicitly, so the reduced geometry must win over the
+	// paper's 8-ary 2-cube default.
+	if !strings.Contains(out.String(), "Figure 2 topology: 3-ary 2-cube (9 nodes)") {
+		t.Fatalf("output missing reduced topology line:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

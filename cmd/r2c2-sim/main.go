@@ -13,25 +13,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"r2c2/internal/experiments"
 	"r2c2/internal/simtime"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "r2c2-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("r2c2-sim", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		fig10    = flag.Bool("fig10", false, "Figures 10 & 11: FCT / throughput CDFs at fixed tau")
-		fig12    = flag.Bool("fig12", false, "Figures 12-14: sweep over flow inter-arrival times")
-		fig17    = flag.Bool("fig17", false, "Figure 17: headroom sensitivity")
-		k        = flag.Int("k", 4, "torus radix (paper: 8)")
-		dims     = flag.Int("dims", 3, "torus dimensions")
-		flows    = flag.Int("flows", 2000, "flows per run (paper: ~20k)")
-		tauUs    = flag.Float64("tau", 4, "mean flow inter-arrival time in microseconds (paper: 1 at 512 nodes)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		reliable = flag.Bool("reliable", false, "enable the §6 reliability extension for the R2C2 runs")
-		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		fig10    = fs.Bool("fig10", false, "Figures 10 & 11: FCT / throughput CDFs at fixed tau")
+		fig12    = fs.Bool("fig12", false, "Figures 12-14: sweep over flow inter-arrival times")
+		fig17    = fs.Bool("fig17", false, "Figure 17: headroom sensitivity")
+		k        = fs.Int("k", 4, "torus radix (paper: 8)")
+		dims     = fs.Int("dims", 3, "torus dimensions")
+		flows    = fs.Int("flows", 2000, "flows per run (paper: ~20k)")
+		tauUs    = fs.Float64("tau", 4, "mean flow inter-arrival time in microseconds (paper: 1 at 512 nodes)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		reliable = fs.Bool("reliable", false, "enable the §6 reliability extension for the R2C2 runs")
+		csv      = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !*fig10 && !*fig12 && !*fig17 {
 		*fig10, *fig12, *fig17 = true, true, true
 	}
@@ -40,41 +53,42 @@ func main() {
 	s.K, s.Dims, s.Flows, s.Seed = *k, *dims, *flows, *seed
 	s.Reliable = *reliable
 	tau := simtime.FromSeconds(*tauUs * 1e-6)
-	fmt.Printf("topology: %d-ary %d-cube (%d nodes), %d flows, tau=%v\n\n",
+	fmt.Fprintf(stdout, "topology: %d-ary %d-cube (%d nodes), %d flows, tau=%v\n\n",
 		s.K, s.Dims, s.Torus().Nodes(), s.Flows, tau)
 
 	if *fig10 {
 		res := experiments.Fig10and11(s, tau)
-		render(res.ShortFCTTable(), *csv)
-		render(res.LongThroughputTable(), *csv)
+		render(stdout, res.ShortFCTTable(), *csv)
+		render(stdout, res.LongThroughputTable(), *csv)
 		for _, run := range res.Runs {
-			fmt.Printf("%-5s completed %d/%d flows, drops=%d, events=%d, simulated %v\n",
+			fmt.Fprintf(stdout, "%-5s completed %d/%d flows, drops=%d, events=%d, simulated %v\n",
 				run.Transport, run.Results.Completed,
 				run.Results.Completed+run.Results.Incomplete,
 				run.Results.Drops, run.Results.Events, run.Results.EndTime)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *fig12 {
 		taus := []simtime.Time{tau, 2 * tau, 10 * tau, 100 * tau}
 		res := experiments.Fig12to14(s, taus)
-		render(res.Fig12Table(), *csv)
-		render(res.Fig13Table(), *csv)
-		render(res.Fig14Table(), *csv)
+		render(stdout, res.Fig12Table(), *csv)
+		render(stdout, res.Fig13Table(), *csv)
+		render(stdout, res.Fig14Table(), *csv)
 	}
 
 	if *fig17 {
 		res := experiments.Fig17(s, tau, []float64{0, 0.01, 0.05, 0.10, 0.20})
-		render(res.Table(), *csv)
+		render(stdout, res.Table(), *csv)
 	}
+	return nil
 }
 
 // render prints a result table as aligned text or CSV.
-func render(t *experiments.Table, csv bool) {
+func render(w io.Writer, t *experiments.Table, csv bool) {
 	if csv {
-		fmt.Print("# ", t.Title, "\n", t.CSV())
+		fmt.Fprint(w, "# ", t.Title, "\n", t.CSV())
 		return
 	}
-	fmt.Println(t)
+	fmt.Fprintln(w, t)
 }

@@ -62,5 +62,5 @@ func main() {
 	fmt.Printf("tenant B (weight 1): %.2f Gbps average per flow\n", b/1e9)
 	fmt.Printf("A/B throughput ratio: %.2f (policy asked for 2.0)\n", a/b)
 	fmt.Printf("high-priority RPC FCT: %v for %d KB (unfazed by %d MB of bulk)\n",
-		ledger[rpc].FCT(), ledger[rpc].Size>>10, (6*bulk)>>20)
+		ledger[rpc].FCT(), ledger[rpc].SizeBytes>>10, (6*bulk)>>20)
 }

@@ -48,7 +48,7 @@ func main() {
 	for _, name := range []string{"a (0->42)", "b (0->42)", "c (7->56)"} {
 		rec := stack.Ledger()[flows[name]]
 		fmt.Printf("flow %s, %d MB: FCT %v, avg throughput %.2f Gbps\n",
-			name, rec.Size>>20, rec.FCT(), rec.Throughput()/1e9)
+			name, rec.SizeBytes>>20, rec.FCT(), rec.Throughput()/1e9)
 	}
 
 	maxQueue := 0.0

@@ -1,0 +1,148 @@
+// Package analysis is a stdlib-only static-analysis engine enforcing the
+// determinism and concurrency invariants the R2C2 evaluation rests on.
+//
+// The headline claim of the paper — packet-level simulation and rack
+// emulation agree (§5, Figure 7) — only holds if the simulator is
+// bit-for-bit deterministic (seeded RNGs, virtual clock, no wall-clock
+// leakage) and the emulator is race-free. Those properties are invisible
+// to the type system, so this package checks them syntactically: a small
+// analyzer framework (built on go/ast and go/parser only, keeping go.mod
+// dependency-free) plus the R2C2-specific rules wired up in Default.
+//
+// Findings are suppressed with a `//lint:ignore rule reason` comment on
+// the offending line or the line directly above it. The reason is
+// mandatory: an unexplained suppression is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Diagnostic is one finding: a rule violation at a position.
+type Diagnostic struct {
+	Rule    string         `json:"rule"`
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// Pass is the unit of work handed to an analyzer: every parsed file of one
+// package directory (external test packages included — determinism rules
+// apply to test code too).
+type Pass struct {
+	Fset *token.FileSet
+	// Path is the package import path, e.g. "r2c2/internal/sim".
+	Path  string
+	Files []*ast.File
+}
+
+// Filename returns the name of the file a node belongs to.
+func (p *Pass) Filename(n ast.Node) string {
+	return p.Fset.Position(n.Pos()).Filename
+}
+
+// IsTestFile reports whether the file holding n is a _test.go file.
+func (p *Pass) IsTestFile(n ast.Node) bool {
+	return strings.HasSuffix(p.Filename(n), "_test.go")
+}
+
+// Diag builds a Diagnostic for a node.
+func (p *Pass) Diag(rule string, n ast.Node, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{Rule: rule, Pos: p.Fset.Position(n.Pos()), Message: fmt.Sprintf(format, args...)}
+}
+
+// Analyzer is one lint rule.
+type Analyzer interface {
+	// Name is the rule identifier used in findings and //lint:ignore.
+	Name() string
+	// Doc is a one-line description of the rule.
+	Doc() string
+	// Applies reports whether the rule runs on a package path.
+	Applies(pkgPath string) bool
+	// Check inspects one package and returns its findings.
+	Check(pass *Pass) []Diagnostic
+}
+
+// pkgScope implements Applies by import-path suffix match; an empty list
+// matches every package.
+type pkgScope struct{ pkgs []string }
+
+func (s pkgScope) Applies(pkgPath string) bool {
+	if len(s.pkgs) == 0 {
+		return true
+	}
+	for _, p := range s.pkgs {
+		if pkgPath == p || strings.HasSuffix(pkgPath, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Default returns the R2C2 rule set: each analyzer scoped to the packages
+// whose invariants it protects (see DESIGN.md, "Determinism & concurrency
+// invariants").
+func Default() []Analyzer {
+	return []Analyzer{
+		// The simulator stack must run on virtual time only: any wall-clock
+		// read desynchronises two runs with the same seed.
+		NewNoWallclock("internal/sim", "internal/fluid", "internal/waterfill"),
+		// Deterministic packages must thread a seeded *rand.Rand; the global
+		// math/rand source is shared, racy and unseeded.
+		NewNoGlobalRand("internal/sim", "internal/routing", "internal/waterfill",
+			"internal/genetic", "internal/trafficgen", "internal/fluid"),
+		// Copying a struct that embeds a lock silently forks the lock.
+		NewMutexByValue(),
+		// Every goroutine in the emulator must have a tracked exit path, or
+		// Stop() leaks pacing loops that keep mutating shared state.
+		NewGoroutineLeak("internal/emu"),
+		// Rates and sizes cross Gbps/Mbps/Kbps/bytes boundaries constantly;
+		// exported quantities must carry their unit in the name.
+		NewUnitSuffix(),
+	}
+}
+
+// importName returns the local name the file binds an import path to, or
+// "" if the file does not import it. A dot-import returns ".".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		// Default name: last path element.
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// exprString renders a simple expression (identifiers and selectors) for
+// matching and messages; other node kinds render as "…".
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[…]"
+	default:
+		return "…"
+	}
+}

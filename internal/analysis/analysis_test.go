@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkOne runs a single analyzer over one in-memory file and returns the
+// rules of the surviving findings.
+func checkOne(t *testing.T, a Analyzer, pkgPath, src string) []Diagnostic {
+	t.Helper()
+	diags, err := CheckSource(pkgPath, map[string]string{"src.go": src}, []Analyzer{a})
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	return diags
+}
+
+// wantFindings asserts the number of findings and that each message
+// mentions the wanted substring.
+func wantFindings(t *testing.T, diags []Diagnostic, n int, contains string) {
+	t.Helper()
+	if len(diags) != n {
+		t.Fatalf("got %d findings, want %d: %v", len(diags), n, diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, contains) {
+			t.Errorf("finding %q does not mention %q", d.Message, contains)
+		}
+	}
+}
+
+func TestNoWallclock(t *testing.T) {
+	a := NewNoWallclock("internal/sim")
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"violating-now", `package sim
+import "time"
+func f() int64 { return time.Now().UnixNano() }`, 1},
+		{"violating-sleep-since", `package sim
+import "time"
+func f() { start := time.Now(); time.Sleep(time.Millisecond); _ = time.Since(start) }`, 3},
+		{"violating-aliased-import", `package sim
+import wall "time"
+func f() { wall.Sleep(wall.Second) }`, 1},
+		{"conforming-duration-arithmetic", `package sim
+import "time"
+func f() time.Duration { return 3 * time.Millisecond }`, 0},
+		{"conforming-virtual-clock", `package sim
+func f(now int64) int64 { return now + 1 }`, 0},
+		{"conforming-other-receiver", `package sim
+type ticker struct{}
+func (ticker) Now() int { return 0 }
+func f() int { var clock ticker; return clock.Now() }`, 0}, // Now() on a non-time receiver is fine
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := checkOne(t, a, "r2c2/internal/sim", tc.src)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d findings, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+	// Scoping: the same violating source in an out-of-scope package is clean.
+	src := "package emu\nimport \"time\"\nfunc f() { time.Sleep(time.Second) }"
+	if diags := checkOne(t, a, "r2c2/internal/emu", src); len(diags) != 0 {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+	// Test files are exempt: wall-clock deadlines in harnesses are fine.
+	diags, err := CheckSource("r2c2/internal/sim", map[string]string{
+		"x_test.go": "package sim\nimport \"time\"\nfunc f() { time.Sleep(time.Second) }",
+	}, []Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFindings(t, diags, 0, "")
+}
+
+func TestNoGlobalRand(t *testing.T) {
+	a := NewNoGlobalRand("internal/trafficgen")
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"violating-global-intn", `package trafficgen
+import "math/rand"
+func f(n int) int { return rand.Intn(n) }`, 1},
+		{"violating-global-shuffle-perm", `package trafficgen
+import "math/rand"
+func f(n int) []int { rand.Shuffle(n, func(i, j int) {}); return rand.Perm(n) }`, 2},
+		{"conforming-seeded", `package trafficgen
+import "math/rand"
+func f(seed int64, n int) int { rng := rand.New(rand.NewSource(seed)); return rng.Intn(n) }`, 0},
+		{"conforming-threaded", `package trafficgen
+import "math/rand"
+func f(rng *rand.Rand, n int) int { return rng.Intn(n) }`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := checkOne(t, a, "r2c2/internal/trafficgen", tc.src)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d findings, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestMutexByValue(t *testing.T) {
+	a := NewMutexByValue()
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"violating-value-receiver", `package p
+import "sync"
+type Rack struct{ mu sync.Mutex }
+func (r Rack) Touch() {}`, 1},
+		{"violating-param", `package p
+import "sync"
+func f(mu sync.Mutex) {}`, 1},
+		{"violating-transitive", `package p
+import "sync"
+type inner struct{ wg sync.WaitGroup }
+type outer struct{ in inner }
+func f(o outer) {}`, 1},
+		{"violating-embedded", `package p
+import "sync"
+type guarded struct{ sync.RWMutex }
+func f() guarded { return guarded{} }`, 1},
+		{"conforming-pointer", `package p
+import "sync"
+type Rack struct{ mu sync.Mutex }
+func (r *Rack) Touch() {}
+func f(r *Rack, mu *sync.Mutex) {}`, 0},
+		{"conforming-no-lock", `package p
+type Plain struct{ n int }
+func (p Plain) N() int { return p.n }`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := checkOne(t, a, "r2c2/internal/p", tc.src)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d findings, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	a := NewGoroutineLeak("internal/emu")
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"violating-bare-go", `package emu
+func f() { go work() }
+func work() {}`, 1},
+		{"violating-bare-literal", `package emu
+func f() { go func() { for {} }() }`, 1},
+		{"conforming-waitgroup", `package emu
+import "sync"
+type r struct{ wg sync.WaitGroup }
+func (x *r) f() { x.wg.Add(1); go x.loop() }
+func (x *r) loop() {}`, 0},
+		{"conforming-ctx-arg", `package emu
+import "context"
+func f(ctx context.Context) { go loop(ctx) }
+func loop(ctx context.Context) {}`, 0},
+		{"conforming-done-in-literal", `package emu
+func f(done chan struct{}) { go func() { <-done }() }`, 0},
+		{"conforming-defer-done", `package emu
+import "sync"
+func f(wg *sync.WaitGroup) { wg.Add(1); go func() { defer wg.Done() }() }`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := checkOne(t, a, "r2c2/internal/emu", tc.src)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d findings, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+	// Out of scope: other packages may use bare goroutines.
+	if diags := checkOne(t, a, "r2c2/internal/stats", "package stats\nfunc f() { go work() }\nfunc work() {}"); len(diags) != 0 {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+}
+
+func TestUnitSuffix(t *testing.T) {
+	a := NewUnitSuffix()
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"violating-field", `package p
+type Config struct {
+	Rate float64
+	Size int64
+}`, 2},
+		{"violating-param", `package p
+func Send(size int64) {}`, 1},
+		{"conforming-suffixed", `package p
+type Config struct {
+	RateGbps  float64
+	SizeBytes int64
+	DemandKbps uint32
+	DelayNs   int64
+}
+func Send(sizeBytes int64, rateMbps float64) {}`, 0},
+		{"conforming-named-type", `package p
+import "r2c2/internal/simtime"
+type Config struct {
+	Interval simtime.Time
+}`, 0},
+		{"conforming-unexported", `package p
+type config struct{ rate float64 }
+func send(size int64) {}`, 0},
+		{"conforming-no-quantity", `package p
+type Config struct {
+	Nodes int
+	Headroom float64
+	Weight uint8
+}`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := checkOne(t, a, "r2c2/internal/p", tc.src)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d findings, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	a := NewNoWallclock("internal/sim")
+	t.Run("same-line", func(t *testing.T) {
+		src := `package sim
+import "time"
+func f() { time.Sleep(time.Second) } //lint:ignore no-wallclock intentional pacing
+`
+		wantFindings(t, checkOne(t, a, "r2c2/internal/sim", src), 0, "")
+	})
+	t.Run("line-above", func(t *testing.T) {
+		src := `package sim
+import "time"
+func f() {
+	//lint:ignore no-wallclock intentional pacing
+	time.Sleep(time.Second)
+}`
+		wantFindings(t, checkOne(t, a, "r2c2/internal/sim", src), 0, "")
+	})
+	t.Run("wrong-rule-does-not-suppress", func(t *testing.T) {
+		src := `package sim
+import "time"
+func f() {
+	//lint:ignore no-global-rand wrong rule
+	time.Sleep(time.Second)
+}`
+		wantFindings(t, checkOne(t, a, "r2c2/internal/sim", src), 1, "wall-clock")
+	})
+	t.Run("missing-reason-is-reported", func(t *testing.T) {
+		src := `package sim
+func f() {
+	//lint:ignore no-wallclock
+}`
+		wantFindings(t, checkOne(t, a, "r2c2/internal/sim", src), 1, "malformed")
+	})
+	t.Run("multi-rule", func(t *testing.T) {
+		src := `package sim
+import (
+	"math/rand"
+	"time"
+)
+func f() {
+	//lint:ignore no-wallclock,no-global-rand deliberate nondeterminism
+	time.Sleep(time.Duration(rand.Intn(3)))
+}`
+		diags, err := CheckSource("r2c2/internal/sim", map[string]string{"src.go": src},
+			[]Analyzer{NewNoWallclock("internal/sim"), NewNoGlobalRand("internal/sim")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFindings(t, diags, 0, "")
+	})
+}
+
+func TestDefaultRuleSetScoping(t *testing.T) {
+	// Every rule in the default set must have a unique name (ignore
+	// directives address rules by name).
+	seen := map[string]bool{}
+	for _, a := range Default() {
+		if seen[a.Name()] {
+			t.Errorf("duplicate rule name %q", a.Name())
+		}
+		seen[a.Name()] = true
+		if a.Doc() == "" {
+			t.Errorf("rule %q has no doc", a.Name())
+		}
+	}
+	for _, rule := range []string{"no-wallclock", "no-global-rand", "mutex-by-value", "goroutine-leak", "unit-suffix"} {
+		if !seen[rule] {
+			t.Errorf("default rule set is missing %q", rule)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// goroutineLeak checks that every `go` statement in the scoped packages
+// has a tracked exit path. The emulator (package emu) runs one goroutine
+// per virtual link plus per-flow senders; Stop() must be able to wait for
+// all of them, so each launch needs at least one of:
+//
+//   - a sync.WaitGroup Add in the launching function (the emu idiom:
+//     r.wg.Add(1); go r.loop(...)),
+//   - a goroutine body that waits on a context / done / quit / stop
+//     channel, or defers a WaitGroup Done,
+//   - a context or done-channel argument handed to the goroutine.
+//
+// Anything else is an untracked goroutine: it outlives Stop(), keeps
+// mutating shared state, and turns the emulator's statistics racy.
+type goroutineLeak struct{ pkgScope }
+
+// NewGoroutineLeak builds the goroutine-leak rule scoped to the given
+// package path suffixes (empty = all packages).
+func NewGoroutineLeak(pkgs ...string) Analyzer { return &goroutineLeak{pkgScope{pkgs}} }
+
+func (*goroutineLeak) Name() string { return "goroutine-leak" }
+func (*goroutineLeak) Doc() string {
+	return "every go statement needs a WaitGroup/done-channel/context exit path"
+}
+
+func (a *goroutineLeak) Check(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !tracked(fn, g) {
+					diags = append(diags, pass.Diag(a.Name(), g,
+						"goroutine in %s has no tracked exit path (pair it with a WaitGroup, done channel or context)",
+						fn.Name.Name))
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// tracked reports whether the go statement has a visible exit path.
+func tracked(fn *ast.FuncDecl, g *ast.GoStmt) bool {
+	// 1. A WaitGroup Add anywhere in the launching function.
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if isWaitGroupish(exprString(sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	// 2. The goroutine body (function literal) waits on a lifecycle signal
+	// or defers a WaitGroup Done.
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.DeferStmt:
+				if sel, ok := v.Call.Fun.(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Done" && isWaitGroupish(exprString(sel.X)) {
+					found = true
+					return false
+				}
+			case *ast.Ident:
+				if isLifecycleName(v.Name) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	// 3. A context/done-channel argument handed to the goroutine.
+	for _, arg := range g.Call.Args {
+		if id, ok := arg.(*ast.Ident); ok && isLifecycleName(id.Name) {
+			return true
+		}
+		if sel, ok := arg.(*ast.SelectorExpr); ok && isLifecycleName(sel.Sel.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroupish matches the conventional names of WaitGroup expressions:
+// "wg", "r.wg", "workers.wg", "waitGroup", ….
+func isWaitGroupish(s string) bool {
+	low := strings.ToLower(s)
+	return low == "wg" || strings.HasSuffix(low, ".wg") || strings.Contains(low, "waitgroup") ||
+		strings.HasSuffix(low, "wg") && strings.Contains(low, ".")
+}
+
+// isLifecycleName matches identifiers conventionally carrying a goroutine
+// shutdown signal.
+func isLifecycleName(s string) bool {
+	low := strings.ToLower(s)
+	switch low {
+	case "ctx", "done", "quit", "stop", "stopc", "donec", "cancel":
+		return true
+	}
+	return strings.HasSuffix(low, "ctx") || strings.HasSuffix(low, "done")
+}

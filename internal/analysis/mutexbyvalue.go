@@ -1,0 +1,148 @@
+package analysis
+
+import "go/ast"
+
+// syncLockTypes are the sync types that must never be copied after first
+// use (their Lock state is part of the value).
+var syncLockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Cond":      true,
+	"Once":      true,
+}
+
+// mutexByValue flags signatures that copy a lock: value receivers and
+// by-value parameters or results whose type is sync.Mutex/RWMutex/… or a
+// struct in the same package that (transitively) contains one. A copied
+// mutex guards nothing — the copy and the original lock independently,
+// which is exactly the silent race the emulator's goroutine-per-node
+// pipeline cannot afford.
+type mutexByValue struct{ pkgScope }
+
+// NewMutexByValue builds the mutex-by-value rule scoped to the given
+// package path suffixes (empty = all packages).
+func NewMutexByValue(pkgs ...string) Analyzer { return &mutexByValue{pkgScope{pkgs}} }
+
+func (*mutexByValue) Name() string { return "mutex-by-value" }
+func (*mutexByValue) Doc() string {
+	return "forbid passing or receiving lock-bearing structs by value"
+}
+
+func (a *mutexByValue) Check(pass *Pass) []Diagnostic {
+	lockStructs := a.lockBearingStructs(pass)
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		syncName := importName(f, "sync")
+		isLockType := func(t ast.Expr) bool {
+			switch v := t.(type) {
+			case *ast.Ident:
+				return lockStructs[v.Name]
+			case *ast.SelectorExpr:
+				id, ok := v.X.(*ast.Ident)
+				return ok && id.Name == syncName && syncName != "" && syncLockTypes[v.Sel.Name]
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fn.Recv != nil {
+				for _, r := range fn.Recv.List {
+					if isLockType(r.Type) {
+						diags = append(diags, pass.Diag(a.Name(), r,
+							"method %s has value receiver of lock-bearing type %s; use a pointer receiver",
+							fn.Name.Name, exprString(r.Type)))
+					}
+				}
+			}
+			check := func(fields *ast.FieldList, what string) {
+				if fields == nil {
+					return
+				}
+				for _, p := range fields.List {
+					if isLockType(p.Type) {
+						diags = append(diags, pass.Diag(a.Name(), p,
+							"%s of %s passes lock-bearing type %s by value; use a pointer",
+							what, fn.Name.Name, exprString(p.Type)))
+					}
+				}
+			}
+			check(fn.Type.Params, "parameter")
+			check(fn.Type.Results, "result")
+			return true
+		})
+	}
+	return diags
+}
+
+// lockBearingStructs computes, to a fixpoint, the package-local struct
+// types that contain a sync lock by value — directly, through an embedded
+// or named field of another lock-bearing struct, or inside an array field.
+func (a *mutexByValue) lockBearingStructs(pass *Pass) map[string]bool {
+	// structs maps type name -> field type expressions, with the sync
+	// import name of the declaring file captured alongside.
+	type structInfo struct {
+		fields   []ast.Expr
+		syncName string
+	}
+	structs := map[string]structInfo{}
+	for _, f := range pass.Files {
+		syncName := importName(f, "sync")
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			info := structInfo{syncName: syncName}
+			for _, fld := range st.Fields.List {
+				info.fields = append(info.fields, fld.Type)
+			}
+			structs[ts.Name.Name] = info
+			return true
+		})
+	}
+	bearing := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for name, info := range structs {
+			if bearing[name] {
+				continue
+			}
+			for _, t := range info.fields {
+				if t, ok := t.(*ast.ArrayType); ok {
+					// An array of locks is copied with the struct too.
+					if holdsLock(t.Elt, info.syncName, bearing) {
+						bearing[name] = true
+						changed = true
+					}
+					continue
+				}
+				if holdsLock(t, info.syncName, bearing) {
+					bearing[name] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return bearing
+}
+
+// holdsLock reports whether the field type expression is a by-value lock:
+// sync.X, or a known lock-bearing local struct. Pointers never copy.
+func holdsLock(t ast.Expr, syncName string, bearing map[string]bool) bool {
+	switch v := t.(type) {
+	case *ast.Ident:
+		return bearing[v.Name]
+	case *ast.SelectorExpr:
+		id, ok := v.X.(*ast.Ident)
+		return ok && syncName != "" && id.Name == syncName && syncLockTypes[v.Sel.Name]
+	}
+	return false
+}

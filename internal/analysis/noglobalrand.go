@@ -1,0 +1,61 @@
+package analysis
+
+import "go/ast"
+
+// globalRandFuncs are the math/rand (and math/rand/v2) top-level functions
+// that draw from the shared global source. rand.New, rand.NewSource and
+// rand.NewZipf construct seeded generators and stay legal — threading a
+// seeded *rand.Rand is exactly what this rule wants.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 names.
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// noGlobalRand forbids the global math/rand source in deterministic
+// packages: it is process-wide, mutated by any package, and unseeded, so
+// two runs with the same experiment seed produce different workloads.
+type noGlobalRand struct{ pkgScope }
+
+// NewNoGlobalRand builds the no-global-rand rule scoped to the given
+// package path suffixes (empty = all packages).
+func NewNoGlobalRand(pkgs ...string) Analyzer { return &noGlobalRand{pkgScope{pkgs}} }
+
+func (*noGlobalRand) Name() string { return "no-global-rand" }
+func (*noGlobalRand) Doc() string {
+	return "forbid the global math/rand source in deterministic packages; thread a seeded *rand.Rand"
+}
+
+func (a *noGlobalRand) Check(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		randName := importName(f, "math/rand")
+		if randName == "" {
+			randName = importName(f, "math/rand/v2")
+		}
+		if randName == "" || randName == "." || randName == "_" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == randName && globalRandFuncs[sel.Sel.Name] {
+				diags = append(diags, pass.Diag(a.Name(), call,
+					"global rand.%s in deterministic package %s; thread a seeded *rand.Rand",
+					sel.Sel.Name, pass.Path))
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// quantityBases are name endings that denote a physical quantity: a field
+// or parameter so named holds a rate, a size or a time span, and its unit
+// must be spelled in the name.
+var quantityBases = []string{
+	"rate", "size", "capacity", "bandwidth", "demand",
+	"interval", "timeout", "delay", "latency",
+}
+
+// unitSuffixes are the accepted unit spellings. A name ending in one of
+// these is self-documenting regardless of its base.
+var unitSuffixes = []string{
+	"gbps", "mbps", "kbps", "bps", "bits", "bytes", "kb", "mb", "gb",
+	"pkts", "packets", "ns", "us", "ms", "ps", "sec", "secs", "seconds",
+	"hops",
+}
+
+// basicNumeric are the predeclared numeric types. Only these are flagged:
+// a named type like simtime.Time or time.Duration carries its unit in the
+// type and needs no suffix.
+var basicNumeric = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true, "float32": true, "float64": true, "byte": true,
+}
+
+// unitSuffix requires exported numeric struct fields and parameters of
+// exported functions that hold rates or sizes to carry a unit suffix
+// (Gbps, Bytes, Kbps, …). The paper's arithmetic crosses Gbps, Mbps, Kbps
+// (broadcast demand), bytes and bits constantly — a bare "Rate float64"
+// is how a 1000× error slips through review.
+type unitSuffix struct{ pkgScope }
+
+// NewUnitSuffix builds the unit-suffix rule scoped to the given package
+// path suffixes (empty = all packages).
+func NewUnitSuffix(pkgs ...string) Analyzer { return &unitSuffix{pkgScope{pkgs}} }
+
+func (*unitSuffix) Name() string { return "unit-suffix" }
+func (*unitSuffix) Doc() string {
+	return "exported numeric rates/sizes must carry a unit suffix (Gbps, Bytes, Ns, …)"
+}
+
+func (a *unitSuffix) Check(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := v.Type.(*ast.StructType)
+				if !ok || !v.Name.IsExported() {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					if !isBasicNumeric(fld.Type) {
+						continue
+					}
+					for _, name := range fld.Names {
+						if name.IsExported() && needsUnit(name.Name) {
+							diags = append(diags, pass.Diag(a.Name(), name,
+								"exported field %s.%s holds a quantity but its name has no unit suffix (Gbps, Bytes, Ns, …)",
+								v.Name.Name, name.Name))
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if !v.Name.IsExported() || v.Type.Params == nil {
+					return true
+				}
+				for _, p := range v.Type.Params.List {
+					if !isBasicNumeric(p.Type) {
+						continue
+					}
+					for _, name := range p.Names {
+						if needsUnit(name.Name) {
+							diags = append(diags, pass.Diag(a.Name(), name,
+								"parameter %s of exported %s holds a quantity but its name has no unit suffix",
+								name.Name, v.Name.Name))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isBasicNumeric reports whether the type expression is a predeclared
+// numeric type (possibly variadic).
+func isBasicNumeric(t ast.Expr) bool {
+	if e, ok := t.(*ast.Ellipsis); ok {
+		t = e.Elt
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && basicNumeric[id.Name]
+}
+
+// needsUnit reports whether a name denotes a quantity but lacks a unit
+// suffix.
+func needsUnit(name string) bool {
+	low := strings.ToLower(name)
+	for _, u := range unitSuffixes {
+		if strings.HasSuffix(low, u) {
+			return false
+		}
+	}
+	for _, b := range quantityBases {
+		if strings.HasSuffix(low, b) {
+			return true
+		}
+	}
+	return false
+}

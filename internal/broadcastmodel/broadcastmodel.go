@@ -22,24 +22,24 @@ func EventBytes(n int) float64 {
 }
 
 // FlowOverhead returns the relative broadcast overhead of one flow of
-// `size` bytes on graph g: (start + finish broadcast bytes) divided by the
+// sizeBytes on graph g: (start + finish broadcast bytes) divided by the
 // bytes the flow itself puts on the wire under minimal routing.
-func FlowOverhead(g *topology.Graph, size float64) float64 {
-	wireBytes := size * g.MeanNodeDistance()
+func FlowOverhead(g *topology.Graph, sizeBytes float64) float64 {
+	wireBytes := sizeBytes * g.MeanNodeDistance()
 	return 2 * EventBytes(g.Nodes()) / wireBytes
 }
 
 // CapacityFraction returns the fraction of total network capacity consumed
 // by broadcast traffic for a workload where a fraction `smallByteFrac` of
-// all bytes is carried by small flows of smallSize bytes and the rest by
-// long flows of longSize bytes — the Figure 9 curve.
+// all bytes is carried by small flows of smallBytes and the rest by
+// long flows of longBytes — the Figure 9 curve.
 //
 // Derivation: per byte of traffic, the expected number of broadcasts is
-// smallByteFrac/smallSize + (1-smallByteFrac)/longSize flow-starts (each
+// smallByteFrac/smallBytes + (1-smallByteFrac)/longBytes flow-starts (each
 // with a matching finish). Broadcast wire-bytes per traffic wire-byte then
 // follows from the per-flow accounting above.
-func CapacityFraction(g *topology.Graph, smallByteFrac, smallSize, longSize float64) float64 {
-	flowsPerByte := smallByteFrac/smallSize + (1-smallByteFrac)/longSize
+func CapacityFraction(g *topology.Graph, smallByteFrac, smallBytes, longBytes float64) float64 {
+	flowsPerByte := smallByteFrac/smallBytes + (1-smallByteFrac)/longBytes
 	bcastBytesPerByte := 2 * EventBytes(g.Nodes()) * flowsPerByte
 	dataWireBytesPerByte := g.MeanNodeDistance()
 	return bcastBytesPerByte / (bcastBytesPerByte + dataWireBytesPerByte)

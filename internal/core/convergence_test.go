@@ -28,17 +28,17 @@ func TestViewConvergenceUnderReordering(t *testing.T) {
 		nFlows := 1 + rng.Intn(12)
 		for i := 0; i < nFlows; i++ {
 			info := FlowInfo{
-				ID:       wire.MakeFlowID(uint16(rng.Intn(16)), uint16(trial*100+i)),
-				Src:      topology.NodeID(rng.Intn(16)),
-				Dst:      topology.NodeID(rng.Intn(16)),
-				Weight:   uint8(1 + rng.Intn(3)),
-				Demand:   UnlimitedDemand,
-				Protocol: routing.RPS,
+				ID:         wire.MakeFlowID(uint16(rng.Intn(16)), uint16(trial*100+i)),
+				Src:        topology.NodeID(rng.Intn(16)),
+				Dst:        topology.NodeID(rng.Intn(16)),
+				Weight:     uint8(1 + rng.Intn(3)),
+				DemandKbps: UnlimitedDemand,
+				Protocol:   routing.RPS,
 			}
 			seq := []ev{{info.StartBroadcast(0), info.ID, wire.EventFlowStart}}
 			if rng.Intn(2) == 0 {
 				up := info
-				up.Demand = uint32(rng.Intn(1e6))
+				up.DemandKbps = uint32(rng.Intn(1e6))
 				seq = append(seq, ev{up.DemandBroadcast(0), info.ID, wire.EventDemandUpdate})
 			}
 			if rng.Intn(3) > 0 { // some flows finish, some stay live

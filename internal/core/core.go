@@ -30,20 +30,20 @@ const UnlimitedDemand uint32 = 0xFFFFFFFF
 // FlowInfo is one entry of a node's traffic-matrix view: everything a
 // broadcast announces about a flow (§3.2, Figure 6).
 type FlowInfo struct {
-	ID       wire.FlowID
-	Src, Dst topology.NodeID
-	Weight   uint8
-	Priority uint8
-	Demand   uint32 // Kbps; UnlimitedDemand if network-limited
-	Protocol routing.Protocol
+	ID         wire.FlowID
+	Src, Dst   topology.NodeID
+	Weight     uint8
+	Priority   uint8
+	DemandKbps uint32 // UnlimitedDemand if network-limited
+	Protocol   routing.Protocol
 }
 
 // DemandBits returns the demand in bits/s, or waterfill.Unlimited.
 func (f *FlowInfo) DemandBits() float64 {
-	if f.Demand == UnlimitedDemand {
+	if f.DemandKbps == UnlimitedDemand {
 		return waterfill.Unlimited
 	}
-	return float64(f.Demand) * 1e3
+	return float64(f.DemandKbps) * 1e3
 }
 
 // StartBroadcast builds the 16-byte broadcast announcing this flow's start,
@@ -70,15 +70,15 @@ func (f *FlowInfo) RouteChangeBroadcast(tree uint8) *wire.Broadcast {
 
 func (f *FlowInfo) broadcast(ev wire.EventKind, tree uint8) *wire.Broadcast {
 	return &wire.Broadcast{
-		Event:    ev,
-		Src:      uint16(f.Src),
-		Dst:      uint16(f.Dst),
-		FlowSeq:  f.ID.Seq(),
-		Weight:   f.Weight,
-		Priority: f.Priority,
-		Demand:   f.Demand,
-		Tree:     tree,
-		RP:       uint8(f.Protocol),
+		Event:      ev,
+		Src:        uint16(f.Src),
+		Dst:        uint16(f.Dst),
+		FlowSeq:    f.ID.Seq(),
+		Weight:     f.Weight,
+		Priority:   f.Priority,
+		DemandKbps: f.DemandKbps,
+		Tree:       tree,
+		RP:         uint8(f.Protocol),
 	}
 }
 
@@ -123,13 +123,13 @@ func (v *View) Get(id wire.FlowID) (FlowInfo, bool) {
 func (v *View) Apply(b *wire.Broadcast) error {
 	id := b.Flow()
 	info := FlowInfo{
-		ID:       id,
-		Src:      topology.NodeID(b.Src),
-		Dst:      topology.NodeID(b.Dst),
-		Weight:   b.Weight,
-		Priority: b.Priority,
-		Demand:   b.Demand,
-		Protocol: routing.Protocol(b.RP),
+		ID:         id,
+		Src:        topology.NodeID(b.Src),
+		Dst:        topology.NodeID(b.Dst),
+		Weight:     b.Weight,
+		Priority:   b.Priority,
+		DemandKbps: b.DemandKbps,
+		Protocol:   routing.Protocol(b.RP),
 	}
 	switch b.Event {
 	case wire.EventFlowStart:
@@ -143,7 +143,7 @@ func (v *View) Apply(b *wire.Broadcast) error {
 			return nil
 		}
 		if b.Event == wire.EventDemandUpdate {
-			old.Demand = b.Demand
+			old.DemandKbps = b.DemandKbps
 		} else {
 			old.Protocol = routing.Protocol(b.RP)
 		}
@@ -194,7 +194,7 @@ func (v *View) Flows() []FlowInfo {
 
 // flowHash digests one flow entry for the order-independent view hash.
 func flowHash(f FlowInfo) uint64 {
-	h := uint64(f.ID)<<32 | uint64(f.Demand)
+	h := uint64(f.ID)<<32 | uint64(f.DemandKbps)
 	h ^= uint64(f.Weight)<<8 | uint64(f.Priority)<<16 | uint64(f.Protocol)<<24
 	// splitmix64 finalizer.
 	h += 0x9E3779B97F4A7C15

@@ -14,12 +14,12 @@ import (
 
 func flowInfo(src, dst topology.NodeID, seq uint16) FlowInfo {
 	return FlowInfo{
-		ID:       wire.MakeFlowID(uint16(src), seq),
-		Src:      src,
-		Dst:      dst,
-		Weight:   1,
-		Demand:   UnlimitedDemand,
-		Protocol: routing.RPS,
+		ID:         wire.MakeFlowID(uint16(src), seq),
+		Src:        src,
+		Dst:        dst,
+		Weight:     1,
+		DemandKbps: UnlimitedDemand,
+		Protocol:   routing.RPS,
 	}
 }
 
@@ -94,13 +94,13 @@ func TestViewDemandAndRouteUpdates(t *testing.T) {
 	v := NewView()
 	f := flowInfo(1, 2, 1)
 	v.AddFlow(f)
-	f.Demand = 5000
+	f.DemandKbps = 5000
 	if err := v.Apply(f.DemandBroadcast(0)); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := v.Get(f.ID)
-	if got.Demand != 5000 {
-		t.Fatalf("demand = %d", got.Demand)
+	if got.DemandKbps != 5000 {
+		t.Fatalf("demand = %d", got.DemandKbps)
 	}
 	f.Protocol = routing.VLB
 	if err := v.Apply(f.RouteChangeBroadcast(0)); err != nil {
@@ -147,7 +147,7 @@ func TestFlowInfoDemandBits(t *testing.T) {
 	if f.DemandBits() != waterfill.Unlimited {
 		t.Fatal("unlimited demand not mapped")
 	}
-	f.Demand = 2000 // Kbps
+	f.DemandKbps = 2000
 	if f.DemandBits() != 2e6 {
 		t.Fatalf("DemandBits = %v", f.DemandBits())
 	}
@@ -155,13 +155,13 @@ func TestFlowInfoDemandBits(t *testing.T) {
 
 func TestBroadcastWireRoundTrip(t *testing.T) {
 	f := FlowInfo{
-		ID:       wire.MakeFlowID(3, 99),
-		Src:      3,
-		Dst:      40,
-		Weight:   2,
-		Priority: 1,
-		Demand:   123456,
-		Protocol: routing.WLB,
+		ID:         wire.MakeFlowID(3, 99),
+		Src:        3,
+		Dst:        40,
+		Weight:     2,
+		Priority:   1,
+		DemandKbps: 123456,
+		Protocol:   routing.WLB,
 	}
 	pkt := wire.EncodeBroadcast(f.StartBroadcast(5))
 	decoded, err := wire.DecodeBroadcast(pkt[:])

@@ -19,7 +19,7 @@ func ExampleRateComputer_Compute() {
 	// The 16-byte broadcast announcing a new DOR flow from node 0 to 1.
 	flow := core.FlowInfo{
 		ID: wire.MakeFlowID(0, 1), Src: 0, Dst: 1,
-		Weight: 1, Demand: core.UnlimitedDemand, Protocol: routing.DOR,
+		Weight: 1, DemandKbps: core.UnlimitedDemand, Protocol: routing.DOR,
 	}
 	pkt := wire.EncodeBroadcast(flow.StartBroadcast(0))
 

@@ -125,8 +125,8 @@ type emuNode struct {
 
 // Flow is a handle on one emulated flow.
 type Flow struct {
-	Info core.FlowInfo
-	Size int64
+	Info      core.FlowInfo
+	SizeBytes int64
 
 	rate      atomic.Uint64 // bits/s
 	bytesRcvd atomic.Int64
@@ -165,7 +165,7 @@ func (f *Flow) Wait(timeout time.Duration) error {
 		return nil
 	case <-time.After(timeout):
 		return fmt.Errorf("emu: flow %v incomplete after %v (%d/%d bytes)",
-			f.Info.ID, timeout, f.bytesRcvd.Load(), f.Size)
+			f.Info.ID, timeout, f.bytesRcvd.Load(), f.SizeBytes)
 	}
 }
 
@@ -179,7 +179,7 @@ func (f *Flow) Throughput() float64 {
 	if dt <= 0 {
 		return 0
 	}
-	return float64(f.Size*8) / dt
+	return float64(f.SizeBytes*8) / dt
 }
 
 // FCT returns the flow completion time (0 if incomplete).
@@ -391,7 +391,7 @@ func (r *Rack) deliverData(at topology.NodeID, pkt []byte) {
 		return
 	}
 	f.bytesRcvd.Store(total)
-	if total >= f.Size {
+	if total >= f.SizeBytes {
 		f.doneOnce.Do(func() {
 			f.finished.Store(time.Now().UnixNano())
 			close(f.done)
@@ -426,12 +426,12 @@ func (r *Rack) recomputeLoop(n *emuNode) {
 	}
 }
 
-// StartFlow injects a flow of `size` bytes from src to dst and returns its
+// StartFlow injects a flow of sizeBytes from src to dst and returns its
 // handle. The sender broadcasts the start event, transmits immediately at
 // line rate (the headroom absorbs the pre-recomputation burst, §3.3.2),
 // and paces at its allocated rate thereafter.
-func (r *Rack) StartFlow(src, dst topology.NodeID, size int64, weight, priority uint8) (*Flow, error) {
-	return r.startFlow(src, dst, size, weight, priority, 0)
+func (r *Rack) StartFlow(src, dst topology.NodeID, sizeBytes int64, weight, priority uint8) (*Flow, error) {
+	return r.startFlow(src, dst, sizeBytes, weight, priority, 0)
 }
 
 // StartHostLimitedFlow is StartFlow for an application that produces data
@@ -439,11 +439,11 @@ func (r *Rack) StartFlow(src, dst topology.NodeID, size int64, weight, priority 
 // runs the Eq. (1) demand estimator against its application queue and
 // broadcasts demand updates, so every node allocates min(fair share,
 // demand) and the spare bandwidth goes to flows that can use it.
-func (r *Rack) StartHostLimitedFlow(src, dst topology.NodeID, size int64, weight, priority uint8, appRateBits float64) (*Flow, error) {
+func (r *Rack) StartHostLimitedFlow(src, dst topology.NodeID, sizeBytes int64, weight, priority uint8, appRateBits float64) (*Flow, error) {
 	if appRateBits <= 0 {
 		return nil, fmt.Errorf("emu: non-positive app rate %v", appRateBits)
 	}
-	return r.startFlow(src, dst, size, weight, priority, appRateBits)
+	return r.startFlow(src, dst, sizeBytes, weight, priority, appRateBits)
 }
 
 func (r *Rack) startFlow(src, dst topology.NodeID, size int64, weight, priority uint8, appRate float64) (*Flow, error) {
@@ -460,14 +460,14 @@ func (r *Rack) startFlow(src, dst topology.NodeID, size int64, weight, priority 
 	info := core.FlowInfo{
 		ID: id, Src: src, Dst: dst,
 		Weight: weight, Priority: priority,
-		Demand:   core.UnlimitedDemand,
-		Protocol: r.cfg.Protocol,
+		DemandKbps: core.UnlimitedDemand,
+		Protocol:   r.cfg.Protocol,
 	}
 	// Host-limited flows start network-limited too: the demand estimator
 	// discovers the application's rate from observed queuing (Eq. 1) and
 	// the sender broadcasts the estimate once it diverges from what the
 	// rack believes.
-	f := &Flow{Info: info, Size: size, started: time.Now(), done: make(chan struct{}), appRate: appRate}
+	f := &Flow{Info: info, SizeBytes: size, started: time.Now(), done: make(chan struct{}), appRate: appRate}
 	f.rate.Store(uint64(r.cfg.LinkMbps * 1e6))
 	f.demandKbps.Store(core.UnlimitedDemand)
 	n.flows[id] = f
@@ -495,7 +495,7 @@ func (r *Rack) startFlow(src, dst topology.NodeID, size int64, weight, priority 
 func (r *Rack) flowSender(n *emuNode, f *Flow) {
 	defer r.wg.Done()
 	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(f.Info.ID)))
-	remaining := f.Size
+	remaining := f.SizeBytes
 	var seq uint32
 	next := time.Now()
 
@@ -521,7 +521,7 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 		if f.appRate > 0 {
 			// The application has produced this many bits so far.
 			produced := f.appRate * time.Since(appStart).Seconds()
-			if max := float64(f.Size * 8); produced > max {
+			if max := float64(f.SizeBytes * 8); produced > max {
 				produced = max
 			}
 			backlog := produced - sentBits
@@ -533,7 +533,7 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 				if diverges(old, newKbps) {
 					f.demandKbps.Store(newKbps)
 					n.mu.Lock()
-					f.Info.Demand = newKbps
+					f.Info.DemandKbps = newKbps
 					if _, live := n.flows[f.Info.ID]; live {
 						n.view.AddFlow(f.Info)
 						tree := n.nextTree
@@ -575,7 +575,7 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 		}
 		if f.appRate > 0 {
 			produced := f.appRate * time.Since(appStart).Seconds()
-			if max := float64(f.Size * 8); produced > max {
+			if max := float64(f.SizeBytes * 8); produced > max {
 				produced = max
 			}
 			if avail := int64((produced - sentBits) / 8); avail < payload {
@@ -684,5 +684,5 @@ func (r *Rack) FlowDemandAt(node topology.NodeID, id wire.FlowID) (uint32, bool)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	info, ok := n.view.Get(id)
-	return info.Demand, ok
+	return info.DemandKbps, ok
 }

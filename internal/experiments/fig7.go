@@ -75,7 +75,7 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 		if d := time.Until(at); d > 0 {
 			time.Sleep(d)
 		}
-		f, err := rack.StartFlow(a.Src, a.Dst, a.Size, a.Weight, a.Priority)
+		f, err := rack.StartFlow(a.Src, a.Dst, a.SizeBytes, a.Weight, a.Priority)
 		if err != nil {
 			rack.Stop()
 			return nil, err

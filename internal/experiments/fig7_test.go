@@ -30,6 +30,12 @@ func TestFig7CrossValidation(t *testing.T) {
 	}
 	// Wall-clock noise (scheduler, timer resolution) allows a generous
 	// band; the paper reports "high accuracy", we assert same ballpark.
+	// Under the race detector the emulator's goroutines run 5-20x slower
+	// while the simulator's virtual clock is unaffected, so the accuracy
+	// comparison is meaningless there; the structural checks above still ran.
+	if raceEnabled {
+		t.Skip("wall-clock emulator timing is distorted by the race detector")
+	}
 	if gap := res.MedianThroughputGap(); gap > 0.5 {
 		t.Errorf("median throughput gap emulator vs simulator = %.2f (emu %.3g, sim %.3g)",
 			gap, res.EmuThroughput.Median(), res.SimThroughput.Median())

@@ -78,12 +78,12 @@ func Fig8(s Scale, tau simtime.Time, rhos []simtime.Time, maxTicks int) *Fig8Res
 				if fr.Started <= t-rho && fr.Ended > t { // alive for >= one interval
 					a := arrivals[i]
 					view.AddFlow(core.FlowInfo{
-						ID:       wire.MakeFlowID(uint16(a.Src), uint16(i)),
-						Src:      a.Src,
-						Dst:      a.Dst,
-						Weight:   1,
-						Demand:   core.UnlimitedDemand,
-						Protocol: routing.RPS,
+						ID:         wire.MakeFlowID(uint16(a.Src), uint16(i)),
+						Src:        a.Src,
+						Dst:        a.Dst,
+						Weight:     1,
+						DemandKbps: core.UnlimitedDemand,
+						Protocol:   routing.RPS,
 					})
 				}
 			}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; its 5-20x
+// slowdown distorts wall-clock emulator timing.
+const raceEnabled = true

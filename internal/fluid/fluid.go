@@ -28,21 +28,21 @@ type Config struct {
 	CapacityBits float64      // link capacity in bits/s
 	Headroom     float64      // §3.3.2 headroom fraction
 	Recompute    simtime.Time // ρ; 0 = ideal, recompute at every event
-	// InitialRate is what a flow sends at between its arrival and the next
+	// InitialRateBps is what a flow sends at between its arrival and the next
 	// recomputation, mirroring the packet simulator where new flows start
 	// at line rate into the headroom (§3.3.2). Defaults to CapacityBits.
-	InitialRate float64
+	InitialRateBps float64
 }
 
 // FlowResult reports one flow's life under the fluid model.
 type FlowResult struct {
-	Index   int // position in the arrival list
-	Size    int64
-	Started simtime.Time
-	Ended   simtime.Time
-	// AvgRate is size/(completion time): the per-flow quantity Figures 15
+	Index     int // position in the arrival list
+	SizeBytes int64
+	Started   simtime.Time
+	Ended     simtime.Time
+	// AvgRateBps is size/(completion time): the per-flow quantity Figures 15
 	// and 16 compare across recomputation intervals.
-	AvgRate float64
+	AvgRateBps float64
 }
 
 // TickStat records the active flow population at one recomputation, used by
@@ -83,8 +83,8 @@ func Run(cfg Config, arrivals []trafficgen.Arrival) *Result {
 	if cfg.CapacityBits <= 0 {
 		panic("fluid: non-positive capacity")
 	}
-	if cfg.InitialRate == 0 {
-		cfg.InitialRate = cfg.CapacityBits
+	if cfg.InitialRateBps == 0 {
+		cfg.InitialRateBps = cfg.CapacityBits
 	}
 	alloc := waterfill.NewAllocator(waterfill.Config{
 		NumLinks: cfg.Tab.Graph().NumLinks(),
@@ -135,20 +135,20 @@ func Run(cfg Config, arrivals []trafficgen.Arrival) *Result {
 		out := active[:0]
 		for _, f := range active {
 			if f.remaining <= 1e-6 {
-				// AvgRate is the time-weighted average ASSIGNED rate; flows
+				// AvgRateBps is the time-weighted average ASSIGNED rate; flows
 				// that finished before their first assignment (shorter than
 				// one interval — never rate-limited, §3.3.2) fall back to
 				// the lifetime average.
-				avg := float64(arrivals[f.idx].Size*8) / math.Max((now-f.started).Seconds(), 1e-12)
+				avg := float64(arrivals[f.idx].SizeBytes*8) / math.Max((now-f.started).Seconds(), 1e-12)
 				if f.assignedSecs > 0 {
 					avg = f.assignedBits / f.assignedSecs
 				}
 				res.Flows[f.idx] = FlowResult{
-					Index:   f.idx,
-					Size:    arrivals[f.idx].Size,
-					Started: f.started,
-					Ended:   now,
-					AvgRate: avg,
+					Index:      f.idx,
+					SizeBytes:  arrivals[f.idx].SizeBytes,
+					Started:    f.started,
+					Ended:      now,
+					AvgRateBps: avg,
 				}
 				changed = true
 				continue
@@ -199,8 +199,8 @@ func Run(cfg Config, arrivals []trafficgen.Arrival) *Result {
 					Priority: a.Priority,
 					Demand:   waterfill.Unlimited,
 				},
-				remaining: float64(a.Size * 8),
-				rate:      cfg.InitialRate,
+				remaining: float64(a.SizeBytes * 8),
+				rate:      cfg.InitialRateBps,
 				started:   now,
 			}
 			active = append(active, f)
@@ -242,14 +242,14 @@ func RateErrorFiltered(ideal, periodic *Result, minLife simtime.Time) []float64 
 	}
 	out := make([]float64, 0, len(ideal.Flows))
 	for i := range ideal.Flows {
-		r0 := ideal.Flows[i].AvgRate
+		r0 := ideal.Flows[i].AvgRateBps
 		if r0 <= 0 {
 			continue
 		}
 		if ideal.Flows[i].Ended-ideal.Flows[i].Started < minLife {
 			continue
 		}
-		out = append(out, math.Abs(periodic.Flows[i].AvgRate-r0)/r0)
+		out = append(out, math.Abs(periodic.Flows[i].AvgRateBps-r0)/r0)
 	}
 	return out
 }

@@ -41,7 +41,7 @@ func TestFluidAllFlowsComplete(t *testing.T) {
 		if f.Ended <= f.Started {
 			t.Fatalf("flow %d never completed", i)
 		}
-		if f.AvgRate <= 0 {
+		if f.AvgRateBps <= 0 {
 			t.Fatalf("flow %d has non-positive avg rate", i)
 		}
 	}
@@ -76,7 +76,7 @@ func TestFluidIdealMode(t *testing.T) {
 // allocator gives it, making FCT predictable.
 func TestFluidSingleFlowTiming(t *testing.T) {
 	tab := table(t, 4, 2)
-	arrivals := []trafficgen.Arrival{{At: 0, Src: 0, Dst: 1, Size: 1 << 20, Weight: 1}}
+	arrivals := []trafficgen.Arrival{{At: 0, Src: 0, Dst: 1, SizeBytes: 1 << 20, Weight: 1}}
 	res := Run(Config{
 		Tab: tab, Protocol: routing.DOR,
 		CapacityBits: 10e9, Headroom: 0.05,
@@ -141,7 +141,7 @@ func TestFluidValidation(t *testing.T) {
 	for name, f := range map[string]func(){
 		"nil table":     func() { Run(Config{CapacityBits: 1}, []trafficgen.Arrival{{}}) },
 		"no arrivals":   func() { Run(Config{Tab: tab, CapacityBits: 1}, nil) },
-		"zero capacity": func() { Run(Config{Tab: tab}, []trafficgen.Arrival{{Src: 0, Dst: 1, Size: 1}}) },
+		"zero capacity": func() { Run(Config{Tab: tab}, []trafficgen.Arrival{{Src: 0, Dst: 1, SizeBytes: 1}}) },
 	} {
 		func() {
 			defer func() {

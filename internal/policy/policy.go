@@ -118,19 +118,19 @@ func (d *Deadline) defaults() {
 	}
 }
 
-// ClassFor maps a flow with `size` bytes remaining and a deadline
+// ClassFor maps a flow with sizeBytes remaining and a deadline
 // `remaining` from now onto a class: priority 0 is best effort (no
 // deadline); deadline flows occupy priorities 1..Bands by required rate,
 // with weight proportional to required rate so that within a band, more
 // urgent flows get proportionally more.
-func (d *Deadline) ClassFor(size int64, remaining simtime.Time) Class {
+func (d *Deadline) ClassFor(sizeBytes int64, remaining simtime.Time) Class {
 	d.defaults()
 	if remaining <= 0 {
 		// Missed or immediate deadline: topmost band, maximum weight —
 		// finish it as fast as the fabric allows.
 		return Class{Weight: 255, Priority: d.Bands}
 	}
-	required := float64(size*8) / remaining.Seconds()
+	required := float64(sizeBytes*8) / remaining.Seconds()
 	band := uint8(1)
 	for _, edge := range d.BandEdges {
 		if required > edge {

@@ -32,7 +32,7 @@ func TestBroadcastRetransmitUnderCongestion(t *testing.T) {
 		to := g.Link(lid).To
 		for i := 0; i < 4; i++ {
 			net.Inject(&Packet{
-				Kind: KindData, Size: 1500, Src: 0, Dst: to,
+				Kind: KindData, SizeBytes: 1500, Src: 0, Dst: to,
 				Flow:    wire.MakeFlowID(63, 9999), // stray traffic, not an R2C2 flow
 				Payload: 1500 - DataHeaderBytes,
 				Path:    []topology.LinkID{lid},
@@ -75,13 +75,13 @@ func TestTombstoneBlocksStaleStart(t *testing.T) {
 	// race against the finish).
 	info := core.FlowInfo{
 		ID: id, Src: 0, Dst: 5, Weight: 1,
-		Demand: core.UnlimitedDemand, Protocol: routing.RPS,
+		DemandKbps: core.UnlimitedDemand, Protocol: routing.RPS,
 	}
 	stale := &Packet{
-		Kind:  KindBroadcast,
-		Size:  BroadcastBytes,
-		Src:   0,
-		Bcast: info.StartBroadcast(0),
+		Kind:      KindBroadcast,
+		SizeBytes: BroadcastBytes,
+		Src:       0,
+		Bcast:     info.StartBroadcast(0),
 	}
 	r.deliver(9, stale)
 	if got := r.View(9).Len(); got != 0 {

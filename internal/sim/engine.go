@@ -82,6 +82,10 @@ func (e *Engine) Run(until simtime.Time) uint64 {
 			break
 		}
 		ev := heap.Pop(&e.events).(event)
+		if invariantsEnabled {
+			assertInvariant(ev.at >= e.now,
+				"stale event pop: event at %v behind clock %v (clock must never go backwards)", ev.at, e.now)
+		}
 		e.now = ev.at
 		e.count++
 		ev.fn()

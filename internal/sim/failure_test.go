@@ -98,7 +98,7 @@ func TestR2C2SurvivesLinkFailure(t *testing.T) {
 	rec := r.Ledger()[id]
 	if !rec.Done {
 		t.Fatalf("flow did not survive the failure: %d/%d bytes (drops=%d retx=%d reroutes=%d)",
-			rec.BytesRcvd, rec.Size, net.TotalDrops(), r.Retransmissions, r.FailureReroutes)
+			rec.BytesRcvd, rec.SizeBytes, net.TotalDrops(), r.Retransmissions, r.FailureReroutes)
 	}
 	if r.FailureReroutes != 1 {
 		t.Fatalf("reroutes = %d", r.FailureReroutes)
@@ -204,7 +204,7 @@ func TestR2C2SurvivesNodeFailure(t *testing.T) {
 
 	if !r.Ledger()[survivor].Done {
 		t.Fatalf("survivor flow incomplete: %d/%d",
-			r.Ledger()[survivor].BytesRcvd, r.Ledger()[survivor].Size)
+			r.Ledger()[survivor].BytesRcvd, r.Ledger()[survivor].SizeBytes)
 	}
 	if r.Ledger()[fromDead].Done || r.Ledger()[toDead].Done {
 		t.Fatal("flows involving the dead node cannot complete")

@@ -10,12 +10,12 @@ import (
 // experiment statistics (FCT of short flows, average throughput of long
 // flows, completion accounting).
 type FlowRecord struct {
-	ID       wire.FlowID
-	Src, Dst topology.NodeID
-	Size     int64 // bytes the application wants delivered
-	Started  simtime.Time
-	Finished simtime.Time // receiver got every byte
-	Done     bool
+	ID        wire.FlowID
+	Src, Dst  topology.NodeID
+	SizeBytes int64 // bytes the application wants delivered
+	Started   simtime.Time
+	Finished  simtime.Time // receiver got every byte
+	Done      bool
 
 	BytesRcvd  int64
 	SenderDone bool // sender handed the last byte to the NIC
@@ -34,7 +34,7 @@ func (r *FlowRecord) Throughput() float64 {
 	if !r.Done || r.Finished == r.Started {
 		return 0
 	}
-	return float64(r.Size*8) / (r.Finished - r.Started).Seconds()
+	return float64(r.SizeBytes*8) / (r.Finished - r.Started).Seconds()
 }
 
 // flowLedger indexes FlowRecords by ID.
@@ -47,7 +47,7 @@ func newFlowLedger() *flowLedger {
 }
 
 func (l *flowLedger) open(id wire.FlowID, src, dst topology.NodeID, size int64, at simtime.Time) *FlowRecord {
-	r := &FlowRecord{ID: id, Src: src, Dst: dst, Size: size, Started: at}
+	r := &FlowRecord{ID: id, Src: src, Dst: dst, SizeBytes: size, Started: at}
 	l.records[id] = r
 	return r
 }

@@ -48,16 +48,16 @@ func TestR2C2UpdateDemand(t *testing.T) {
 		if !ok {
 			t.Fatal("flow vanished")
 		}
-		if math.Abs(float64(info.Demand)-2e6) > 1e3 { // Kbps
-			t.Fatalf("node %d sees demand %d Kbps, want ~2e6", n, info.Demand)
+		if math.Abs(float64(info.DemandKbps)-2e6) > 1e3 {
+			t.Fatalf("node %d sees demand %d Kbps, want ~2e6", n, info.DemandKbps)
 		}
 	}
 	// Clearing the demand restores unlimited.
 	r.UpdateDemand(id, 0)
 	eng.Run(simtime.Millisecond)
 	info, _ := r.View(0).Get(id)
-	if info.Demand != 0xFFFFFFFF {
-		t.Fatalf("demand not cleared: %d", info.Demand)
+	if info.DemandKbps != 0xFFFFFFFF {
+		t.Fatalf("demand not cleared: %d", info.DemandKbps)
 	}
 	// Updating a finished/unknown flow is a no-op.
 	r.UpdateDemand(0xDEADBEEF, 1e9)

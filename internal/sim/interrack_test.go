@@ -56,7 +56,7 @@ func TestR2C2AcrossTwoRacks(t *testing.T) {
 	for name, id := range flows {
 		rec := r.Ledger()[id]
 		if !rec.Done {
-			t.Fatalf("%s incomplete: %d/%d", name, rec.BytesRcvd, rec.Size)
+			t.Fatalf("%s incomplete: %d/%d", name, rec.BytesRcvd, rec.SizeBytes)
 		}
 	}
 	if net.TotalDrops() != 0 {

@@ -1,0 +1,21 @@
+//go:build debug
+
+package sim
+
+import "fmt"
+
+// invariantsEnabled gates the runtime invariant checks. In debug builds
+// (`go test -tags debug ./internal/sim`) the simulator asserts, on every
+// event pop and rate recomputation, the properties the static rules can
+// only approximate: the virtual clock never goes backwards, no stale event
+// is ever popped, and no sender is paced above link capacity.
+const invariantsEnabled = true
+
+// assertInvariant panics with a formatted message when cond is false. All
+// call sites are guarded by invariantsEnabled so release builds pay
+// nothing: the constant-false branch is eliminated at compile time.
+func assertInvariant(cond bool, format string, args ...any) {
+	if !cond {
+		panic("sim: invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !debug
+
+package sim
+
+// invariantsEnabled is false in release builds; the guarded assertion
+// calls compile away entirely. Build with -tags debug to enable them.
+const invariantsEnabled = false
+
+func assertInvariant(bool, string, ...any) {}

@@ -31,12 +31,12 @@ const (
 // source route; broadcast packets carry the event payload and are forwarded
 // via the broadcast FIB.
 type Packet struct {
-	Kind     PacketKind
-	Size     int // on-wire bytes
-	Flow     wire.FlowID
-	Src, Dst topology.NodeID
-	Seq      uint32 // packet index within the flow (data/ack)
-	Payload  int    // payload bytes carried (data)
+	Kind      PacketKind
+	SizeBytes int // on-wire bytes
+	Flow      wire.FlowID
+	Src, Dst  topology.NodeID
+	Seq       uint32 // packet index within the flow (data/ack)
+	Payload   int    // payload bytes carried (data)
 
 	Path []topology.LinkID // source route (data/ack)
 	Hop  int               // index of the next link in Path
@@ -246,7 +246,7 @@ func (n *Network) forwardBroadcast(at topology.NodeID, pkt *Packet) {
 	}
 	for _, lid := range n.NextBroadcastHops(at, pkt) {
 		cp := *pkt
-		n.BcastBytesOnWire += uint64(pkt.Size)
+		n.BcastBytesOnWire += uint64(pkt.SizeBytes)
 		n.enqueue(at, lid, &cp)
 	}
 }
@@ -314,7 +314,7 @@ func (n *Network) enqueue(at topology.NodeID, lid topology.LinkID, pkt *Packet) 
 		}
 		q.push(pkt)
 	} else {
-		if p.queued+pkt.Size > n.Cfg.QueueBytes {
+		if p.queued+pkt.SizeBytes > n.Cfg.QueueBytes {
 			p.stats.DroppedPkts++
 			n.totalDrops++
 			if n.OnDrop != nil {
@@ -324,7 +324,7 @@ func (n *Network) enqueue(at topology.NodeID, lid topology.LinkID, pkt *Packet) 
 		}
 		p.fifo.push(pkt)
 	}
-	p.queued += pkt.Size
+	p.queued += pkt.SizeBytes
 	p.stats.EnqueuedPkts++
 	if p.queued > p.stats.MaxQueueBytes {
 		p.stats.MaxQueueBytes = p.queued
@@ -351,11 +351,11 @@ func (n *Network) transmit(p *port) {
 		return
 	}
 	p.busy = true
-	p.queued -= pkt.Size
-	txTime := simtime.TransmitTime(pkt.Size, n.Cfg.LinkGbps)
+	p.queued -= pkt.SizeBytes
+	txTime := simtime.TransmitTime(pkt.SizeBytes, n.Cfg.LinkGbps)
 	from := n.G.Link(p.id).From
 	n.Eng.After(txTime, func() {
-		p.stats.SentBytes += uint64(pkt.Size)
+		p.stats.SentBytes += uint64(pkt.SizeBytes)
 		if p.flowQ != nil {
 			// Credit released: the packet has left this node.
 			n.buf[from][pkt.Flow]--

@@ -23,13 +23,13 @@ func dataPacket(t testing.TB, tab *routing.Table, src, dst topology.NodeID, payl
 	t.Helper()
 	path := tab.Phi(routing.DOR, src, dst).Links
 	return &Packet{
-		Kind:    KindData,
-		Size:    payload + DataHeaderBytes,
-		Flow:    wire.MakeFlowID(uint16(src), 0),
-		Src:     src,
-		Dst:     dst,
-		Payload: payload,
-		Path:    append([]topology.LinkID(nil), path...),
+		Kind:      KindData,
+		SizeBytes: payload + DataHeaderBytes,
+		Flow:      wire.MakeFlowID(uint16(src), 0),
+		Src:       src,
+		Dst:       dst,
+		Payload:   payload,
+		Path:      append([]topology.LinkID(nil), path...),
 	}
 }
 
@@ -181,7 +181,7 @@ func TestBroadcastReachesAllNodes(t *testing.T) {
 		return hops
 	}
 	b := &wire.Broadcast{Event: wire.EventFlowStart, Src: 5, Tree: 1}
-	net.InjectBroadcast(5, &Packet{Kind: KindBroadcast, Size: BroadcastBytes, Src: 5, Bcast: b})
+	net.InjectBroadcast(5, &Packet{Kind: KindBroadcast, SizeBytes: BroadcastBytes, Src: 5, Bcast: b})
 	eng.Run(simtime.Second)
 	if len(got) != g.Nodes() {
 		t.Fatalf("broadcast reached %d nodes, want %d", len(got), g.Nodes())

@@ -58,19 +58,19 @@ func NewPFQ(net *Network, tab *routing.Table, seed int64) *PFQ {
 // Ledger exposes the flow records for results collection.
 func (p *PFQ) Ledger() map[wire.FlowID]*FlowRecord { return p.ledger.records }
 
-// StartFlow begins a flow of `size` bytes; injection is driven entirely by
+// StartFlow begins a flow of sizeBytes; injection is driven entirely by
 // back-pressure credits.
-func (p *PFQ) StartFlow(src, dst topology.NodeID, size int64) wire.FlowID {
-	if src == dst || size <= 0 {
+func (p *PFQ) StartFlow(src, dst topology.NodeID, sizeBytes int64) wire.FlowID {
+	if src == dst || sizeBytes <= 0 {
 		panic("sim: degenerate flow")
 	}
 	seq := p.nextSeq[src]
 	p.nextSeq[src] = seq + 1
 	id := wire.MakeFlowID(uint16(src), seq)
-	s := &pfqSource{id: id, src: src, dst: dst, remaining: size}
+	s := &pfqSource{id: id, src: src, dst: dst, remaining: sizeBytes}
 	p.sources[id] = s
 	p.bySrc[src] = append(p.bySrc[src], s)
-	p.ledger.open(id, src, dst, size, p.Net.Eng.Now())
+	p.ledger.open(id, src, dst, sizeBytes, p.Net.Eng.Now())
 	p.fill(s)
 	return id
 }
@@ -83,14 +83,14 @@ func (p *PFQ) fill(s *pfqSource) {
 			payload = s.remaining
 		}
 		pkt := &Packet{
-			Kind:    KindData,
-			Size:    int(payload) + DataHeaderBytes,
-			Flow:    s.id,
-			Src:     s.src,
-			Dst:     s.dst,
-			Seq:     s.seq,
-			Payload: int(payload),
-			Path:    p.Tab.SamplePath(routing.RPS, s.src, s.dst, p.rng),
+			Kind:      KindData,
+			SizeBytes: int(payload) + DataHeaderBytes,
+			Flow:      s.id,
+			Src:       s.src,
+			Dst:       s.dst,
+			Seq:       s.seq,
+			Payload:   int(payload),
+			Path:      p.Tab.SamplePath(routing.RPS, s.src, s.dst, p.rng),
 		}
 		s.seq++
 		s.remaining -= payload
@@ -115,7 +115,7 @@ func (p *PFQ) deliver(at topology.NodeID, pkt *Packet) {
 	}
 	rec := p.ledger.get(pkt.Flow)
 	rec.BytesRcvd += int64(pkt.Payload)
-	if !rec.Done && rec.BytesRcvd >= rec.Size {
+	if !rec.Done && rec.BytesRcvd >= rec.SizeBytes {
 		rec.Done = true
 		rec.Finished = p.Net.Eng.Now()
 	}

@@ -198,12 +198,12 @@ func (r *R2C2) onDrop(pkt *Packet, at topology.LinkID) {
 		nb := b
 		nb.Tree = r.pickTree(node)
 		cp := &Packet{
-			Kind:    KindBroadcast,
-			Size:    BroadcastBytes,
-			Flow:    nb.Flow(),
-			Src:     origin,
-			Bcast:   &nb,
-			Retries: retries,
+			Kind:      KindBroadcast,
+			SizeBytes: BroadcastBytes,
+			Flow:      nb.Flow(),
+			Src:       origin,
+			Bcast:     &nb,
+			Retries:   retries,
 		}
 		r.Net.InjectBroadcast(origin, cp)
 	})
@@ -319,13 +319,13 @@ func (r *R2C2) Ledger() map[wire.FlowID]*FlowRecord { return r.ledger.records }
 // View returns a node's traffic-matrix view (for tests and inspection).
 func (r *R2C2) View(node topology.NodeID) *core.View { return r.nodes[node].view }
 
-// StartFlow begins a flow of `size` bytes from src to dst at the current
+// StartFlow begins a flow of sizeBytes from src to dst at the current
 // simulated time: the sender updates its own view, broadcasts the start
 // event, and starts transmitting immediately (§3.1) — at line rate until
 // the first recomputation covers the flow, with the headroom absorbing the
 // transient (§3.3.2).
-func (r *R2C2) StartFlow(src, dst topology.NodeID, size int64, weight, priority uint8) wire.FlowID {
-	return r.StartHostLimitedFlow(src, dst, size, weight, priority, 0)
+func (r *R2C2) StartFlow(src, dst topology.NodeID, sizeBytes int64, weight, priority uint8) wire.FlowID {
+	return r.StartHostLimitedFlow(src, dst, sizeBytes, weight, priority, 0)
 }
 
 // StartHostLimitedFlow is StartFlow for a flow whose application cannot
@@ -333,8 +333,8 @@ func (r *R2C2) StartFlow(src, dst topology.NodeID, size int64, weight, priority 
 // carried in the start broadcast, every node allocates min(fair share,
 // demand), and the sender additionally paces at the demand. demandBits <= 0
 // means network-limited.
-func (r *R2C2) StartHostLimitedFlow(src, dst topology.NodeID, size int64, weight, priority uint8, demandBits float64) wire.FlowID {
-	if src == dst || size <= 0 {
+func (r *R2C2) StartHostLimitedFlow(src, dst topology.NodeID, sizeBytes int64, weight, priority uint8, demandBits float64) wire.FlowID {
+	if src == dst || sizeBytes <= 0 {
 		panic("sim: degenerate flow")
 	}
 	if weight == 0 {
@@ -350,21 +350,21 @@ func (r *R2C2) StartHostLimitedFlow(src, dst topology.NodeID, size int64, weight
 	info := core.FlowInfo{
 		ID: id, Src: src, Dst: dst,
 		Weight: weight, Priority: priority,
-		Demand:   demand,
-		Protocol: r.Cfg.Protocol,
+		DemandKbps: demand,
+		Protocol:   r.Cfg.Protocol,
 	}
 	initial := r.Net.Cfg.LinkGbps * 1e9
 	if demandBits > 0 && demandBits < initial {
 		initial = demandBits
 	}
 	sf := &senderFlow{
-		info: info, remaining: size, rate: initial, demand: demandBits,
-		size:      size,
-		totalPkts: uint32((size + MaxPayload - 1) / MaxPayload),
+		info: info, remaining: sizeBytes, rate: initial, demand: demandBits,
+		size:      sizeBytes,
+		totalPkts: uint32((sizeBytes + MaxPayload - 1) / MaxPayload),
 	}
 	node.flows[id] = sf
 	node.view.AddFlow(info)
-	r.ledger.open(id, src, dst, size, r.Net.Eng.Now())
+	r.ledger.open(id, src, dst, sizeBytes, r.Net.Eng.Now())
 	r.broadcast(node, info.StartBroadcast(r.pickTree(node)))
 	r.armSender(node, sf)
 	return id
@@ -384,9 +384,9 @@ func (r *R2C2) UpdateDemand(id wire.FlowID, demandBits float64) {
 	}
 	sf.demand = demandBits
 	if demandBits > 0 {
-		sf.info.Demand = core.KbpsDemand(demandBits)
+		sf.info.DemandKbps = core.KbpsDemand(demandBits)
 	} else {
-		sf.info.Demand = core.UnlimitedDemand
+		sf.info.DemandKbps = core.UnlimitedDemand
 	}
 	node.view.AddFlow(sf.info)
 	r.broadcast(node, sf.info.DemandBroadcast(r.pickTree(node)))
@@ -417,11 +417,11 @@ func (r *R2C2) pickTree(node *r2c2Node) uint8 {
 // broadcast applies an event locally and floods it along the chosen tree.
 func (r *R2C2) broadcast(node *r2c2Node, b *wire.Broadcast) {
 	pkt := &Packet{
-		Kind:  KindBroadcast,
-		Size:  BroadcastBytes,
-		Flow:  b.Flow(),
-		Src:   topology.NodeID(b.Src),
-		Bcast: b,
+		Kind:      KindBroadcast,
+		SizeBytes: BroadcastBytes,
+		Flow:      b.Flow(),
+		Src:       topology.NodeID(b.Src),
+		Bcast:     b,
 	}
 	r.Net.InjectBroadcast(node.id, pkt)
 }
@@ -489,14 +489,14 @@ func (r *R2C2) sendNext(node *r2c2Node, sf *senderFlow) {
 	size := int(payload) + DataHeaderBytes
 	path := r.phys(r.Tab.SamplePath(sf.info.Protocol, sf.info.Src, sf.info.Dst, r.rng))
 	pkt := &Packet{
-		Kind:    KindData,
-		Size:    size,
-		Flow:    sf.info.ID,
-		Src:     sf.info.Src,
-		Dst:     sf.info.Dst,
-		Seq:     seq,
-		Payload: int(payload),
-		Path:    path,
+		Kind:      KindData,
+		SizeBytes: size,
+		Flow:      sf.info.ID,
+		Src:       sf.info.Src,
+		Dst:       sf.info.Dst,
+		Seq:       seq,
+		Payload:   int(payload),
+		Path:      path,
 	}
 	r.Net.Inject(pkt)
 
@@ -640,7 +640,7 @@ func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
 	if isNew {
 		rec.BytesRcvd += int64(pkt.Payload)
 	}
-	if !rec.Done && rec.BytesRcvd >= rec.Size {
+	if !rec.Done && rec.BytesRcvd >= rec.SizeBytes {
 		rec.Done = true
 		rec.Finished = r.Net.Eng.Now()
 		if !r.Cfg.Reliable {
@@ -652,13 +652,13 @@ func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
 		// minimally and deterministically back to the sender.
 		ackPath := r.phys(r.Tab.Phi(routing.DOR, pkt.Dst, pkt.Src).Links)
 		r.Net.Inject(&Packet{
-			Kind: KindAck,
-			Size: AckBytes,
-			Flow: pkt.Flow,
-			Src:  pkt.Dst,
-			Dst:  pkt.Src,
-			Seq:  rs.next,
-			Path: append([]topology.LinkID(nil), ackPath...),
+			Kind:      KindAck,
+			SizeBytes: AckBytes,
+			Flow:      pkt.Flow,
+			Src:       pkt.Dst,
+			Dst:       pkt.Src,
+			Seq:       rs.next,
+			Path:      append([]topology.LinkID(nil), ackPath...),
 		})
 	}
 }
@@ -682,6 +682,14 @@ func (r *R2C2) recomputeTick() {
 		}
 		for id, sf := range node.flows {
 			sf.rate = alloc.Rate(id)
+			if invariantsEnabled {
+				// A multipath flow may exceed one link's rate (its φ sums
+				// over parallel paths), but never the source's aggregate
+				// injection bandwidth: out-degree × link capacity.
+				injBits := float64(len(r.Tab.Graph().Out(sf.info.Src))) * r.Net.Cfg.LinkGbps * 1e9
+				assertInvariant(sf.rate <= injBits*(1+1e-9),
+					"flow %v paced at %v bits/s above source injection bandwidth %v bits/s", id, sf.rate, injBits)
+			}
 			r.armSender(node, sf)
 		}
 	}

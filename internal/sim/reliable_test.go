@@ -75,11 +75,11 @@ func TestReliableRecoversFromDrops(t *testing.T) {
 		rec := r.Ledger()[id]
 		if !rec.Done {
 			t.Fatalf("flow %v incomplete despite reliability: %d/%d",
-				id, rec.BytesRcvd, rec.Size)
+				id, rec.BytesRcvd, rec.SizeBytes)
 		}
-		if rec.BytesRcvd != rec.Size {
+		if rec.BytesRcvd != rec.SizeBytes {
 			t.Fatalf("flow %v byte accounting off: %d != %d (duplicate counting?)",
-				id, rec.BytesRcvd, rec.Size)
+				id, rec.BytesRcvd, rec.SizeBytes)
 		}
 	}
 }

@@ -109,7 +109,7 @@ func Run(cfg RunConfig) *Results {
 		for _, a := range cfg.Arrivals {
 			arr := a
 			eng.Schedule(arr.At, func() {
-				r2c2.StartFlow(arr.Src, arr.Dst, arr.Size, arr.Weight, arr.Priority)
+				r2c2.StartFlow(arr.Src, arr.Dst, arr.SizeBytes, arr.Weight, arr.Priority)
 			})
 		}
 	case TransportTCP:
@@ -117,14 +117,14 @@ func Run(cfg RunConfig) *Results {
 		ledger = tcp.Ledger()
 		for _, a := range cfg.Arrivals {
 			arr := a
-			eng.Schedule(arr.At, func() { tcp.StartFlow(arr.Src, arr.Dst, arr.Size) })
+			eng.Schedule(arr.At, func() { tcp.StartFlow(arr.Src, arr.Dst, arr.SizeBytes) })
 		}
 	case TransportPFQ:
 		pfq := NewPFQ(net, tab, cfg.PFQSeed)
 		ledger = pfq.Ledger()
 		for _, a := range cfg.Arrivals {
 			arr := a
-			eng.Schedule(arr.At, func() { pfq.StartFlow(arr.Src, arr.Dst, arr.Size) })
+			eng.Schedule(arr.At, func() { pfq.StartFlow(arr.Src, arr.Dst, arr.SizeBytes) })
 		}
 	default:
 		panic(fmt.Sprintf("sim: unknown transport %v", cfg.Transport))
@@ -169,10 +169,10 @@ func Run(cfg RunConfig) *Results {
 		res.Completed++
 		fct := rec.FCT().Seconds()
 		res.AllFCT.Add(fct)
-		if rec.Size < ShortFlowMax {
+		if rec.SizeBytes < ShortFlowMax {
 			res.ShortFCT.Add(fct)
 		}
-		if rec.Size > LongFlowMin {
+		if rec.SizeBytes > LongFlowMin {
 			res.LongThroughput.Add(rec.Throughput())
 		}
 	}

@@ -92,16 +92,16 @@ func NewTCP(net *Network, tab *routing.Table, cfg TCPConfig) *TCP {
 // Ledger exposes the flow records for results collection.
 func (t *TCP) Ledger() map[wire.FlowID]*FlowRecord { return t.ledger.records }
 
-// StartFlow begins a TCP flow of `size` bytes.
-func (t *TCP) StartFlow(src, dst topology.NodeID, size int64) wire.FlowID {
-	if src == dst || size <= 0 {
+// StartFlow begins a TCP flow of sizeBytes.
+func (t *TCP) StartFlow(src, dst topology.NodeID, sizeBytes int64) wire.FlowID {
+	if src == dst || sizeBytes <= 0 {
 		panic("sim: degenerate flow")
 	}
 	seq := t.nextSeq[src]
 	t.nextSeq[src] = seq + 1
 	id := wire.MakeFlowID(uint16(src), seq)
-	pkts := uint32((size + MaxPayload - 1) / MaxPayload)
-	last := int(size - int64(pkts-1)*MaxPayload)
+	pkts := uint32((sizeBytes + MaxPayload - 1) / MaxPayload)
+	last := int(sizeBytes - int64(pkts-1)*MaxPayload)
 	s := &tcpSender{
 		id: id, src: src, dst: dst,
 		path:      t.Tab.ECMPPath(src, dst, id),
@@ -115,7 +115,7 @@ func (t *TCP) StartFlow(src, dst topology.NodeID, size int64) wire.FlowID {
 	}
 	t.senders[id] = s
 	t.recvs[id] = &tcpReceiver{oob: make(map[uint32]bool)}
-	t.ledger.open(id, src, dst, size, t.Net.Eng.Now())
+	t.ledger.open(id, src, dst, sizeBytes, t.Net.Eng.Now())
 	t.pump(s)
 	return id
 }
@@ -138,15 +138,15 @@ func (t *TCP) sendPacket(s *tcpSender, seq uint32, retx bool) {
 		payload = s.lastSize
 	}
 	pkt := &Packet{
-		Kind:    KindData,
-		Size:    payload + DataHeaderBytes,
-		Flow:    s.id,
-		Src:     s.src,
-		Dst:     s.dst,
-		Seq:     seq,
-		Payload: payload,
-		Path:    append([]topology.LinkID(nil), s.path...),
-		Retx:    retx,
+		Kind:      KindData,
+		SizeBytes: payload + DataHeaderBytes,
+		Flow:      s.id,
+		Src:       s.src,
+		Dst:       s.dst,
+		Seq:       seq,
+		Payload:   payload,
+		Path:      append([]topology.LinkID(nil), s.path...),
+		Retx:      retx,
 	}
 	if retx {
 		t.Retransmissions++
@@ -219,16 +219,16 @@ func (t *TCP) receiveData(at topology.NodeID, pkt *Packet) {
 	// Cumulative ack (per packet, 16 bytes on the wire).
 	s := t.senders[pkt.Flow]
 	ack := &Packet{
-		Kind: KindAck,
-		Size: AckBytes,
-		Flow: pkt.Flow,
-		Src:  pkt.Dst,
-		Dst:  pkt.Src,
-		Seq:  r.next,
-		Path: append([]topology.LinkID(nil), s.ackPath...),
+		Kind:      KindAck,
+		SizeBytes: AckBytes,
+		Flow:      pkt.Flow,
+		Src:       pkt.Dst,
+		Dst:       pkt.Src,
+		Seq:       r.next,
+		Path:      append([]topology.LinkID(nil), s.ackPath...),
 	}
 	t.Net.Inject(ack)
-	if !rec.Done && rec.BytesRcvd >= rec.Size {
+	if !rec.Done && rec.BytesRcvd >= rec.SizeBytes {
 		rec.Done = true
 		rec.Finished = t.Net.Eng.Now()
 	}

@@ -88,6 +88,6 @@ func TestTCPFastRetransmit(t *testing.T) {
 	}
 	eng.Run(2 * simtime.Second)
 	if !tcp.Ledger()[id].Done {
-		t.Fatalf("flow incomplete: %d/%d", tcp.Ledger()[id].BytesRcvd, tcp.Ledger()[id].Size)
+		t.Fatalf("flow incomplete: %d/%d", tcp.Ledger()[id].BytesRcvd, tcp.Ledger()[id].SizeBytes)
 	}
 }

@@ -29,7 +29,7 @@ func TestR2C2SingleFlowCompletes(t *testing.T) {
 	eng.Run(50 * simtime.Millisecond)
 	rec := r.Ledger()[id]
 	if !rec.Done {
-		t.Fatalf("flow incomplete: %d/%d bytes", rec.BytesRcvd, rec.Size)
+		t.Fatalf("flow incomplete: %d/%d bytes", rec.BytesRcvd, rec.SizeBytes)
 	}
 	if net.TotalDrops() != 0 {
 		t.Fatalf("drops = %d", net.TotalDrops())
@@ -181,7 +181,7 @@ func TestTCPSingleFlowCompletes(t *testing.T) {
 	eng.Run(time500ms)
 	rec := tcp.Ledger()[id]
 	if !rec.Done {
-		t.Fatalf("TCP flow incomplete: %d/%d", rec.BytesRcvd, rec.Size)
+		t.Fatalf("TCP flow incomplete: %d/%d", rec.BytesRcvd, rec.SizeBytes)
 	}
 	if !rec.SenderDone {
 		t.Fatal("sender not done after all acks")
@@ -205,7 +205,7 @@ func TestTCPRecoversFromDrops(t *testing.T) {
 	for _, id := range ids {
 		if !tcp.Ledger()[id].Done {
 			t.Fatalf("flow %v incomplete under incast: %d/%d",
-				id, tcp.Ledger()[id].BytesRcvd, tcp.Ledger()[id].Size)
+				id, tcp.Ledger()[id].BytesRcvd, tcp.Ledger()[id].SizeBytes)
 		}
 	}
 	if net.TotalDrops() == 0 {
@@ -242,7 +242,7 @@ func TestPFQSingleFlowCompletes(t *testing.T) {
 	eng.Run(time500ms)
 	rec := pfq.Ledger()[id]
 	if !rec.Done {
-		t.Fatalf("PFQ flow incomplete: %d/%d", rec.BytesRcvd, rec.Size)
+		t.Fatalf("PFQ flow incomplete: %d/%d", rec.BytesRcvd, rec.SizeBytes)
 	}
 	if net.TotalDrops() != 0 {
 		t.Fatal("PFQ must never drop (back-pressure)")
@@ -367,7 +367,7 @@ func TestTransportString(t *testing.T) {
 }
 
 func TestFlowRecordAccessors(t *testing.T) {
-	rec := &FlowRecord{Size: 1000, Started: 0, Finished: simtime.Millisecond, Done: true}
+	rec := &FlowRecord{SizeBytes: 1000, Started: 0, Finished: simtime.Millisecond, Done: true}
 	if rec.FCT() != simtime.Millisecond {
 		t.Error("FCT wrong")
 	}

@@ -21,11 +21,11 @@ import (
 
 // Arrival describes one flow arrival.
 type Arrival struct {
-	At       simtime.Time
-	Src, Dst topology.NodeID
-	Size     int64 // bytes
-	Weight   uint8
-	Priority uint8
+	At        simtime.Time
+	Src, Dst  topology.NodeID
+	SizeBytes int64
+	Weight    uint8
+	Priority  uint8
 }
 
 // PoissonConfig parameterises the synthetic datacenter workload of §5.2:
@@ -73,22 +73,22 @@ func Poisson(cfg PoissonConfig) []Arrival {
 			dst++
 		}
 		arrivals[i] = Arrival{
-			At:     t,
-			Src:    src,
-			Dst:    dst,
-			Size:   paretoSize(rng, cfg.ParetoShape, cfg.MeanFlowBytes, cfg.MaxFlowBytes),
-			Weight: 1,
+			At:        t,
+			Src:       src,
+			Dst:       dst,
+			SizeBytes: paretoSize(rng, cfg.ParetoShape, cfg.MeanFlowBytes, cfg.MaxFlowBytes),
+			Weight:    1,
 		}
 	}
 	return arrivals
 }
 
-// FixedSize generates cfg.Count flows of exactly `size` bytes with Poisson
+// FixedSize generates cfg.Count flows of exactly sizeBytes with Poisson
 // arrivals — the 1,000 × 10 MB workload of the Figure 7 cross-validation.
-func FixedSize(cfg PoissonConfig, size int64) []Arrival {
+func FixedSize(cfg PoissonConfig, sizeBytes int64) []Arrival {
 	arrivals := Poisson(cfg)
 	for i := range arrivals {
-		arrivals[i].Size = size
+		arrivals[i].SizeBytes = sizeBytes
 	}
 	return arrivals
 }

@@ -37,8 +37,8 @@ func TestPoissonBasics(t *testing.T) {
 		if a.Src < 0 || int(a.Src) >= 64 || a.Dst < 0 || int(a.Dst) >= 64 {
 			t.Fatalf("arrival %d: endpoints out of range: %v", i, a)
 		}
-		if a.Size < 1 {
-			t.Fatalf("arrival %d: size %d", i, a.Size)
+		if a.SizeBytes < 1 {
+			t.Fatalf("arrival %d: size %d", i, a.SizeBytes)
 		}
 	}
 	// Mean inter-arrival should be ~τ.
@@ -54,11 +54,11 @@ func TestPoissonHeavyTail(t *testing.T) {
 	arrivals := Poisson(cfg)
 	small, totalBytes, smallBytes := 0, 0.0, 0.0
 	for _, a := range arrivals {
-		if a.Size < 100e3 {
+		if a.SizeBytes < 100e3 {
 			small++
-			smallBytes += float64(a.Size)
+			smallBytes += float64(a.SizeBytes)
 		}
-		totalBytes += float64(a.Size)
+		totalBytes += float64(a.SizeBytes)
 	}
 	frac := float64(small) / float64(len(arrivals))
 	if frac < 0.93 || frac > 0.99 {
@@ -100,8 +100,8 @@ func TestFixedSize(t *testing.T) {
 	cfg := PoissonConfig{Nodes: 16, MeanInterval: simtime.Millisecond, Count: 1000, Seed: 3}
 	arrivals := FixedSize(cfg, 10<<20)
 	for _, a := range arrivals {
-		if a.Size != 10<<20 {
-			t.Fatalf("size = %d", a.Size)
+		if a.SizeBytes != 10<<20 {
+			t.Fatalf("size = %d", a.SizeBytes)
 		}
 	}
 }

@@ -186,6 +186,11 @@ func DecodeData(pkt []byte) (*DataHeader, []byte, error) {
 	if PacketType(pkt[0]) != TypeData {
 		return nil, nil, ErrBadType
 	}
+	if int(pkt[1]) > MaxRouteHops {
+		// The encoder never emits such a header; reject it so decoding and
+		// re-encoding are inverses on accepted packets.
+		return nil, nil, ErrRouteTooLong
+	}
 	stored := binary.BigEndian.Uint16(pkt[15:])
 	var zeroed [DataHeaderSize]byte
 	copy(zeroed[:], pkt[:DataHeaderSize])
@@ -215,14 +220,14 @@ func DecodeData(pkt []byte) (*DataHeader, []byte, error) {
 // weight, priority, demand in Kbps (up to 4 Tbps), the spanning-tree ID the
 // packet is being routed along, and the flow's routing protocol.
 type Broadcast struct {
-	Event    EventKind
-	Src, Dst uint16
-	FlowSeq  uint16 // per-source flow sequence; FlowID = MakeFlowID(Src, FlowSeq)
-	Weight   uint8
-	Priority uint8
-	Demand   uint32 // Kbps
-	Tree     uint8  // broadcast spanning-tree identifier
-	RP       uint8  // routing protocol identifier
+	Event      EventKind
+	Src, Dst   uint16
+	FlowSeq    uint16 // per-source flow sequence; FlowID = MakeFlowID(Src, FlowSeq)
+	Weight     uint8
+	Priority   uint8
+	DemandKbps uint32
+	Tree       uint8 // broadcast spanning-tree identifier
+	RP         uint8 // routing protocol identifier
 }
 
 // Flow returns the 4-byte flow identifier announced by this broadcast.
@@ -237,7 +242,7 @@ func EncodeBroadcast(b *Broadcast) [BroadcastSize]byte {
 	binary.BigEndian.PutUint16(out[5:], b.FlowSeq)
 	out[7] = b.Weight
 	out[8] = b.Priority
-	binary.BigEndian.PutUint32(out[9:], b.Demand)
+	binary.BigEndian.PutUint32(out[9:], b.DemandKbps)
 	out[13] = b.Tree
 	out[14] = b.RP
 	out[15] = checksum8(out[:15])
@@ -256,15 +261,15 @@ func DecodeBroadcast(pkt []byte) (*Broadcast, error) {
 		return nil, ErrBadChecksum
 	}
 	return &Broadcast{
-		Event:    EventKind(pkt[0] & 0xF),
-		Src:      binary.BigEndian.Uint16(pkt[1:]),
-		Dst:      binary.BigEndian.Uint16(pkt[3:]),
-		FlowSeq:  binary.BigEndian.Uint16(pkt[5:]),
-		Weight:   pkt[7],
-		Priority: pkt[8],
-		Demand:   binary.BigEndian.Uint32(pkt[9:]),
-		Tree:     pkt[13],
-		RP:       pkt[14],
+		Event:      EventKind(pkt[0] & 0xF),
+		Src:        binary.BigEndian.Uint16(pkt[1:]),
+		Dst:        binary.BigEndian.Uint16(pkt[3:]),
+		FlowSeq:    binary.BigEndian.Uint16(pkt[5:]),
+		Weight:     pkt[7],
+		Priority:   pkt[8],
+		DemandKbps: binary.BigEndian.Uint32(pkt[9:]),
+		Tree:       pkt[13],
+		RP:         pkt[14],
 	}, nil
 }
 

@@ -165,15 +165,15 @@ func TestDataErrors(t *testing.T) {
 func TestBroadcastRoundTrip(t *testing.T) {
 	f := func(src, dst, seq uint16, weight, prio, tree, rp uint8, demand uint32, kind uint8) bool {
 		b := &Broadcast{
-			Event:    EventKind(kind%4 + 1),
-			Src:      src,
-			Dst:      dst,
-			FlowSeq:  seq,
-			Weight:   weight,
-			Priority: prio,
-			Demand:   demand,
-			Tree:     tree,
-			RP:       rp,
+			Event:      EventKind(kind%4 + 1),
+			Src:        src,
+			Dst:        dst,
+			FlowSeq:    seq,
+			Weight:     weight,
+			Priority:   prio,
+			DemandKbps: demand,
+			Tree:       tree,
+			RP:         rp,
 		}
 		pkt := EncodeBroadcast(b)
 		got, err := DecodeBroadcast(pkt[:])
@@ -195,7 +195,7 @@ func TestBroadcastIs16Bytes(t *testing.T) {
 }
 
 func TestBroadcastChecksumDetectsCorruption(t *testing.T) {
-	pkt := EncodeBroadcast(&Broadcast{Event: EventFlowStart, Src: 3, Dst: 77, Demand: 123456})
+	pkt := EncodeBroadcast(&Broadcast{Event: EventFlowStart, Src: 3, Dst: 77, DemandKbps: 123456})
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 200; trial++ {
 		corrupt := pkt
