@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race debug lint fuzz vet verify
+.PHONY: build test race debug lint fuzz vet bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -29,5 +29,11 @@ lint:
 fuzz:
 	$(GO) test -run=^$$ -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME) ./internal/wire/
 
-verify: build vet lint test race debug
+# One iteration of every benchmark: catches bitrot in the benchmark
+# harnesses (they cover each figure of the paper) without paying for a
+# real measurement run.
+bench-smoke:
+	$(GO) test -run=^$$ -bench . -benchtime=1x ./...
+
+verify: build vet lint test race debug bench-smoke
 	@echo verify: OK

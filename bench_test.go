@@ -284,7 +284,9 @@ func BenchmarkAblationViewCache(b *testing.B) {
 	b.Run("per-node", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for n := 0; n < nodes; n++ {
-				_ = rc.Compute(view)
+				// ComputeFull: per-node recomputation means the full fill every
+				// time; plain Compute would be answered by its ViewHash cache.
+				_ = rc.ComputeFull(view)
 			}
 		}
 	})
@@ -400,6 +402,65 @@ func BenchmarkWaterfillAllocate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		alloc.Allocate(flows) // the paper's 512-node, 512-flow recomputation
 	}
+}
+
+// The delta-driven hot path against the from-scratch baseline on the same
+// single-flow churn: 512 flows at paper scale, one demand-update per op.
+// Most flows are demand-limited, the regime where a delta's ripple dies out
+// at the first ring of frozen neighbours instead of re-levelling the whole
+// fabric — exactly the common ρ-tick case the incremental allocator exists
+// for.
+func BenchmarkIncrementalChurn(b *testing.B) {
+	g, err := topology.NewTorus(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := routing.NewTable(g)
+	rng := rand.New(rand.NewSource(7))
+	flows := make([]waterfill.Flow, 512)
+	for i := range flows {
+		src := topology.NodeID(rng.Intn(g.Nodes()))
+		dst := topology.NodeID(rng.Intn(g.Nodes()))
+		for dst == src {
+			dst = topology.NodeID(rng.Intn(g.Nodes()))
+		}
+		// Every flow host-limited well below its fair share, on single-path
+		// DOR routes. Both choices bound the delta's footprint: an unlimited
+		// flow's rate depends on the global water level (one elephant sharing
+		// links with the churned flow re-levels rack-wide), and a spraying
+		// protocol's φ-vector touches a large fraction of the fabric's links,
+		// so every flow would be a neighbour of every other.
+		flows[i] = waterfill.Flow{
+			Phi:    tab.Phi(routing.DOR, src, dst),
+			Weight: 1 + float64(rng.Intn(4)),
+			Demand: 50e6 + rng.Float64()*450e6,
+		}
+	}
+	cfg := waterfill.Config{NumLinks: g.NumLinks(), Capacity: 10e9, Headroom: 0.05}
+	// One delta per op: flow i bounces between two host-limited demands.
+	delta := func(i int) waterfill.Flow {
+		f := flows[i%len(flows)]
+		f.Demand = 60e6 + float64(i%7)*40e6
+		return f
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		inc := waterfill.NewIncremental(cfg)
+		handles := inc.Rebuild(flows)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inc.Update(handles[i%len(handles)], delta(i))
+		}
+	})
+	b.Run("from-scratch", func(b *testing.B) {
+		alloc := waterfill.NewAllocator(cfg)
+		work := append([]waterfill.Flow(nil), flows...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work[i%len(work)] = delta(i)
+			alloc.Allocate(work)
+		}
+	})
 }
 
 func BenchmarkPhiRPS512(b *testing.B) {

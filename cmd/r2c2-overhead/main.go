@@ -1,6 +1,8 @@
-// Command r2c2-overhead evaluates R2C2's control-plane cost: the broadcast
-// overhead model of §3.2 (Figure 9) and the decentralized-versus-
-// centralized control traffic comparison (Figure 19).
+// Command r2c2-overhead evaluates R2C2's control-plane cost: the CPU cost
+// of rate recomputation across batching intervals ρ (Figure 8, with both
+// the from-scratch and the delta-driven incremental allocator), the
+// broadcast overhead model of §3.2 (Figure 9) and the decentralized-
+// versus-centralized control traffic comparison (Figure 19).
 package main
 
 import (
@@ -8,9 +10,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"r2c2/internal/broadcastmodel"
+	"r2c2/internal/core"
 	"r2c2/internal/experiments"
+	"r2c2/internal/simtime"
 	"r2c2/internal/topology"
 )
 
@@ -25,17 +31,36 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("r2c2-overhead", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
+		fig8  = fs.Bool("fig8", false, "Figure 8: CPU cost of rate recomputation (from-scratch vs incremental)")
 		fig9  = fs.Bool("fig9", false, "Figure 9: broadcast overhead vs small-flow byte fraction")
 		fig19 = fs.Bool("fig19", false, "Figure 19: decentralized vs centralized control traffic")
 		k     = fs.Int("k", 8, "torus radix for fig19")
 		dims  = fs.Int("dims", 3, "torus dimensions for fig19")
+		rhos  = fs.String("rhos", "", "comma-separated recomputation intervals in µs for fig8 (default: the built-in sweep around core.DefaultRho)")
+		flows = fs.Int("flows", 1200, "flows in the fig8 replayed trace")
+		ticks = fs.Int("max-ticks", 200, "recomputations timed per interval for fig8")
 		csv   = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*fig9 && !*fig19 {
-		*fig9, *fig19 = true, true
+	if !*fig8 && !*fig9 && !*fig19 {
+		*fig8, *fig9, *fig19 = true, true, true
+	}
+
+	if *fig8 {
+		sweep, err := parseRhos(*rhos)
+		if err != nil {
+			return err
+		}
+		s := experiments.TestScale()
+		s.Flows = *flows
+		res := experiments.Fig8(s, s.Tau, sweep, *ticks)
+		render(stdout, res.Table(), *csv)
+		fmt.Fprintln(stdout, "(full-* columns rebuild the allocation from scratch each tick; inc-* replay only the")
+		fmt.Fprintln(stdout, " interval's flow events through the incremental allocator; atom-* scale the full cost")
+		fmt.Fprintln(stdout, " by the documented slowdown factor, see DESIGN.md)")
+		fmt.Fprintln(stdout)
 	}
 
 	if *fig9 {
@@ -65,6 +90,25 @@ func run(args []string, stdout io.Writer) error {
 		render(stdout, res.Table(), *csv)
 	}
 	return nil
+}
+
+// parseRhos turns a comma-separated list of microsecond values into the
+// fig8 ρ sweep, defaulting to a spread around the paper's ρ = 500 µs
+// (core.DefaultRho).
+func parseRhos(spec string) ([]simtime.Time, error) {
+	if spec == "" {
+		base := simtime.FromSeconds(core.DefaultRho.Seconds())
+		return []simtime.Time{base / 5, base / 2, base, 2 * base, 10 * base}, nil
+	}
+	var out []simtime.Time
+	for _, field := range strings.Split(spec, ",") {
+		us, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil || us <= 0 {
+			return nil, fmt.Errorf("bad -rhos entry %q (want positive µs values)", field)
+		}
+		out = append(out, simtime.FromSeconds(us*1e-6))
+	}
+	return out, nil
 }
 
 // render prints a result table as aligned text or CSV.

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"r2c2/internal/routing"
 	"r2c2/internal/simtime"
@@ -217,57 +218,179 @@ type Allocation struct {
 // Rate returns the allocated rate for a flow (0 if absent).
 func (a *Allocation) Rate(id wire.FlowID) float64 { return a.Rates[id] }
 
+// DefaultRho is the rate-recomputation batching interval ρ (§3.3.2): flow
+// events arriving within one ρ are folded into a single recomputation. The
+// paper budgets 500 µs against the measured per-recomputation cost of
+// Figure 8; the simulator adopts it directly and the wall-clock emulator
+// scales it up to absorb scheduler jitter.
+const DefaultRho = 500 * time.Microsecond
+
 // RateComputer turns a View into rate allocations using the routing
 // φ-vectors and the water-filling allocator. One RateComputer can be shared
 // by all nodes that share a topology (the computation is a pure function of
 // the view), which is how the simulator amortises recomputation across
 // nodes holding identical views.
 //
+// Compute is delta-driven: it retains the previous view's flow set and an
+// incremental allocator, diffs the new view against it, and replays only
+// the difference — the common ρ-tick case of a handful of flow events
+// re-solves only the priority rounds and links the events reach, while
+// unaffected flows keep their frozen rates. ComputeFull is the from-scratch
+// path, kept as the correctness reference (the randomized oracle in
+// waterfill holds the two equivalent) and for callers that must not
+// perturb the delta state.
+//
 // A RateComputer is not safe for concurrent use; the emulator gives each
 // node its own.
 type RateComputer struct {
 	tab   *routing.Table
-	alloc *waterfill.Allocator
+	alloc *waterfill.Allocator   // from-scratch reference engine
+	inc   *waterfill.Incremental // delta-driven hot-path engine
+
+	// prev is the flow set the incremental allocator currently embodies,
+	// sorted by flow ID; handles parallels it.
+	prev    []FlowInfo
+	handles []waterfill.Handle
+	last    *Allocation // allocation for prev (ViewHash shortcut)
 
 	// scratch, reused across computations
 	specs []waterfill.Flow
 	ids   []wire.FlowID
+
+	// Observability for the Figure 8 harness: Rebuilds counts full
+	// from-scratch loads of the incremental state, DeltaEvents the flow
+	// events replayed incrementally, CacheHits the computations answered by
+	// the ViewHash shortcut alone.
+	Rebuilds    uint64
+	DeltaEvents uint64
+	CacheHits   uint64
 }
 
 // NewRateComputer builds a computer for the given topology, link capacity
 // in bits/s and headroom fraction (§3.3.2 uses 5%).
 func NewRateComputer(tab *routing.Table, capacityBits float64, headroom float64) *RateComputer {
+	cfg := waterfill.Config{
+		NumLinks: tab.Graph().NumLinks(),
+		Capacity: capacityBits,
+		Headroom: headroom,
+	}
 	return &RateComputer{
-		tab: tab,
-		alloc: waterfill.NewAllocator(waterfill.Config{
-			NumLinks: tab.Graph().NumLinks(),
-			Capacity: capacityBits,
-			Headroom: headroom,
-		}),
+		tab:   tab,
+		alloc: waterfill.NewAllocator(cfg),
+		inc:   waterfill.NewIncremental(cfg),
 	}
 }
 
 // Table returns the routing table the computer uses.
 func (rc *RateComputer) Table() *routing.Table { return rc.tab }
 
-// Compute runs the water-filling over every flow in the view and returns
-// the full allocation. Each node then rate-limits its own flows to their
-// allocated values (§3.3).
+// spec translates one view entry into an allocation request. Flows whose
+// source and destination coincide are host-local and carry no φ-vector.
+func (rc *RateComputer) spec(f *FlowInfo) waterfill.Flow {
+	s := waterfill.Flow{
+		Weight:   float64(f.Weight),
+		Priority: f.Priority,
+		Demand:   f.DemandBits(),
+	}
+	if f.Src != f.Dst {
+		s.Phi = rc.tab.Phi(f.Protocol, f.Src, f.Dst)
+	}
+	return s
+}
+
+// Compute returns the allocation for the view, reusing as much of the
+// previous computation as the view diff allows: an identical ViewHash
+// returns the cached allocation outright, a small diff replays the changed
+// flows through the incremental allocator, and a diff touching more than a
+// quarter of the view (or the first call) falls back to one from-scratch
+// rebuild. Each node then rate-limits its own flows to their allocated
+// values (§3.3).
 func (rc *RateComputer) Compute(v *View) *Allocation {
+	if rc.last != nil && rc.last.ViewHash == v.Hash() && len(rc.prev) == v.Len() {
+		rc.CacheHits++
+		return rc.last
+	}
+	cur := v.Flows()
+
+	// Count the diff first: both slices are sorted by flow ID, so a
+	// two-pointer sweep enumerates adds, removes and updates
+	// deterministically (no map-iteration order anywhere on this path).
+	changes := 0
+	for i, j := 0, 0; i < len(rc.prev) || j < len(cur); {
+		switch {
+		case j == len(cur) || (i < len(rc.prev) && rc.prev[i].ID < cur[j].ID):
+			changes++
+			i++
+		case i == len(rc.prev) || cur[j].ID < rc.prev[i].ID:
+			changes++
+			j++
+		default:
+			if rc.prev[i] != cur[j] {
+				changes++
+			}
+			i++
+			j++
+		}
+	}
+
+	if rc.last == nil || changes*4 > len(cur) {
+		rc.rebuild(cur)
+	} else {
+		rc.DeltaEvents += uint64(changes)
+		// Replay the diff. Removes and updates reference prev's handles;
+		// adds append to a fresh handle list built alongside.
+		handles := make([]waterfill.Handle, 0, len(cur))
+		i, j := 0, 0
+		for i < len(rc.prev) || j < len(cur) {
+			switch {
+			case j == len(cur) || (i < len(rc.prev) && rc.prev[i].ID < cur[j].ID):
+				rc.inc.Remove(rc.handles[i])
+				i++
+			case i == len(rc.prev) || cur[j].ID < rc.prev[i].ID:
+				handles = append(handles, rc.inc.Add(rc.spec(&cur[j])))
+				j++
+			default:
+				if rc.prev[i] != cur[j] {
+					rc.inc.Update(rc.handles[i], rc.spec(&cur[j]))
+				}
+				handles = append(handles, rc.handles[i])
+				i++
+				j++
+			}
+		}
+		rc.handles = handles
+	}
+	rc.prev = cur
+
+	out := &Allocation{Rates: make(map[wire.FlowID]float64, len(cur)), ViewHash: v.Hash()}
+	for i := range cur {
+		out.Rates[cur[i].ID] = rc.inc.Rate(rc.handles[i])
+	}
+	rc.last = out
+	return out
+}
+
+// rebuild bulk-loads the incremental allocator from a full flow set.
+func (rc *RateComputer) rebuild(cur []FlowInfo) {
+	rc.Rebuilds++
+	rc.specs = rc.specs[:0]
+	for i := range cur {
+		rc.specs = append(rc.specs, rc.spec(&cur[i]))
+	}
+	rc.handles = rc.inc.Rebuild(rc.specs)
+}
+
+// ComputeFull runs the water-filling from scratch over every flow in the
+// view, bypassing and leaving untouched the incremental state. It is the
+// correctness reference for Compute and the cost baseline the Figure 8
+// harness reports against.
+func (rc *RateComputer) ComputeFull(v *View) *Allocation {
 	flows := v.Flows()
 	rc.specs = rc.specs[:0]
 	rc.ids = rc.ids[:0]
-	for _, f := range flows {
-		spec := waterfill.Flow{
-			Weight:   float64(f.Weight),
-			Priority: f.Priority,
-			Demand:   f.DemandBits(),
-		}
-		if f.Src != f.Dst {
-			spec.Phi = rc.tab.Phi(f.Protocol, f.Src, f.Dst)
-		}
-		rc.specs = append(rc.specs, spec)
-		rc.ids = append(rc.ids, f.ID)
+	for i := range flows {
+		rc.specs = append(rc.specs, rc.spec(&flows[i]))
+		rc.ids = append(rc.ids, flows[i].ID)
 	}
 	rates := rc.alloc.Allocate(rc.specs)
 	out := &Allocation{Rates: make(map[wire.FlowID]float64, len(rates)), ViewHash: v.Hash()}

@@ -310,3 +310,86 @@ func TestKbpsDemand(t *testing.T) {
 		t.Error("saturation failed")
 	}
 }
+
+// TestComputeDeltaMatchesFull churns one view through hundreds of start /
+// finish / demand-update / route-change events and cross-checks the
+// delta-driven Compute against the from-scratch ComputeFull after every
+// event — the control-plane-level mirror of the waterfill oracle. Calling
+// ComputeFull on the same computer also proves it leaves the incremental
+// state untouched.
+func TestComputeDeltaMatchesFull(t *testing.T) {
+	rc := newComputer(t)
+	v := NewView()
+	rng := rand.New(rand.NewSource(42))
+	protos := []routing.Protocol{routing.RPS, routing.DOR, routing.VLB, routing.WLB}
+	var ids []wire.FlowID
+	seq := uint16(0)
+	for ev := 0; ev < 400; ev++ {
+		switch {
+		case len(ids) == 0 || (len(ids) < 48 && rng.Intn(2) == 0):
+			seq++
+			src := topology.NodeID(rng.Intn(8))
+			dst := topology.NodeID(rng.Intn(8))
+			f := flowInfo(src, dst, seq) // src == dst is a host-local flow
+			f.Protocol = protos[rng.Intn(len(protos))]
+			f.Weight = uint8(1 + rng.Intn(4))
+			f.Priority = uint8(rng.Intn(3))
+			if rng.Intn(3) == 0 {
+				f.DemandKbps = uint32(rng.Intn(12e6))
+			}
+			v.AddFlow(f)
+			ids = append(ids, f.ID)
+		case rng.Intn(2) == 0:
+			id := ids[rng.Intn(len(ids))]
+			f, _ := v.Get(id)
+			if rng.Intn(2) == 0 {
+				f.DemandKbps = uint32(rng.Intn(12e6))
+			} else {
+				f.Protocol = protos[rng.Intn(len(protos))]
+			}
+			v.AddFlow(f)
+		default:
+			i := rng.Intn(len(ids))
+			v.RemoveFlow(ids[i])
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+		}
+		got := rc.Compute(v)
+		want := rc.ComputeFull(v)
+		if len(got.Rates) != len(want.Rates) {
+			t.Fatalf("event %d: %d rates vs %d", ev, len(got.Rates), len(want.Rates))
+		}
+		for id, w := range want.Rates {
+			g := got.Rates[id]
+			if math.Abs(g-w) > math.Max(1e-6*math.Max(g, w), 10) {
+				t.Fatalf("event %d: flow %v: delta-driven %v, from-scratch %v", ev, id, g, w)
+			}
+		}
+	}
+	if rc.DeltaEvents == 0 {
+		t.Fatal("delta path never exercised")
+	}
+	if rc.Rebuilds == 0 {
+		t.Fatal("rebuild path never exercised")
+	}
+}
+
+// An unchanged view must be answered from the hash shortcut without any
+// allocator work.
+func TestComputeViewHashShortcut(t *testing.T) {
+	rc := newComputer(t)
+	v := NewView()
+	v.AddFlow(flowInfo(0, 5, 1))
+	a := rc.Compute(v)
+	b := rc.Compute(v)
+	if a != b {
+		t.Fatal("identical view should return the cached allocation")
+	}
+	if rc.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", rc.CacheHits)
+	}
+	v.AddFlow(flowInfo(0, 5, 2))
+	if c := rc.Compute(v); c == a {
+		t.Fatal("mutated view must recompute")
+	}
+}

@@ -54,7 +54,7 @@ type Config struct {
 	// Headroom is the §3.3.2 bandwidth headroom. Default 0.05.
 	Headroom float64
 	// Recompute is the wall-clock rate recomputation interval ρ.
-	// Default 2ms.
+	// Default 4×core.DefaultRho (2ms).
 	Recompute time.Duration
 	// Protocol routes new flows. Default RPS.
 	Protocol routing.Protocol
@@ -76,7 +76,9 @@ func (c *Config) defaults() {
 		c.QueuePackets = 1024
 	}
 	if c.Recompute == 0 {
-		c.Recompute = 2 * time.Millisecond
+		// 4ρ: the paper's 500 µs assumes a dedicated rack; a wall-clock
+		// emulator sharing one host needs slack for scheduler jitter.
+		c.Recompute = 4 * core.DefaultRho
 	}
 	if c.TreesPerSource == 0 {
 		c.TreesPerSource = 2

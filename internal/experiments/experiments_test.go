@@ -138,6 +138,10 @@ func TestFig8Feasibility(t *testing.T) {
 		if res.MedianAtom[i] != res.MedianHost[i]*AtomSlowdown {
 			t.Error("atom scaling wrong")
 		}
+		if res.MedianInc[i] < 0 || res.P99Inc[i] < res.MedianInc[i] {
+			t.Errorf("rho %v: implausible incremental overhead median=%v p99=%v",
+				rhos[i], res.MedianInc[i], res.P99Inc[i])
+		}
 	}
 	// At ρ=1ms the host must find recomputation cheap (well under 100%).
 	if res.MedianHost[1] > 1 {

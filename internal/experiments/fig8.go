@@ -24,10 +24,14 @@ const AtomSlowdown = 20.0
 // (so values above 1.0 mean the interval is infeasible).
 type Fig8Result struct {
 	Rhos []simtime.Time
-	// Host-CPU overhead fractions ("Xeon-class" in the paper's setup).
+	// Host-CPU overhead fractions ("Xeon-class" in the paper's setup) of
+	// the from-scratch water-filling.
 	MedianHost, P99Host []float64
 	// The same scaled by AtomSlowdown.
 	MedianAtom, P99Atom []float64
+	// Host-CPU overhead of the delta-driven incremental path over the same
+	// tick sequence (consecutive views differ by the flow events of one ρ).
+	MedianInc, P99Inc []float64
 	// MeanFlows is the average number of flows per recomputation (the
 	// batch filter drops flows shorter than ρ, which is why large ρ cost
 	// less).
@@ -49,7 +53,7 @@ func Fig8(s Scale, tau simtime.Time, rhos []simtime.Time, maxTicks int) *Fig8Res
 	lifetimes := fluid.Run(fluid.Config{
 		Tab: tab, Protocol: routing.RPS,
 		CapacityBits: s.LinkGbps * 1e9, Headroom: 0.05,
-		Recompute: 500 * simtime.Microsecond,
+		Recompute: simtime.FromSeconds(core.DefaultRho.Seconds()),
 	}, arrivals)
 
 	// §4.2: the prototype precomputes the per-{protocol, destination}
@@ -63,7 +67,7 @@ func Fig8(s Scale, tau simtime.Time, rhos []simtime.Time, maxTicks int) *Fig8Res
 	rc := core.NewRateComputer(tab, s.LinkGbps*1e9, 0.05)
 	res := &Fig8Result{Rhos: rhos}
 	for _, rho := range rhos {
-		var overhead stats.Sample
+		var overhead, overheadInc stats.Sample
 		var flowsPerTick stats.Sample
 		var end simtime.Time
 		for _, fr := range lifetimes.Flows {
@@ -88,9 +92,15 @@ func Fig8(s Scale, tau simtime.Time, rhos []simtime.Time, maxTicks int) *Fig8Res
 				}
 			}
 			start := time.Now()
-			rc.Compute(view)
+			rc.ComputeFull(view)
 			cost := time.Since(start).Seconds()
+			// The delta-driven path sees the same tick sequence, so each
+			// Compute replays exactly the flow events of one ρ interval.
+			start = time.Now()
+			rc.Compute(view)
+			costInc := time.Since(start).Seconds()
 			overhead.Add(cost / rho.Seconds())
+			overheadInc.Add(costInc / rho.Seconds())
 			flowsPerTick.Add(float64(view.Len()))
 			ticks++
 		}
@@ -98,6 +108,8 @@ func Fig8(s Scale, tau simtime.Time, rhos []simtime.Time, maxTicks int) *Fig8Res
 		res.P99Host = append(res.P99Host, overhead.Percentile(99))
 		res.MedianAtom = append(res.MedianAtom, overhead.Median()*AtomSlowdown)
 		res.P99Atom = append(res.P99Atom, overhead.Percentile(99)*AtomSlowdown)
+		res.MedianInc = append(res.MedianInc, overheadInc.Median())
+		res.P99Inc = append(res.P99Inc, overheadInc.Percentile(99))
 		res.MeanFlows = append(res.MeanFlows, flowsPerTick.Mean())
 	}
 	return res
@@ -107,14 +119,15 @@ func Fig8(s Scale, tau simtime.Time, rhos []simtime.Time, maxTicks int) *Fig8Res
 // ticks to measure and render as "n/a".
 func (r *Fig8Result) Table() *Table {
 	t := &Table{Title: "Figure 8: CPU overhead of rate recomputation",
-		Header: []string{"rho", "flows/tick", "host-median", "host-p99", "atom-median", "atom-p99"}}
+		Header: []string{"rho", "flows/tick", "full-median", "full-p99", "inc-median", "inc-p99", "atom-median", "atom-p99"}}
 	for i, rho := range r.Rhos {
 		if r.MeanFlows[i] != r.MeanFlows[i] { // NaN: no ticks sampled
-			t.AddRow(rho.String(), "n/a", "n/a", "n/a", "n/a", "n/a")
+			t.AddRow(rho.String(), "n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a")
 			continue
 		}
 		t.AddRow(rho.String(), f2(r.MeanFlows[i]),
 			pct(r.MedianHost[i]), pct(r.P99Host[i]),
+			pct(r.MedianInc[i]), pct(r.P99Inc[i]),
 			pct(r.MedianAtom[i]), pct(r.P99Atom[i]))
 	}
 	return t

@@ -34,7 +34,7 @@ type R2C2Config struct {
 
 func (c *R2C2Config) defaults() {
 	if c.Recompute == 0 {
-		c.Recompute = 500 * simtime.Microsecond
+		c.Recompute = simtime.FromSeconds(core.DefaultRho.Seconds())
 	}
 	if c.TreesPerSource == 0 {
 		c.TreesPerSource = 4

@@ -110,11 +110,14 @@ func (s *Sample) Sum() float64 {
 	return sum
 }
 
-// Values returns the observations in ascending order. The returned slice is
-// owned by the Sample and must not be modified.
+// Values returns a copy of the observations in ascending order. The caller
+// owns the returned slice; mutating it cannot corrupt the Sample's
+// internal (sorted) state, which percentile queries depend on.
 func (s *Sample) Values() []float64 {
 	s.ensureSorted()
-	return s.values
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
 }
 
 // CDFPoint is one point of an empirical CDF: a fraction F of observations

@@ -139,6 +139,26 @@ func TestValuesSorted(t *testing.T) {
 	}
 }
 
+// Values hands out a copy: callers scribbling on the result (sorting it
+// differently, normalising in place) must not corrupt the Sample's
+// internal sorted order that percentile queries rely on.
+func TestValuesReturnsCopy(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	vs := s.Values()
+	for i := range vs {
+		vs[i] = -7
+	}
+	if got := s.Max(); got != 3 {
+		t.Fatalf("mutating Values() result corrupted the sample: max = %v, want 3", got)
+	}
+	if again := s.Values(); again[0] != 1 || again[2] != 3 {
+		t.Fatalf("second Values() call sees the mutation: %v", again)
+	}
+}
+
 func TestEWMA(t *testing.T) {
 	e := NewEWMA(0.5)
 	if got := e.Update(10); got != 10 {

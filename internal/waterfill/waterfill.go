@@ -91,14 +91,28 @@ func NewAllocator(cfg Config) *Allocator {
 // Config returns the allocator's configuration.
 func (a *Allocator) Config() Config { return a.cfg }
 
+// validateFlow panics on inputs that would poison the fill: a non-positive
+// or non-finite weight never freezes (NaN compares false against every
+// threshold, so `NaN <= 0` sails through a naive check), and a NaN or ±Inf
+// demand corrupts every level comparison it participates in. Unlimited
+// (math.MaxFloat64) is the only sentinel for "no demand cap"; negative
+// finite demands are tolerated and allocate rate 0, matching Demand == 0.
+func validateFlow(i int, f *Flow) {
+	if math.IsNaN(f.Weight) || math.IsInf(f.Weight, 0) || f.Weight <= 0 {
+		panic(fmt.Sprintf("waterfill: flow %d has invalid weight %v (want finite > 0)", i, f.Weight))
+	}
+	if math.IsNaN(f.Demand) || math.IsInf(f.Demand, 0) {
+		panic(fmt.Sprintf("waterfill: flow %d has invalid demand %v (use Unlimited for no cap)", i, f.Demand))
+	}
+}
+
 // Allocate computes the rate for every flow; the returned slice is freshly
-// allocated and owned by the caller. Flows with non-positive weight panic:
-// a zero weight would never freeze and signals a caller bug.
+// allocated and owned by the caller. Flows with invalid weight or demand
+// (non-positive, NaN or ±Inf weight; NaN or ±Inf demand) panic: they would
+// never freeze, or poison the fill, and signal a caller bug.
 func (a *Allocator) Allocate(flows []Flow) []float64 {
 	for i := range flows {
-		if flows[i].Weight <= 0 {
-			panic(fmt.Sprintf("waterfill: flow %d has non-positive weight %v", i, flows[i].Weight))
-		}
+		validateFlow(i, &flows[i])
 	}
 	rates := make([]float64, len(flows))
 	cap := a.cfg.Capacity * (1 - a.cfg.Headroom)
@@ -128,6 +142,19 @@ func (a *Allocator) Allocate(flows []Flow) []float64 {
 	return rates
 }
 
+// hostLocalRate is the allocation for a flow with an empty φ-vector:
+// min(demand, raw link capacity). Shared by the from-scratch and
+// incremental paths so both agree exactly.
+func hostLocalRate(cfg *Config, f *Flow) float64 {
+	if f.Demand < 0 {
+		return 0
+	}
+	if f.Demand < cfg.Capacity {
+		return f.Demand
+	}
+	return cfg.Capacity
+}
+
 // fillRound water-fills one priority class against the residual capacity
 // left by higher classes, updating frozenSum with this class's consumption.
 func (a *Allocator) fillRound(flows []Flow, idx []int, cap float64, rates []float64) {
@@ -143,10 +170,13 @@ func (a *Allocator) fillRound(flows []Flow, idx []int, cap float64, rates []floa
 		f := &flows[fi]
 		active[k] = false
 		if len(f.Phi.Links) == 0 {
-			// Host-local flow: no network constraint, gets its demand.
-			if f.Demand != Unlimited {
-				rates[fi] = f.Demand
-			}
+			// Host-local flow: it crosses no fabric link, so it contends with
+			// nobody and its rate is min(demand, link capacity) — the NIC
+			// loopback runs at line rate, and the headroom only protects
+			// fabric links, so the full capacity applies. Unlimited demand
+			// therefore means line rate, not zero (an Unlimited host-local
+			// flow used to silently allocate 0).
+			rates[fi] = hostLocalRate(&a.cfg, f)
 			continue
 		}
 		if f.Demand <= 0 {

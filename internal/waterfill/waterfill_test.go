@@ -124,6 +124,31 @@ func TestHostLocalFlow(t *testing.T) {
 	}
 }
 
+// Regression: a host-local flow with Unlimited demand used to be silently
+// allocated 0. It crosses no fabric link, so it runs at line rate —
+// min(demand, capacity), with the headroom (a fabric-link concern) not
+// subtracted.
+func TestHostLocalUnlimited(t *testing.T) {
+	a := NewAllocator(Config{NumLinks: 1, Capacity: 10, Headroom: 0.05})
+	cases := []struct {
+		name   string
+		demand float64
+		want   float64
+	}{
+		{"unlimited gets line rate", Unlimited, 10},
+		{"demand above capacity is capped", 25, 10},
+		{"demand below capacity is granted", 7, 7},
+		{"zero demand gets zero", 0, 0},
+		{"negative demand clamps to zero", -3, 0},
+	}
+	for _, tc := range cases {
+		rates := a.Allocate([]Flow{{Weight: 1, Demand: tc.demand}})
+		if rates[0] != tc.want {
+			t.Errorf("%s: rate = %v, want %v", tc.name, rates[0], tc.want)
+		}
+	}
+}
+
 func TestPriorityRounds(t *testing.T) {
 	a := NewAllocator(Config{NumLinks: 1, Capacity: 10})
 	hi, lo1, lo2 := netFlow(1), netFlow(1), netFlow(1)
@@ -181,6 +206,33 @@ func TestInvalidInputsPanic(t *testing.T) {
 		f := Flow{Weight: 0, Demand: Unlimited, Phi: phi(0, 1)}
 		a.Allocate([]Flow{f})
 	})
+}
+
+// Regression: `Weight <= 0` rejected zero and negative weights but let NaN
+// through (`NaN <= 0` is false), poisoning every fill-level comparison.
+// Same for NaN / ±Inf demands.
+func TestNonFiniteInputsPanic(t *testing.T) {
+	cases := []struct {
+		name   string
+		weight float64
+		demand float64
+	}{
+		{"NaN weight", math.NaN(), Unlimited},
+		{"+Inf weight", math.Inf(1), Unlimited},
+		{"-Inf weight", math.Inf(-1), Unlimited},
+		{"negative weight", -1, Unlimited},
+		{"NaN demand", 1, math.NaN()},
+		{"+Inf demand", 1, math.Inf(1)},
+		{"-Inf demand", 1, math.Inf(-1)},
+	}
+	a := NewAllocator(Config{NumLinks: 1, Capacity: 1})
+	for _, tc := range cases {
+		f := Flow{Weight: tc.weight, Demand: tc.demand, Phi: phi(0, 1)}
+		assertPanics(t, tc.name, func() { a.Allocate([]Flow{f}) })
+		assertPanics(t, tc.name+" (incremental)", func() {
+			NewIncremental(Config{NumLinks: 1, Capacity: 1}).Add(f)
+		})
+	}
 }
 
 func assertPanics(t *testing.T, name string, f func()) {
