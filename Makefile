@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 30s
+LINT_REPORT ?= r2c2-lint.json
 
-.PHONY: build test race debug lint fuzz vet bench-smoke verify
+.PHONY: build test race race-short debug lint fuzz vet bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -11,6 +12,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The CI race job: the full suite under the race detector with the
+# packet-level sweeps and GA searches at reduced scale.
+race-short:
+	$(GO) test -race -short ./...
 
 # Runtime invariant assertions in internal/sim (clock monotonicity, no
 # stale event pops, pacing within injection bandwidth) compile in only
@@ -22,9 +28,13 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own static-analysis rules; see DESIGN.md "Determinism &
-# concurrency invariants" and `go run ./cmd/r2c2-lint -rules`.
+# concurrency invariants" and `go run ./cmd/r2c2-lint -rules`. The JSON
+# report is always written (CI uploads it as a build artifact); any
+# surviving finding fails the build.
 lint:
-	$(GO) run ./cmd/r2c2-lint ./...
+	@$(GO) run ./cmd/r2c2-lint -json ./... > $(LINT_REPORT) \
+		|| { cat $(LINT_REPORT); echo "lint: findings (report: $(LINT_REPORT))"; exit 1; }
+	@echo "lint: clean (report: $(LINT_REPORT))"
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME) ./internal/wire/

@@ -46,8 +46,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	rules := analysis.Default()
+	moduleRules := analysis.DefaultModule()
 	if *listRules {
 		for _, a := range rules {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
+		}
+		for _, a := range moduleRules {
 			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
 		}
 		return nil
@@ -63,11 +67,14 @@ func run(args []string, stdout io.Writer) error {
 			root = "."
 		}
 	}
-	diags, err := analysis.Run(root, rules)
+	diags, err := analysis.RunAll(root, rules, moduleRules)
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // a clean run encodes as [], not null
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {

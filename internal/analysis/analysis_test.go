@@ -56,6 +56,21 @@ type ticker struct{}
 func (ticker) Now() int { return 0 }
 func f() int { var clock ticker; return clock.Now() }`, 0}, // Now() on a non-time receiver is fine
 	}
+	t.Run("emu-in-default-scope", func(t *testing.T) {
+		// Regression: Flow.started once read time.Now() directly in
+		// emu.go, leaking absolute host time into FCT results. The default
+		// no-wallclock scope now covers internal/emu; only the audited
+		// chokepoint in emu/clock.go carries justified ignores.
+		src := `package emu
+import "time"
+type Flow struct{ started time.Time }
+func start() *Flow { return &Flow{started: time.Now()} }`
+		diags, err := CheckSource("r2c2/internal/emu", map[string]string{"emu.go": src}, Default())
+		if err != nil {
+			t.Fatalf("CheckSource: %v", err)
+		}
+		wantFindings(t, diags, 1, "wall-clock time.Now")
+	})
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			diags := checkOne(t, a, "r2c2/internal/sim", tc.src)
@@ -264,7 +279,14 @@ func f() {
 	//lint:ignore no-global-rand wrong rule
 	time.Sleep(time.Second)
 }`
-		wantFindings(t, checkOne(t, a, "r2c2/internal/sim", src), 1, "wall-clock")
+		// no-global-rand is a known rule here, so the directive is legal —
+		// but it must not suppress a different rule's finding.
+		diags, err := CheckSource("r2c2/internal/sim", map[string]string{"src.go": src},
+			[]Analyzer{NewNoWallclock("internal/sim"), NewNoGlobalRand("internal/sim")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFindings(t, diags, 1, "wall-clock")
 	})
 	t.Run("missing-reason-is-reported", func(t *testing.T) {
 		src := `package sim
@@ -289,6 +311,65 @@ func f() {
 			t.Fatal(err)
 		}
 		wantFindings(t, diags, 0, "")
+	})
+	t.Run("unknown-rule-is-an-error", func(t *testing.T) {
+		// A typo'd rule name must surface as a lint-directive finding, not
+		// silently suppress nothing.
+		src := `package sim
+import "time"
+func f() {
+	//lint:ignore no-wallclok typo in the rule name
+	time.Sleep(time.Second)
+}`
+		diags, err := CheckSource("r2c2/internal/sim", map[string]string{"src.go": src}, []Analyzer{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 2 {
+			t.Fatalf("got %d findings, want 2 (unknown rule + unsuppressed violation): %v", len(diags), diags)
+		}
+		rules := map[string]bool{}
+		for _, d := range diags {
+			rules[d.Rule] = true
+		}
+		if !rules["lint-directive"] || !rules["no-wallclock"] {
+			t.Fatalf("want one lint-directive and one no-wallclock finding, got %v", diags)
+		}
+	})
+	t.Run("mixed-known-and-unknown-rules", func(t *testing.T) {
+		// The known half of the directive still suppresses; the unknown
+		// half still errors.
+		src := `package sim
+import "time"
+func f() {
+	//lint:ignore no-wallclock,no-wallclok half of this directive is a typo
+	time.Sleep(time.Second)
+}`
+		diags, err := CheckSource("r2c2/internal/sim", map[string]string{"src.go": src}, []Analyzer{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFindings(t, diags, 1, "unknown rule")
+	})
+	t.Run("block-level-does-not-reach-into-body", func(t *testing.T) {
+		// A directive covers its own line and the next only: placing it on
+		// the enclosing declaration does not blanket the block beneath.
+		src := `package sim
+import "time"
+//lint:ignore no-wallclock this does not cover the body
+func f() {
+	time.Sleep(time.Second)
+}`
+		wantFindings(t, checkOne(t, a, "r2c2/internal/sim", src), 1, "wall-clock")
+	})
+	t.Run("wildcard-suppresses-any-rule", func(t *testing.T) {
+		src := `package sim
+import "time"
+func f() {
+	//lint:ignore * fixture exercising every rule at once
+	time.Sleep(time.Second)
+}`
+		wantFindings(t, checkOne(t, a, "r2c2/internal/sim", src), 0, "")
 	})
 }
 

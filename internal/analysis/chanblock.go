@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// chanBlock classifies every channel in the module by class (the field or
+// variable holding it) and pairs sends with receives module-wide. A send
+// that can block forever — not inside a select with a default or a
+// lifecycle-channel case, on a channel class with no receive anywhere in
+// the module — wedges its goroutine permanently: the emulator's Stop()
+// then waits on a WaitGroup that never drains. This is the dataflow
+// deepening of the syntactic goroutine-leak rule: that one asks "can this
+// goroutine exit", this one asks "can this send ever complete".
+type chanBlock struct{ pkgScope }
+
+// NewChanBlock builds the chan-block rule scoped to the given package
+// path suffixes (empty = all packages).
+func NewChanBlock(pkgs ...string) ModuleAnalyzer { return &chanBlock{pkgScope{pkgs}} }
+
+func (*chanBlock) Name() string { return "chan-block" }
+func (*chanBlock) Doc() string {
+	return "flag channel sends that can block forever: no select escape and no paired receiver in the module"
+}
+
+// cbSend is one send site.
+type cbSend struct {
+	class  string
+	pos    token.Position
+	escape bool // inside a select with a default or lifecycle case
+}
+
+// cbFacts is one package's contribution.
+type cbFacts struct {
+	sends    []cbSend
+	receives map[string]bool // classes received from somewhere
+}
+
+func (a *chanBlock) Collect(pass *TypedPass) any {
+	facts := &cbFacts{receives: map[string]bool{}}
+	c := &cbCollector{pass: pass, facts: facts}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := fd.Name.Name
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				key = obj.FullName()
+			}
+			c.walk(fd.Body, key)
+		}
+	}
+	return facts
+}
+
+type cbCollector struct {
+	pass  *TypedPass
+	facts *cbFacts
+}
+
+func (c *cbCollector) walk(body ast.Node, fnKey string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectStmt:
+			escape := selectEscapes(v)
+			for _, clause := range v.Body.List {
+				comm := clause.(*ast.CommClause)
+				switch stmt := comm.Comm.(type) {
+				case *ast.SendStmt:
+					c.facts.sends = append(c.facts.sends, cbSend{
+						class:  c.chanClass(stmt.Chan, fnKey),
+						pos:    c.pass.Fset.Position(stmt.Pos()),
+						escape: escape,
+					})
+				case *ast.ExprStmt:
+					if recv, ok := stmt.X.(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+						c.facts.receives[c.chanClass(recv.X, fnKey)] = true
+					}
+				case *ast.AssignStmt:
+					for _, rhs := range stmt.Rhs {
+						if recv, ok := rhs.(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+							c.facts.receives[c.chanClass(recv.X, fnKey)] = true
+						}
+					}
+				}
+				for _, inner := range comm.Body {
+					c.walk(inner, fnKey)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			c.facts.sends = append(c.facts.sends, cbSend{
+				class: c.chanClass(v.Chan, fnKey),
+				pos:   c.pass.Fset.Position(v.Pos()),
+			})
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				c.facts.receives[c.chanClass(v.X, fnKey)] = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := c.pass.Info.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					c.facts.receives[c.chanClass(v.X, fnKey)] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selectEscapes reports whether a select can always make progress: a
+// default clause, or a case receiving from a lifecycle channel
+// (ctx.Done(), a done/quit/stop channel) that a shutdown will fire.
+func selectEscapes(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm := clause.(*ast.CommClause)
+		if comm.Comm == nil {
+			return true // default:
+		}
+		expr := ast.Expr(nil)
+		switch stmt := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			expr = stmt.X
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) == 1 {
+				expr = stmt.Rhs[0]
+			}
+		}
+		recv, ok := expr.(*ast.UnaryExpr)
+		if !ok || recv.Op != token.ARROW {
+			continue
+		}
+		if isLifecycleExpr(recv.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLifecycleExpr matches ctx.Done(), r.ctx.Done(), done, x.quit, … — the
+// shutdown-signal idioms the goroutine-leak rule also recognises.
+func isLifecycleExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return isLifecycleName(v.Name)
+	case *ast.SelectorExpr:
+		return isLifecycleName(v.Sel.Name)
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			return isLifecycleName(sel.Sel.Name)
+		}
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			return isLifecycleName(id.Name)
+		}
+	}
+	return false
+}
+
+// chanClass names the channel a send/receive operates on, so endpoints
+// pair up module-wide: a struct-field channel is "pkg.Type.field"
+// (instances share the class), a local or package variable is scoped to
+// its function or package.
+func (c *cbCollector) chanClass(x ast.Expr, fnKey string) string {
+	switch v := x.(type) {
+	case *ast.SelectorExpr:
+		// Qualified package-level channel (othpkg.Events): class by the
+		// package path so both sides of the package boundary agree.
+		if id, ok := v.X.(*ast.Ident); ok {
+			if pn, ok := c.pass.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() + "." + v.Sel.Name
+			}
+		}
+		if tv, ok := c.pass.Info.Types[v.X]; ok {
+			return typeName(tv.Type) + "." + v.Sel.Name
+		}
+		return "?." + v.Sel.Name
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[v]
+		if obj == nil {
+			obj = c.pass.Info.Defs[v]
+		}
+		if obj != nil && obj.Parent() == c.pass.Pkg.Scope() {
+			return c.pass.Path + "." + v.Name
+		}
+		// Local channels (including channel-typed parameters, which give
+		// the same name at caller and callee only by convention) scope to
+		// the function.
+		return fnKey + "." + v.Name
+	case *ast.CallExpr:
+		// A channel returned by a call (f.Done(), time.After(…)): class
+		// by the callee, which pairs a getter's send and receive sides.
+		switch fn := v.Fun.(type) {
+		case *ast.SelectorExpr:
+			if obj, ok := c.pass.Info.Uses[fn.Sel].(*types.Func); ok {
+				return "call:" + obj.FullName()
+			}
+		case *ast.Ident:
+			if obj, ok := c.pass.Info.Uses[fn].(*types.Func); ok {
+				return "call:" + obj.FullName()
+			}
+		}
+		return "call:?"
+	case *ast.ParenExpr:
+		return c.chanClass(v.X, fnKey)
+	}
+	return "?"
+}
+
+// Resolve pairs sends with receives module-wide and flags the sends that
+// can block with no escape and no receiver.
+func (a *chanBlock) Resolve(facts []PackageFacts) []Diagnostic {
+	received := map[string]bool{}
+	var sends []cbSend
+	for _, pf := range facts {
+		f := pf.Facts.(*cbFacts)
+		for class := range f.receives {
+			received[class] = true
+		}
+		sends = append(sends, f.sends...)
+	}
+	var diags []Diagnostic
+	for _, s := range sends {
+		if s.escape || received[s.class] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Rule: a.Name(),
+			Pos:  s.pos,
+			Message: "send on " + s.class + " can block forever: no select escape " +
+				"(default or lifecycle case) and no receive on this channel anywhere in the module",
+		})
+	}
+	return diags
+}

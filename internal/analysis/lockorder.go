@@ -1,0 +1,390 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockOrder builds the module-wide mutex acquisition graph and reports
+// cycles. A node is a lock class — "pkg.Type.field" for a mutex struct
+// field, "func.name" for a function-local mutex — and an edge a→b means
+// some execution path acquires b while holding a, either directly in one
+// function or through a call chain into another package. Two classes on
+// a cycle mean two goroutines can each hold one and wait for the other:
+// in the emulator that is not a crash but a silent rack-wide stall, with
+// every per-node goroutine parked behind the inversion.
+//
+// The analysis over-approximates held sets (branches are walked in
+// source order, a deferred Unlock holds to function end) and only
+// reports multi-class cycles, so a finding is a genuine ordering
+// inversion, not a double-lock heuristic.
+type lockOrder struct{ pkgScope }
+
+// NewLockOrder builds the lock-order rule scoped to the given package
+// path suffixes (empty = all packages).
+func NewLockOrder(pkgs ...string) ModuleAnalyzer { return &lockOrder{pkgScope{pkgs}} }
+
+func (*lockOrder) Name() string { return "lock-order" }
+func (*lockOrder) Doc() string {
+	return "build the module-wide mutex acquisition graph; report lock-order cycles (potential deadlocks)"
+}
+
+// lockMethods maps the sync methods that acquire / release to +1 / -1.
+var lockMethods = map[string]int{
+	"(*sync.Mutex).Lock":     +1,
+	"(*sync.Mutex).Unlock":   -1,
+	"(*sync.RWMutex).Lock":   +1,
+	"(*sync.RWMutex).Unlock": -1,
+	"(*sync.RWMutex).RLock":  +1,
+	// RLock'd locks participate in ordering cycles exactly like Lock'd
+	// ones (a writer wedged between two readers), so both map to one
+	// class.
+	"(*sync.RWMutex).RUnlock": -1,
+}
+
+// loEdge is one direct acquisition edge: to was locked while from was
+// held.
+type loEdge struct {
+	from, to string
+	pos      token.Position
+}
+
+// loCall is a call made with locks held (or any module-internal call,
+// held or not — the resolve phase needs the full call graph to compute
+// transitive acquisitions).
+type loCall struct {
+	callee string // types.Func.FullName of the target
+	held   []string
+	pos    token.Position
+}
+
+// loFunc is one function's lock behaviour.
+type loFunc struct {
+	acquires map[string]token.Position // lock classes locked directly
+	calls    []loCall
+}
+
+// loFacts is one package's contribution: per-function lock facts.
+type loFacts struct {
+	funcs map[string]*loFunc
+}
+
+func (a *lockOrder) Collect(pass *TypedPass) any {
+	facts := &loFacts{funcs: map[string]*loFunc{}}
+	c := &loCollector{pass: pass, facts: facts}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			key := obj.FullName()
+			fn := &loFunc{acquires: map[string]token.Position{}}
+			facts.funcs[key] = fn
+			c.walk(fd.Body, fn, key, nil)
+		}
+	}
+	return facts
+}
+
+type loCollector struct {
+	pass  *TypedPass
+	facts *loFacts
+}
+
+// walk traverses statements in source order, threading the held-lock
+// list. Goroutine bodies start with an empty held set (the launcher's
+// locks are not held inside the new goroutine); deferred closures are
+// treated the same way, conservatively.
+func (c *loCollector) walk(n ast.Node, fn *loFunc, fnKey string, held []string) []string {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.GoStmt:
+			c.callSite(v.Call, fn, fnKey, nil)
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				c.walk(lit.Body, fn, fnKey, nil)
+			}
+			return false
+		case *ast.DeferStmt:
+			// defer X.Unlock() pins X held to function end; other
+			// deferred work runs after the body, with unknown locks held.
+			if class, delta := c.lockOp(v.Call, fnKey); class != "" && delta < 0 {
+				return false // leave it held
+			}
+			c.callSite(v.Call, fn, fnKey, nil)
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				c.walk(lit.Body, fn, fnKey, nil)
+			}
+			return false
+		case *ast.CallExpr:
+			if class, delta := c.lockOp(v, fnKey); class != "" {
+				pos := c.pass.Fset.Position(v.Pos())
+				if delta > 0 {
+					for _, h := range held {
+						if h != class {
+							// Direct edge: class locked under h.
+							c.edge(fn, h, class, pos)
+						}
+					}
+					if _, ok := fn.acquires[class]; !ok {
+						fn.acquires[class] = pos
+					}
+					held = append(held, class)
+				} else {
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == class {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return false
+			}
+			c.callSite(v, fn, fnKey, held)
+			return true
+		}
+		return true
+	})
+	return held
+}
+
+// edge records a direct acquisition edge as a synthetic call fact (the
+// resolve phase treats direct and transitive edges uniformly).
+func (c *loCollector) edge(fn *loFunc, from, to string, pos token.Position) {
+	fn.calls = append(fn.calls, loCall{callee: "", held: []string{from, "=" + to}, pos: pos})
+}
+
+// callSite records a call to a named function together with the locks
+// held across it.
+func (c *loCollector) callSite(call *ast.CallExpr, fn *loFunc, fnKey string, held []string) {
+	var callee *types.Func
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = c.pass.Info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = c.pass.Info.Uses[f.Sel].(*types.Func)
+	}
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	fn.calls = append(fn.calls, loCall{
+		callee: callee.FullName(),
+		held:   append([]string(nil), held...),
+		pos:    c.pass.Fset.Position(call.Pos()),
+	})
+}
+
+// lockOp classifies a call as a lock acquire (+1) or release (-1) and
+// names the lock class, or returns "" for anything else.
+func (c *loCollector) lockOp(call *ast.CallExpr, fnKey string) (string, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	fn, _ := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", 0
+	}
+	delta, ok := lockMethods[fn.FullName()]
+	if !ok {
+		return "", 0
+	}
+	return c.lockClass(sel.X, fnKey), delta
+}
+
+// lockClass names the lock a mutex expression denotes. Instances share a
+// class: every emuNode's mu is "emu.emuNode.mu" — lock ordering is a
+// property of the class, not the instance.
+func (c *loCollector) lockClass(x ast.Expr, fnKey string) string {
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		// Qualified package-level mutex (othpkg.Mu): class by the package
+		// path so in-package Mu.Lock() and cross-package othpkg.Mu.Lock()
+		// agree.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := c.pass.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() + "." + sel.Sel.Name
+			}
+		}
+		if tv, ok := c.pass.Info.Types[sel.X]; ok {
+			return typeName(tv.Type) + "." + sel.Sel.Name
+		}
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		obj := c.pass.Info.Uses[id]
+		if obj == nil {
+			obj = c.pass.Info.Defs[id]
+		}
+		if obj != nil {
+			switch obj.(type) {
+			case *types.Var:
+				if obj.Parent() == c.pass.Pkg.Scope() {
+					return c.pass.Path + "." + id.Name // package-level mutex
+				}
+			}
+		}
+		return fnKey + "." + id.Name
+	}
+	// Embedded mutex (g.Lock() on a struct embedding sync.Mutex) or a
+	// more exotic expression: class by the receiver's type.
+	if tv, ok := c.pass.Info.Types[x]; ok {
+		return typeName(tv.Type)
+	}
+	return fnKey + ".?"
+}
+
+// typeName renders a type for lock-class naming, stripping pointers.
+func typeName(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		if n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+		}
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// Resolve computes each function's transitive lock acquisitions, turns
+// calls-while-holding into edges, and reports every cycle in the
+// resulting graph once.
+func (a *lockOrder) Resolve(facts []PackageFacts) []Diagnostic {
+	funcs := map[string]*loFunc{}
+	for _, pf := range facts {
+		for k, f := range pf.Facts.(*loFacts).funcs {
+			funcs[k] = f
+		}
+	}
+
+	// Transitive acquisitions to a fixpoint over the call graph.
+	acq := map[string]map[string]token.Position{}
+	for k, f := range funcs {
+		m := map[string]token.Position{}
+		for c, p := range f.acquires {
+			m[c] = p
+		}
+		acq[k] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for k, f := range funcs {
+			for _, call := range f.calls {
+				if call.callee == "" {
+					continue
+				}
+				for c, p := range acq[call.callee] {
+					if _, ok := acq[k][c]; !ok {
+						acq[k][c] = p
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edges: direct (synthetic "=" calls) plus held-across-call.
+	type edgeInfo struct{ pos token.Position }
+	edges := map[string]map[string]edgeInfo{}
+	addEdge := func(from, to string, pos token.Position) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = map[string]edgeInfo{}
+		}
+		if _, ok := edges[from][to]; !ok {
+			edges[from][to] = edgeInfo{pos: pos}
+		}
+	}
+	for _, f := range funcs {
+		for _, call := range f.calls {
+			if call.callee == "" {
+				// Synthetic direct edge: held = [from, "="+to].
+				addEdge(call.held[0], strings.TrimPrefix(call.held[1], "="), call.pos)
+				continue
+			}
+			if len(call.held) == 0 {
+				continue
+			}
+			for to := range acq[call.callee] {
+				for _, from := range call.held {
+					addEdge(from, to, call.pos)
+				}
+			}
+		}
+	}
+
+	// Cycle detection: iterative DFS over the class graph; each cycle is
+	// reported at its lexicographically smallest class for determinism.
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var diags []Diagnostic
+	reported := map[string]bool{}
+	for _, start := range nodes {
+		path := []string{start}
+		onPath := map[string]bool{start: true}
+		var dfs func(string)
+		dfs = func(n string) {
+			tos := make([]string, 0, len(edges[n]))
+			for t := range edges[n] {
+				tos = append(tos, t)
+			}
+			sort.Strings(tos)
+			for _, t := range tos {
+				if t == start && len(path) > 1 {
+					cycle := append(append([]string(nil), path...), start)
+					key := canonicalCycle(cycle)
+					if !reported[key] {
+						reported[key] = true
+						diags = append(diags, Diagnostic{
+							Rule: a.Name(),
+							Pos:  edges[n][t].pos,
+							Message: "lock-order cycle (potential deadlock): " +
+								strings.Join(cycle, " -> "),
+						})
+					}
+					continue
+				}
+				if onPath[t] || t < start {
+					continue // cycles through smaller nodes are found from them
+				}
+				path = append(path, t)
+				onPath[t] = true
+				dfs(t)
+				path = path[:len(path)-1]
+				delete(onPath, t)
+			}
+		}
+		dfs(start)
+	}
+	return diags
+}
+
+// canonicalCycle names a cycle independently of its starting point.
+func canonicalCycle(cycle []string) string {
+	body := cycle[:len(cycle)-1] // drop the repeated start
+	min := 0
+	for i := range body {
+		if body[i] < body[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), body[min:]...), body[:min]...)
+	return strings.Join(rot, "->")
+}

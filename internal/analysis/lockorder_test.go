@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockOrderDirectCycle(t *testing.T) {
+	a := NewLockOrder()
+	src := `package p
+import "sync"
+type S struct{ a, b sync.Mutex }
+func (s *S) One() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+func (s *S) Two() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}`
+	diags := checkModule(t, onePkg("m/p", src), a)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "lock-order cycle") {
+		t.Errorf("message %q should mention lock-order cycle", diags[0].Message)
+	}
+	if !strings.Contains(diags[0].Message, "m/p.S.a") || !strings.Contains(diags[0].Message, "m/p.S.b") {
+		t.Errorf("message %q should name both lock classes", diags[0].Message)
+	}
+}
+
+func TestLockOrderSequentialClean(t *testing.T) {
+	a := NewLockOrder()
+	src := `package p
+import "sync"
+type S struct{ a, b sync.Mutex }
+func (s *S) One() {
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+func (s *S) Two() {
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}`
+	diags := checkModule(t, onePkg("m/p", src), a)
+	if len(diags) != 0 {
+		t.Fatalf("got %d findings, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestLockOrderConsistentNestingClean(t *testing.T) {
+	// Nested a→b in two places is fine: same order, no inversion.
+	a := NewLockOrder()
+	src := `package p
+import "sync"
+type S struct{ a, b sync.Mutex }
+func (s *S) One() { s.a.Lock(); s.b.Lock(); s.b.Unlock(); s.a.Unlock() }
+func (s *S) Two() { s.a.Lock(); s.b.Lock(); s.b.Unlock(); s.a.Unlock() }`
+	diags := checkModule(t, onePkg("m/p", src), a)
+	if len(diags) != 0 {
+		t.Fatalf("got %d findings, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestLockOrderCrossPackageCycle(t *testing.T) {
+	// The inversion spans a package boundary: b.(*T).Back holds b.T.mu
+	// and calls a.Touch (which locks a.Mu), while c.Outer holds a.Mu and
+	// calls b.Helper (which locks b.T.mu). No single package shows both
+	// orders — only the module-wide resolve phase sees the cycle.
+	an := NewLockOrder()
+	pkgs := map[string]map[string]string{
+		"m/a": {"a.go": `package a
+import "sync"
+var Mu sync.Mutex
+func Touch() { Mu.Lock(); Mu.Unlock() }`},
+		"m/b": {"b.go": `package b
+import (
+	"sync"
+	"m/a"
+)
+type T struct{ mu sync.Mutex }
+func Helper(t *T) { t.mu.Lock(); t.mu.Unlock() }
+func (t *T) Back() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a.Touch()
+}`},
+		"m/c": {"c.go": `package c
+import (
+	"m/a"
+	"m/b"
+)
+func Outer(t *b.T) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.Helper(t)
+}`},
+	}
+	diags := checkModule(t, pkgs, an)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "m/b.T.mu") || !strings.Contains(diags[0].Message, "m/a.Mu") {
+		t.Errorf("message %q should name m/b.T.mu and m/a.Mu", diags[0].Message)
+	}
+	// Each half alone is clean: drop c and the cycle disappears.
+	delete(pkgs, "m/c")
+	diags = checkModule(t, pkgs, an)
+	if len(diags) != 0 {
+		t.Fatalf("without m/c: got %d findings, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestLockOrderGoroutineResetsHeld(t *testing.T) {
+	// A goroutine launched while holding a does NOT inherit a: locking b
+	// inside it is not an a→b edge.
+	a := NewLockOrder()
+	src := `package p
+import "sync"
+type S struct{ a, b sync.Mutex }
+func (s *S) One() {
+	s.a.Lock()
+	go func() {
+		s.b.Lock()
+		s.b.Unlock()
+	}()
+	s.a.Unlock()
+}
+func (s *S) Two() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}`
+	diags := checkModule(t, onePkg("m/p", src), a)
+	if len(diags) != 0 {
+		t.Fatalf("got %d findings, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestLockOrderRWMutexSharesClass(t *testing.T) {
+	// RLock participates in ordering like Lock: a.RLock-then-b.Lock in
+	// one function against b.Lock-then-a.Lock in another is a cycle.
+	a := NewLockOrder()
+	src := `package p
+import "sync"
+type S struct {
+	a sync.RWMutex
+	b sync.Mutex
+}
+func (s *S) Read() {
+	s.a.RLock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.RUnlock()
+}
+func (s *S) Write() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}`
+	diags := checkModule(t, onePkg("m/p", src), a)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+	}
+}
+
+func TestLockOrderDeferredUnlockHolds(t *testing.T) {
+	// defer mu.Unlock() keeps the lock held for the rest of the body, so
+	// a later acquire is still an edge.
+	a := NewLockOrder()
+	src := `package p
+import "sync"
+type S struct{ a, b sync.Mutex }
+func (s *S) One() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+func (s *S) Two() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}`
+	diags := checkModule(t, onePkg("m/p", src), a)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ModuleAnalyzer is a two-phase, type-aware rule. Phase one (Collect)
+// runs once per package with full type information and returns that
+// package's facts — whatever the rule needs to remember: unit seeds and
+// dataflow edges, lock acquisitions, channel endpoints. Phase two
+// (Resolve) sees every package's facts at once and reports the findings
+// that only exist module-wide: a Kbps value crossing into a bits/s
+// expression two packages away, a lock cycle spanning call chains, a send
+// whose only receiver lives elsewhere.
+//
+// The split mirrors how the findings are actually computed: facts are
+// local and cheap, the judgement needs the whole program.
+type ModuleAnalyzer interface {
+	// Name is the rule identifier used in findings and //lint:ignore.
+	Name() string
+	// Doc is a one-line description of the rule.
+	Doc() string
+	// Applies reports whether Collect runs on a package path.
+	Applies(pkgPath string) bool
+	// Collect gathers one package's facts. A nil return is allowed and
+	// simply contributes nothing to Resolve.
+	Collect(pass *TypedPass) any
+	// Resolve combines every package's facts into findings.
+	Resolve(facts []PackageFacts) []Diagnostic
+}
+
+// PackageFacts pairs one package with what a ModuleAnalyzer collected
+// from it.
+type PackageFacts struct {
+	Path  string
+	Facts any
+}
+
+// DefaultModule returns the R2C2 module-wide rule set (run alongside the
+// syntactic rules of Default by RunAll).
+func DefaultModule() []ModuleAnalyzer {
+	return []ModuleAnalyzer{
+		// Kbps wire fields, bits/s water-filling and byte-denominated flow
+		// sizes meet in almost every package; a silent unit crossing is a
+		// 1000x result error.
+		NewUnitTaint(),
+		// The emulator's mutexes stand in for the paper's RDMA links;
+		// a lock-order inversion is a rack-wide deadlock.
+		NewLockOrder(),
+		// A send on a channel with no live receiver wedges a goroutine
+		// forever; Stop() then never returns.
+		NewChanBlock(),
+	}
+}
+
+// runModule applies the module analyzers to a loaded module and returns
+// the raw (unsuppressed) findings.
+func runModule(mod *Module, analyzers []ModuleAnalyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		var facts []PackageFacts
+		for _, pass := range mod.Passes {
+			if !a.Applies(pass.Path) {
+				continue
+			}
+			if f := a.Collect(pass); f != nil {
+				facts = append(facts, PackageFacts{Path: pass.Path, Facts: f})
+			}
+		}
+		all = append(all, a.Resolve(facts)...)
+	}
+	return all
+}
+
+// RunAll is the full lint entry point: the per-package syntactic rules
+// (test files included), the module-wide type-aware rules (non-test
+// files), //lint:ignore filtering across both, and validation of every
+// directive's rule names against the combined rule set — a directive
+// naming an unknown rule is itself a finding, never a silent suppression.
+func RunAll(root string, syntactic []Analyzer, module []ModuleAnalyzer) ([]Diagnostic, error) {
+	known := knownRules(syntactic, module)
+	diags, ignores, err := runSyntactic(root, syntactic, known)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range runModule(mod, module) {
+		if !ignores.covers(d) {
+			diags = append(diags, d)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// knownRules builds the set of rule names a //lint:ignore directive may
+// legally address.
+func knownRules(syntactic []Analyzer, module []ModuleAnalyzer) map[string]bool {
+	known := map[string]bool{"*": true, "lint-directive": true}
+	for _, a := range syntactic {
+		known[a.Name()] = true
+	}
+	for _, a := range module {
+		known[a.Name()] = true
+	}
+	return known
+}
+
+// CheckSourceModule type-checks a set of in-memory packages (import path
+// -> filename -> content, type-checked in dependency order) and applies
+// the module analyzers. This is the unit-test entry point for two-phase
+// rules; //lint:ignore filtering matches RunAll's.
+func CheckSourceModule(pkgs map[string]map[string]string, analyzers []ModuleAnalyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		pkgs: map[string]*types.Package{},
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+	conf := types.Config{Importer: imp}
+
+	parsed := map[string][]*ast.File{}
+	imports := map[string][]string{}
+	paths := make([]string, 0, len(pkgs))
+	for path, files := range pkgs {
+		paths = append(paths, path)
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			parsed[path] = append(parsed[path], f)
+			for _, spec := range f.Imports {
+				p := spec.Path.Value[1 : len(spec.Path.Value)-1]
+				if _, ok := pkgs[p]; ok {
+					imports[path] = append(imports[path], p)
+				}
+			}
+		}
+	}
+	sort.Strings(paths)
+	var order []string
+	state := map[string]int{}
+	var visit func(string)
+	visit = func(p string) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		deps := append([]string(nil), imports[p]...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			visit(d)
+		}
+		order = append(order, p)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+
+	mod := &Module{Fset: fset}
+	ignores := ignoreSet{}
+	var diags []Diagnostic
+	for _, path := range order {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		pkg, err := conf.Check(path, fset, parsed[path], info)
+		if err != nil {
+			return nil, err
+		}
+		imp.pkgs[path] = pkg
+		pass := &TypedPass{
+			Pass: Pass{Fset: fset, Path: path, Files: parsed[path]},
+			Pkg:  pkg,
+			Info: info,
+		}
+		ig, igDiags := collectIgnores(&pass.Pass, nil)
+		diags = append(diags, igDiags...)
+		for file, lines := range ig {
+			for line, rules := range lines {
+				for rule := range rules {
+					ignores.add(file, line, rule)
+				}
+			}
+		}
+		mod.Passes = append(mod.Passes, pass)
+	}
+	for _, d := range runModule(mod, analyzers) {
+		if !ignores.covers(d) {
+			diags = append(diags, d)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by file, line, then rule.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+}

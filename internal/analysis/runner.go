@@ -14,11 +14,24 @@ import (
 // returning the surviving (non-suppressed) findings sorted by position.
 // root must contain a go.mod (its module path anchors package import
 // paths); subdirectories named testdata or vendor and hidden directories
-// are skipped.
+// are skipped. //lint:ignore directives naming a rule outside the given
+// analyzer set are reported, not honoured.
 func Run(root string, analyzers []Analyzer) ([]Diagnostic, error) {
-	module, err := modulePath(filepath.Join(root, "go.mod"))
+	diags, _, err := runSyntactic(root, analyzers, knownRules(analyzers, nil))
 	if err != nil {
 		return nil, err
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// runSyntactic runs the per-package (syntactic) engine and additionally
+// returns the module-wide ignore set, so RunAll can filter the module
+// analyzers' findings through the same directives.
+func runSyntactic(root string, analyzers []Analyzer, known map[string]bool) ([]Diagnostic, ignoreSet, error) {
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, nil, err
 	}
 	dirs := map[string][]string{} // dir -> .go files
 	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -40,14 +53,15 @@ func Run(root string, analyzers []Analyzer) ([]Diagnostic, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	var all []Diagnostic
+	ignores := ignoreSet{}
 	for dir, files := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pkgPath := module
 		if rel != "." {
@@ -59,27 +73,27 @@ func Run(root string, analyzers []Analyzer) ([]Diagnostic, error) {
 		for _, file := range files {
 			f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("analysis: %w", err)
+				return nil, nil, fmt.Errorf("analysis: %w", err)
 			}
 			pass.Files = append(pass.Files, f)
 		}
-		all = append(all, check(pass, analyzers)...)
+		diags, ig := check(pass, analyzers, known)
+		all = append(all, diags...)
+		for file, lines := range ig {
+			for line, rules := range lines {
+				for rule := range rules {
+					ignores.add(file, line, rule)
+				}
+			}
+		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Pos.Filename != all[j].Pos.Filename {
-			return all[i].Pos.Filename < all[j].Pos.Filename
-		}
-		if all[i].Pos.Line != all[j].Pos.Line {
-			return all[i].Pos.Line < all[j].Pos.Line
-		}
-		return all[i].Rule < all[j].Rule
-	})
-	return all, nil
+	return all, ignores, nil
 }
 
 // CheckSource applies the analyzers to in-memory sources (filename ->
 // content) forming one package with the given import path. This is the
-// unit-test entry point.
+// unit-test entry point. As in Run, an //lint:ignore naming a rule
+// outside the analyzer set is reported rather than honoured.
 func CheckSource(pkgPath string, sources map[string]string, analyzers []Analyzer) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
 	pass := &Pass{Fset: fset, Path: pkgPath}
@@ -95,13 +109,15 @@ func CheckSource(pkgPath string, sources map[string]string, analyzers []Analyzer
 		}
 		pass.Files = append(pass.Files, f)
 	}
-	return check(pass, analyzers), nil
+	diags, _ := check(pass, analyzers, knownRules(analyzers, nil))
+	return diags, nil
 }
 
 // check runs the applicable analyzers over one package and filters the
-// findings through the //lint:ignore directives.
-func check(pass *Pass, analyzers []Analyzer) []Diagnostic {
-	ignores, diags := collectIgnores(pass)
+// findings through the //lint:ignore directives, returning the surviving
+// findings and the directives themselves.
+func check(pass *Pass, analyzers []Analyzer, known map[string]bool) ([]Diagnostic, ignoreSet) {
+	ignores, diags := collectIgnores(pass, known)
 	for _, a := range analyzers {
 		if !a.Applies(pass.Path) {
 			continue
@@ -112,7 +128,7 @@ func check(pass *Pass, analyzers []Analyzer) []Diagnostic {
 			}
 		}
 	}
-	return diags
+	return diags, ignores
 }
 
 // ignoreSet records which (file, line, rule) triples are suppressed.
@@ -145,8 +161,11 @@ func (s ignoreSet) covers(d Diagnostic) bool {
 
 // collectIgnores parses `//lint:ignore rule[,rule...] reason` directives.
 // Directives missing a rule or a reason are themselves reported under the
-// lint-directive rule.
-func collectIgnores(pass *Pass) (ignoreSet, []Diagnostic) {
+// lint-directive rule, and — when a known-rule set is given — so is any
+// directive addressing a rule name outside it: a typo in a rule name must
+// surface as an error, never as a suppression that silently does nothing
+// (or worse, one that springs back to life when the rule is renamed).
+func collectIgnores(pass *Pass, known map[string]bool) (ignoreSet, []Diagnostic) {
 	set := ignoreSet{}
 	var diags []Diagnostic
 	for _, f := range pass.Files {
@@ -164,6 +183,11 @@ func collectIgnores(pass *Pass) (ignoreSet, []Diagnostic) {
 				}
 				pos := pass.Fset.Position(c.Pos())
 				for _, rule := range strings.Split(fields[0], ",") {
+					if known != nil && !known[rule] {
+						diags = append(diags, pass.Diag("lint-directive", c,
+							"//lint:ignore names unknown rule %q", rule))
+						continue
+					}
 					set.add(pos.Filename, pos.Line, rule)
 				}
 			}

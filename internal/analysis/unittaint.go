@@ -1,0 +1,648 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Unit is one point of the unit lattice the taint analysis tracks. The
+// lattice is flat: UnitNone (no information) below the concrete units,
+// UnitMixed (conflicting inflows) above them. Scaling arithmetic —
+// multiplying or dividing by a constant, the legitimate way to convert —
+// deliberately drops a value back to UnitNone.
+//
+// Bits and bits/s share one point: the R2C2 naming convention writes both
+// rate fields (LinkBits, demandBits — bits per second) and quantities
+// (sentBits) with the same suffix, and the dangerous crossings are the
+// decimal ones (Kbps wire fields vs bits/s water-filling vs bytes of flow
+// size), not rate-vs-quantity.
+type Unit uint8
+
+const (
+	UnitNone Unit = iota
+	UnitBits      // bits or bits/s: the water-filling currency
+	UnitKbps      // the broadcast demand wire field
+	UnitMbps
+	UnitGbps
+	UnitBytes // flow sizes, queue occupancy
+	UnitNs    // nanoseconds / virtual ticks held in bare integers
+	UnitSeconds
+	UnitMixed // conflicting inflows; propagation stops, checks skip
+)
+
+func (u Unit) String() string {
+	switch u {
+	case UnitBits:
+		return "bits"
+	case UnitKbps:
+		return "Kbps"
+	case UnitMbps:
+		return "Mbps"
+	case UnitGbps:
+		return "Gbps"
+	case UnitBytes:
+		return "bytes"
+	case UnitNs:
+		return "ns"
+	case UnitSeconds:
+		return "seconds"
+	case UnitMixed:
+		return "mixed"
+	}
+	return "?"
+}
+
+// unitSuffixTable maps name suffixes to units; longest match wins, so
+// "LinkGbps" is Gbps, not bits. Checked case-insensitively.
+var unitSuffixTable = []struct {
+	suffix string
+	unit   Unit
+}{
+	{"kbps", UnitKbps},
+	{"mbps", UnitMbps},
+	{"gbps", UnitGbps},
+	{"bps", UnitBits},
+	{"bits", UnitBits},
+	{"bytes", UnitBytes},
+	{"nanos", UnitNs},
+	{"ns", UnitNs},
+	{"seconds", UnitSeconds},
+	{"secs", UnitSeconds},
+}
+
+// unitFromName seeds a unit from the PR-1 naming convention.
+func unitFromName(name string) Unit {
+	low := strings.ToLower(name)
+	for _, e := range unitSuffixTable {
+		if strings.HasSuffix(low, e.suffix) {
+			// Guard short suffixes against false matches: "ns" must not
+			// fire on "columns" or "tokens" — require a camelCase or
+			// snake_case boundary before it.
+			if e.suffix == "ns" && len(low) > 2 {
+				r := name[len(name)-2]
+				prev := name[len(name)-3]
+				if !(r == 'N' || prev == '_') {
+					continue
+				}
+			}
+			return e.unit
+		}
+	}
+	return UnitNone
+}
+
+// unitConversions seeds units on functions whose names don't spell them:
+// the module's unit-conversion boundary. Keys are types.Func.FullName()
+// strings; values give the unit of the first result and of each
+// parameter (UnitNone = unconstrained).
+type funcUnits struct {
+	result Unit
+	params []Unit
+}
+
+var unitConversions = map[string]funcUnits{
+	"r2c2/internal/core.KbpsDemand":             {result: UnitKbps, params: []Unit{UnitBits}},
+	"(*r2c2/internal/core.FlowInfo).DemandBits": {result: UnitBits},
+	"(*r2c2/internal/emu.Flow).Demand":          {result: UnitKbps},
+	"(*r2c2/internal/emu.Flow).Rate":            {result: UnitBits},
+	"(*r2c2/internal/emu.Flow).Throughput":      {result: UnitBits},
+	"(time.Duration).Seconds":                   {result: UnitSeconds},
+	"(r2c2/internal/simtime.Time).Seconds":      {result: UnitSeconds},
+	"r2c2/internal/simtime.FromSeconds":         {params: []Unit{UnitSeconds}},
+}
+
+// objRef names one dataflow node: a variable, parameter, struct field or
+// function result, identified by its declaration position (stable across
+// packages because the whole module shares one FileSet).
+type objRef string
+
+// uval is the unit of one expression as far as the collect phase can
+// tell: a concrete unit, a reference to an object whose unit resolution
+// may still discover, or nothing.
+type uval struct {
+	unit Unit
+	ref  objRef // set when unit is UnitNone and the value traces to an object
+}
+
+func (v uval) known() bool { return v.unit != UnitNone }
+
+// utEdge propagates a unit from a value into an object (assignment,
+// argument binding, return).
+type utEdge struct {
+	from uval
+	to   objRef
+}
+
+// utCheckKind distinguishes the check sites.
+type utCheckKind uint8
+
+const (
+	checkArith  utCheckKind = iota // additive/comparison operands must agree
+	checkAssign                    // value flowing into a seeded destination
+)
+
+// utCheck is a deferred unit check: both sides are resolved against the
+// module-wide unit environment, and a disagreement is a finding.
+type utCheck struct {
+	kind utCheckKind
+	a, b uval
+	pos  token.Position
+	// what describes the site for the message ("x + y", "argument 1 of
+	// core.KbpsDemand", "field FlowInfo.DemandKbps").
+	what string
+}
+
+// utFacts is one package's contribution.
+type utFacts struct {
+	seeds  map[objRef]Unit
+	edges  []utEdge
+	checks []utCheck
+}
+
+// unitTaint is the unit-taint ModuleAnalyzer. Phase one seeds units from
+// the naming convention and the conversion table, walks every function
+// body recording dataflow edges (assignments, call bindings, returns,
+// composite literals) and deferred checks (mixed additive arithmetic and
+// comparisons, unit-crossing stores). Phase two floods units across the
+// module-wide edge set to a fixpoint and evaluates the checks.
+type unitTaint struct{ pkgScope }
+
+// NewUnitTaint builds the unit-taint rule scoped to the given package
+// path suffixes (empty = all packages).
+func NewUnitTaint(pkgs ...string) ModuleAnalyzer { return &unitTaint{pkgScope{pkgs}} }
+
+func (*unitTaint) Name() string { return "unit-taint" }
+func (*unitTaint) Doc() string {
+	return "track Kbps/bits/bytes/ns units through assignments, calls and returns; flag mixed-unit arithmetic"
+}
+
+func (a *unitTaint) Collect(pass *TypedPass) any {
+	c := &utCollector{
+		pass:  pass,
+		facts: &utFacts{seeds: map[objRef]Unit{}},
+	}
+	for _, f := range pass.Files {
+		c.file(f)
+	}
+	return c.facts
+}
+
+type utCollector struct {
+	pass  *TypedPass
+	facts *utFacts
+}
+
+// ref returns the dataflow node for an object, seeding its unit from its
+// name the first time it is met.
+func (c *utCollector) ref(obj types.Object) objRef {
+	if obj == nil || obj.Pos() == token.NoPos {
+		return ""
+	}
+	r := objRef(c.pass.Fset.Position(obj.Pos()).String())
+	if _, ok := c.facts.seeds[r]; !ok {
+		if u := unitFromName(obj.Name()); u != UnitNone && isUnitCarrier(obj.Type()) {
+			c.facts.seeds[r] = u
+		}
+	}
+	return r
+}
+
+// resultRef names a function's first result as a dataflow node.
+func resultRef(fn *types.Func, fset *token.FileSet) objRef {
+	return objRef(fset.Position(fn.Pos()).String() + "#result")
+}
+
+// isUnitCarrier reports whether a type can carry a raw unit: bare
+// numerics only. Named types (time.Duration, simtime.Time) carry their
+// unit in the type and are exempt.
+func isUnitCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// file walks one file's declarations.
+func (c *utCollector) file(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			c.funcDecl(v)
+			return false
+		case *ast.GenDecl:
+			// Seed struct fields and package vars eagerly so other
+			// packages referencing them resolve even if unused here.
+			for _, spec := range v.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if st, ok := s.Type.(*ast.StructType); ok {
+						for _, fld := range st.Fields.List {
+							for _, name := range fld.Names {
+								c.ref(c.pass.Info.Defs[name])
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						c.ref(c.pass.Info.Defs[name])
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// funcDecl seeds the function's parameters and results, registers any
+// conversion-table entry, then walks the body.
+func (c *utCollector) funcDecl(fn *ast.FuncDecl) {
+	obj, _ := c.pass.Info.Defs[fn.Name].(*types.Func)
+	if obj != nil {
+		sig := obj.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			c.ref(sig.Params().At(i))
+		}
+		rr := resultRef(obj, c.pass.Fset)
+		if cv, ok := unitConversions[obj.FullName()]; ok {
+			if cv.result != UnitNone {
+				c.facts.seeds[rr] = cv.result
+			}
+			for i, u := range cv.params {
+				if u != UnitNone && i < sig.Params().Len() {
+					c.facts.seeds[c.ref(sig.Params().At(i))] = u
+				}
+			}
+		} else if sig.Results().Len() > 0 {
+			res := sig.Results().At(0)
+			if u := unitFromName(res.Name()); u != UnitNone && isUnitCarrier(res.Type()) {
+				c.facts.seeds[rr] = u
+			} else if u := unitFromName(fn.Name.Name); u != UnitNone && isUnitCarrier(res.Type()) {
+				// A getter named for a unit (MaxQueueBytes, DelayNs)
+				// returns that unit.
+				c.facts.seeds[rr] = u
+			}
+		}
+	}
+	if fn.Body == nil {
+		return
+	}
+	c.block(fn.Body, obj)
+}
+
+// block walks statements, recording edges and checks.
+func (c *utCollector) block(body *ast.BlockStmt, fn *types.Func) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			c.assign(v)
+		case *ast.ReturnStmt:
+			if fn != nil && len(v.Results) > 0 {
+				rr := resultRef(fn, c.pass.Fset)
+				val := c.eval(v.Results[0])
+				c.flow(val, rr, UnitNone, v.Results[0], "returned value of "+fn.Name())
+			}
+		case *ast.CallExpr:
+			c.call(v)
+		case *ast.BinaryExpr:
+			c.binary(v)
+		case *ast.CompositeLit:
+			c.composite(v)
+		}
+		return true
+	})
+}
+
+// assign records edges/checks for x = y and x := y (including parallel
+// assignment position by position).
+func (c *utCollector) assign(st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return // multi-value call or comma-ok: no per-position dataflow
+	}
+	for i := range st.Lhs {
+		lobj := c.lhsObject(st.Lhs[i])
+		if lobj == nil || !isUnitCarrier(lobj.Type()) {
+			continue
+		}
+		r := c.ref(lobj)
+		val := c.eval(st.Rhs[i])
+		seed := c.facts.seeds[r]
+		what := lobj.Name()
+		if st.Tok == token.ADD_ASSIGN || st.Tok == token.SUB_ASSIGN {
+			// x += y is additive arithmetic between x and y.
+			c.facts.checks = append(c.facts.checks, utCheck{
+				kind: checkArith, a: uval{unit: seed, ref: r}, b: val,
+				pos: c.pass.Fset.Position(st.Pos()), what: what + " " + st.Tok.String() + " …",
+			})
+			continue
+		}
+		c.flow(val, r, seed, st.Rhs[i], what)
+	}
+}
+
+// flow either defers an assignment check (destination already has a
+// seeded unit) or records a propagation edge into it.
+func (c *utCollector) flow(val uval, to objRef, seed Unit, at ast.Node, what string) {
+	if to == "" {
+		return
+	}
+	if seed == UnitNone {
+		seed = c.facts.seeds[to]
+	}
+	if seed != UnitNone {
+		if val.known() && val.unit != seed {
+			// Both ends concrete right now: report immediately.
+			c.facts.checks = append(c.facts.checks, utCheck{
+				kind: checkAssign, a: uval{unit: seed}, b: val,
+				pos: c.pass.Fset.Position(at.Pos()), what: what,
+			})
+		} else if val.ref != "" {
+			c.facts.checks = append(c.facts.checks, utCheck{
+				kind: checkAssign, a: uval{unit: seed}, b: val,
+				pos: c.pass.Fset.Position(at.Pos()), what: what,
+			})
+		}
+		return
+	}
+	if val.known() || val.ref != "" {
+		c.facts.edges = append(c.facts.edges, utEdge{from: val, to: to})
+	}
+}
+
+// lhsObject resolves an assignment destination to its object.
+func (c *utCollector) lhsObject(e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if obj := c.pass.Info.Defs[v]; obj != nil {
+			return obj
+		}
+		return c.pass.Info.Uses[v]
+	case *ast.SelectorExpr:
+		if sel := c.pass.Info.Selections[v]; sel != nil {
+			return sel.Obj()
+		}
+		return c.pass.Info.Uses[v.Sel]
+	}
+	return nil
+}
+
+// call records argument→parameter bindings and checks.
+func (c *utCollector) call(call *ast.CallExpr) {
+	fn := c.callee(call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	cv, hasCv := unitConversions[fn.FullName()]
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break // variadic tail: skip
+		}
+		param := sig.Params().At(i)
+		if !isUnitCarrier(param.Type()) {
+			continue
+		}
+		pu := UnitNone
+		if hasCv && i < len(cv.params) {
+			pu = cv.params[i]
+		}
+		if pu == UnitNone {
+			pu = unitFromName(param.Name())
+		}
+		pr := c.ref(param)
+		if pu != UnitNone {
+			c.facts.seeds[pr] = pu
+		}
+		val := c.eval(arg)
+		what := "argument " + param.Name() + " of " + fn.Name()
+		c.flow(val, pr, pu, arg, what)
+	}
+}
+
+// callee resolves a call expression to the *types.Func it invokes, or nil
+// for function values, type conversions and builtins.
+func (c *utCollector) callee(call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// binary defers a mixed-unit check for additive and comparison operators.
+// Multiplicative operators are the conversion idiom (×1e3, ÷8) and reset
+// the unit instead.
+func (c *utCollector) binary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	x, y := c.eval(b.X), c.eval(b.Y)
+	if (x.unit == UnitNone && x.ref == "") || (y.unit == UnitNone && y.ref == "") {
+		return
+	}
+	c.facts.checks = append(c.facts.checks, utCheck{
+		kind: checkArith, a: x, b: y,
+		pos:  c.pass.Fset.Position(b.Pos()),
+		what: exprString(b.X) + " " + b.Op.String() + " " + exprString(b.Y),
+	})
+}
+
+// composite records field bindings of struct literals.
+func (c *utCollector) composite(lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.pass.Info.Uses[key]
+		if obj == nil || !isUnitCarrier(obj.Type()) {
+			continue
+		}
+		r := c.ref(obj)
+		val := c.eval(kv.Value)
+		c.flow(val, r, c.facts.seeds[r], kv.Value, "field "+key.Name)
+	}
+}
+
+// eval computes the unit value of an expression.
+func (c *utCollector) eval(e ast.Expr) uval {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return c.eval(v.X)
+	case *ast.UnaryExpr:
+		return c.eval(v.X)
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[v]
+		if obj == nil {
+			obj = c.pass.Info.Defs[v]
+		}
+		if obj == nil || !isUnitCarrier(obj.Type()) {
+			return uval{}
+		}
+		r := c.ref(obj)
+		if u, ok := c.facts.seeds[r]; ok {
+			return uval{unit: u}
+		}
+		return uval{ref: r}
+	case *ast.SelectorExpr:
+		obj := c.pass.Info.Uses[v.Sel]
+		if sel := c.pass.Info.Selections[v]; sel != nil {
+			obj = sel.Obj()
+		}
+		if _, ok := obj.(*types.Func); ok {
+			return uval{}
+		}
+		if obj == nil || !isUnitCarrier(obj.Type()) {
+			return uval{}
+		}
+		r := c.ref(obj)
+		if u, ok := c.facts.seeds[r]; ok {
+			return uval{unit: u}
+		}
+		return uval{ref: r}
+	case *ast.CallExpr:
+		// A type conversion is unit-transparent: float64(x) still holds
+		// x's unit.
+		if tv, ok := c.pass.Info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			if isUnitCarrier(tv.Type) {
+				return c.eval(v.Args[0])
+			}
+			return uval{}
+		}
+		fn := c.callee(v)
+		if fn == nil {
+			return uval{}
+		}
+		if cv, ok := unitConversions[fn.FullName()]; ok && cv.result != UnitNone {
+			return uval{unit: cv.result}
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 || !isUnitCarrier(sig.Results().At(0).Type()) {
+			return uval{}
+		}
+		if u := unitFromName(sig.Results().At(0).Name()); u != UnitNone {
+			return uval{unit: u}
+		}
+		if u := unitFromName(fn.Name()); u != UnitNone {
+			return uval{unit: u}
+		}
+		return uval{ref: resultRef(fn, c.pass.Fset)}
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.ADD, token.SUB:
+			x, y := c.eval(v.X), c.eval(v.Y)
+			if x.known() || x.ref != "" {
+				return x
+			}
+			return y
+		case token.MUL, token.QUO:
+			// Scaling: the conversion idiom. The result's unit is
+			// whatever the author says it is — unknown to us.
+			return uval{}
+		}
+		return uval{}
+	}
+	return uval{}
+}
+
+// Resolve floods units across the module-wide edge set and evaluates the
+// deferred checks.
+func (a *unitTaint) Resolve(facts []PackageFacts) []Diagnostic {
+	env := map[objRef]Unit{}
+	var edges []utEdge
+	var checks []utCheck
+	for _, pf := range facts {
+		f := pf.Facts.(*utFacts)
+		for r, u := range f.seeds {
+			if have, ok := env[r]; ok && have != u {
+				env[r] = UnitMixed
+			} else {
+				env[r] = u
+			}
+		}
+		edges = append(edges, f.edges...)
+		checks = append(checks, f.checks...)
+	}
+
+	// Fixpoint: propagate units along edges into unseeded objects. An
+	// object fed two different units becomes UnitMixed, which blocks both
+	// further propagation and checks (a deliberately unit-agnostic
+	// accumulator is not a finding).
+	seeded := make(map[objRef]bool, len(env))
+	for r, u := range env {
+		if u != UnitNone {
+			seeded[r] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			u := e.from.unit
+			if u == UnitNone && e.from.ref != "" {
+				u = env[e.from.ref]
+			}
+			if u == UnitNone || u == UnitMixed {
+				continue
+			}
+			if seeded[e.to] {
+				continue // seeded destinations are checked, not overwritten
+			}
+			switch have := env[e.to]; {
+			case have == UnitNone:
+				env[e.to] = u
+				changed = true
+			case have != u && have != UnitMixed:
+				env[e.to] = UnitMixed
+				changed = true
+			}
+		}
+	}
+
+	resolve := func(v uval) Unit {
+		if v.unit != UnitNone {
+			return v.unit
+		}
+		if v.ref != "" {
+			return env[v.ref]
+		}
+		return UnitNone
+	}
+
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, ch := range checks {
+		ua, ub := resolve(ch.a), resolve(ch.b)
+		if ua == UnitNone || ub == UnitNone || ua == UnitMixed || ub == UnitMixed || ua == ub {
+			continue
+		}
+		var msg string
+		switch ch.kind {
+		case checkArith:
+			msg = "mixed-unit arithmetic: " + ch.what + " combines " + ua.String() + " with " + ub.String()
+		case checkAssign:
+			msg = "unit-losing conversion: " + ub.String() + " value flows into " + ua.String() + " " + ch.what
+		}
+		key := ch.pos.String() + msg
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		diags = append(diags, Diagnostic{Rule: a.Name(), Pos: ch.pos, Message: msg})
+	}
+	return diags
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkModule runs module analyzers over in-memory packages and returns
+// the surviving findings.
+func checkModule(t *testing.T, pkgs map[string]map[string]string, as ...ModuleAnalyzer) []Diagnostic {
+	t.Helper()
+	diags, err := CheckSourceModule(pkgs, as)
+	if err != nil {
+		t.Fatalf("CheckSourceModule: %v", err)
+	}
+	return diags
+}
+
+// onePkg wraps a single file as a one-package module.
+func onePkg(path, src string) map[string]map[string]string {
+	return map[string]map[string]string{path: {"src.go": src}}
+}
+
+func TestUnitTaintSeedsAndArithmetic(t *testing.T) {
+	a := NewUnitTaint()
+	cases := []struct {
+		name string
+		src  string
+		want int
+		msg  string
+	}{
+		{"mixed-add", `package p
+func f(demandKbps uint32, rateBps float64) float64 {
+	return float64(demandKbps) + rateBps
+}`, 1, "mixed-unit arithmetic"},
+		{"mixed-compare", `package p
+func f(sizeBytes int64, sentBits int64) bool { return sizeBytes < sentBits }`, 1, "mixed-unit arithmetic"},
+		{"same-unit-ok", `package p
+func f(aBytes, bBytes int64) int64 { return aBytes + bBytes }`, 0, ""},
+		{"scaling-resets", `package p
+func f(rateKbps float64, rateBps float64) float64 {
+	return rateKbps*1e3 + rateBps // explicit conversion: legal
+}`, 0, ""},
+		{"literal-ok", `package p
+func f(sizeBytes int64) bool { return sizeBytes > 0 }`, 0, ""},
+		{"plusassign-mixed", `package p
+func f(totalBytes int64, nBits int64) int64 { totalBytes += nBits; return totalBytes }`, 1, "mixed-unit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := checkModule(t, onePkg("m/p", tc.src), a)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d findings, want %d: %v", len(diags), tc.want, diags)
+			}
+			if tc.want > 0 && !strings.Contains(diags[0].Message, tc.msg) {
+				t.Errorf("message %q does not mention %q", diags[0].Message, tc.msg)
+			}
+		})
+	}
+}
+
+func TestUnitTaintPropagation(t *testing.T) {
+	a := NewUnitTaint()
+	t.Run("through-local", func(t *testing.T) {
+		src := `package p
+func f(demandKbps uint32, rateBps float64) float64 {
+	d := demandKbps // d inherits Kbps
+	return float64(d) + rateBps
+}`
+		diags := checkModule(t, onePkg("m/p", src), a)
+		if len(diags) != 1 {
+			t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+		}
+	})
+	t.Run("through-return", func(t *testing.T) {
+		src := `package p
+func demand(dKbps uint32) uint32 { return dKbps }
+func f(dKbps uint32, rateBps float64) float64 {
+	return float64(demand(dKbps)) + rateBps
+}`
+		diags := checkModule(t, onePkg("m/p", src), a)
+		if len(diags) != 1 {
+			t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+		}
+	})
+	t.Run("unit-losing-call", func(t *testing.T) {
+		src := `package p
+func fill(capacityBits float64) {}
+func f(linkKbps float64) { fill(linkKbps) }`
+		diags := checkModule(t, onePkg("m/p", src), a)
+		if len(diags) != 1 {
+			t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+		}
+		if !strings.Contains(diags[0].Message, "unit-losing") {
+			t.Errorf("message %q does not mention unit-losing", diags[0].Message)
+		}
+	})
+	t.Run("field-store", func(t *testing.T) {
+		src := `package p
+type Info struct{ DemandKbps uint32 }
+func f(rateBps uint32) Info { return Info{DemandKbps: rateBps} }`
+		diags := checkModule(t, onePkg("m/p", src), a)
+		if len(diags) != 1 {
+			t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+		}
+	})
+	t.Run("mixed-inflow-accumulator-tolerated", func(t *testing.T) {
+		// A deliberately unit-agnostic accumulator fed two units resolves
+		// to UnitMixed and is exempt from checks.
+		src := `package p
+func f(aBytes, bBits int64) int64 {
+	var acc int64
+	acc = aBytes
+	acc = bBits
+	return acc
+}`
+		diags := checkModule(t, onePkg("m/p", src), a)
+		if len(diags) != 0 {
+			t.Fatalf("got %d findings, want 0: %v", len(diags), diags)
+		}
+	})
+}
+
+func TestUnitTaintCrossPackage(t *testing.T) {
+	a := NewUnitTaint()
+	t.Run("field-read-crosses-packages", func(t *testing.T) {
+		pkgs := map[string]map[string]string{
+			"m/wire": {"wire.go": `package wire
+type Broadcast struct{ DemandKbps uint32 }`},
+			"m/alloc": {"alloc.go": `package alloc
+import "m/wire"
+func Fill(b *wire.Broadcast, capBits float64) float64 {
+	return float64(b.DemandKbps) + capBits // Kbps + bits: 1000x error
+}`},
+		}
+		diags := checkModule(t, pkgs, a)
+		if len(diags) != 1 {
+			t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+		}
+		if !strings.Contains(diags[0].Message, "Kbps") || !strings.Contains(diags[0].Message, "bits") {
+			t.Errorf("message %q should name both units", diags[0].Message)
+		}
+	})
+	t.Run("propagated-across-call-boundary", func(t *testing.T) {
+		pkgs := map[string]map[string]string{
+			"m/core": {"core.go": `package core
+func KbpsOf(x uint32) uint32 { return x }
+func DemandKbps(raw uint32) uint32 { return KbpsOf(raw) }`},
+			"m/user": {"user.go": `package user
+import "m/core"
+func F(rateBps uint32) uint32 {
+	d := core.DemandKbps(7)
+	return d + rateBps
+}`},
+		}
+		diags := checkModule(t, pkgs, a)
+		if len(diags) != 1 {
+			t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+		}
+	})
+	t.Run("suppression", func(t *testing.T) {
+		pkgs := onePkg("m/p", `package p
+func f(aBytes, bBits int64) int64 {
+	//lint:ignore unit-taint deliberate: byte-count compared against bit budget after scaling elsewhere
+	return aBytes + bBits
+}`)
+		diags := checkModule(t, pkgs, a)
+		if len(diags) != 0 {
+			t.Fatalf("got %d findings, want 0: %v", len(diags), diags)
+		}
+	})
+}
+
+// TestUnitTaintEmuFCTRegression pins the emulator FCT bug class: a
+// wall-clock nanosecond timestamp flowing into an emulator-clock
+// nanosecond field would be invisible to unit-taint (both are ns), but
+// the Kbps-vs-bits crossing the same PR fixed in spirit must stay
+// detected through the real conversion helpers' shapes.
+func TestUnitTaintConversionTable(t *testing.T) {
+	a := NewUnitTaint()
+	pkgs := map[string]map[string]string{
+		"r2c2/internal/core": {"core.go": `package core
+func KbpsDemand(bits float64) uint32 {
+	k := bits / 1e3
+	return uint32(k)
+}`},
+		"m/user": {"user.go": `package user
+import "r2c2/internal/core"
+func F(allocBits float64, budgetBits float64) float64 {
+	d := core.KbpsDemand(allocBits) // result is Kbps by the conversion table
+	return float64(d) + budgetBits
+}`},
+	}
+	diags := checkModule(t, pkgs, a)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+	}
+	// And feeding a Kbps value back INTO the bits/s parameter is flagged.
+	pkgs["m/user"]["user.go"] = `package user
+import "r2c2/internal/core"
+func F(dKbps float64) uint32 {
+	return core.KbpsDemand(dKbps)
+}`
+	diags = checkModule(t, pkgs, a)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "unit-losing") {
+		t.Errorf("message %q should be a unit-losing conversion", diags[0].Message)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"r2c2/internal/waterfill"
+)
+
+// TestDemandRoundTrip property-tests the Kbps wire encoding against its
+// bits/s decoding: for any bits/s demand, KbpsDemand → DemandBits loses
+// at most one Kbps quantum (truncation), never more, and never changes
+// the limited/unlimited classification.
+func TestDemandRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100000; i++ {
+		// Log-uniform over 1 bit/s .. 10 Tbps, spanning the saturation
+		// boundary at (UnlimitedDemand-1) Kbps ≈ 4.29 Tbps.
+		bits := math.Pow(10, rng.Float64()*13)
+		kbps := KbpsDemand(bits)
+		if kbps == UnlimitedDemand {
+			t.Fatalf("KbpsDemand(%g) = UnlimitedDemand; the sentinel must be unreachable from a finite demand", bits)
+		}
+		f := FlowInfo{DemandKbps: kbps}
+		back := f.DemandBits()
+		if back == waterfill.Unlimited {
+			t.Fatalf("round-trip of finite %g bits/s decoded as Unlimited", bits)
+		}
+		if kbps == UnlimitedDemand-1 {
+			// Saturated: the decoded value is the format's ceiling, below
+			// the input by construction.
+			if back > bits {
+				t.Fatalf("saturated decode %g exceeds input %g", back, bits)
+			}
+			continue
+		}
+		// Within range the only loss is truncation to a whole Kbps.
+		if back > bits || bits-back >= 1e3 {
+			t.Fatalf("KbpsDemand(%g)=%d decodes to %g; want within one 1000 bit/s quantum below input",
+				bits, kbps, back)
+		}
+	}
+}
+
+// TestDemandRoundTripEdges pins the boundary values of the encoding.
+func TestDemandRoundTripEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		bits float64
+		want uint32
+	}{
+		{"negative-clamps-to-zero", -5, 0},
+		{"zero", 0, 0},
+		{"sub-quantum-truncates", 999, 0},
+		{"one-quantum", 1000, 1},
+		{"just-below-saturation", (float64(UnlimitedDemand) - 2) * 1e3, UnlimitedDemand - 2},
+		{"at-saturation", float64(UnlimitedDemand) * 1e3, UnlimitedDemand - 1},
+		{"far-past-saturation", 1e18, UnlimitedDemand - 1},
+		{"positive-infinity", math.Inf(1), UnlimitedDemand - 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := KbpsDemand(tc.bits); got != tc.want {
+				t.Fatalf("KbpsDemand(%g) = %d, want %d", tc.bits, got, tc.want)
+			}
+		})
+	}
+	// NaN must not panic and must not produce the unlimited sentinel.
+	if got := KbpsDemand(math.NaN()); got == UnlimitedDemand {
+		t.Fatalf("KbpsDemand(NaN) = UnlimitedDemand")
+	}
+	// The sentinel itself decodes to waterfill.Unlimited, distinct from
+	// every encodable finite demand.
+	f := FlowInfo{DemandKbps: UnlimitedDemand}
+	if f.DemandBits() != waterfill.Unlimited {
+		t.Fatalf("UnlimitedDemand decoded to %g, want waterfill.Unlimited", f.DemandBits())
+	}
+	g := FlowInfo{DemandKbps: UnlimitedDemand - 1}
+	if g.DemandBits() == waterfill.Unlimited {
+		t.Fatalf("max finite demand decoded as Unlimited")
+	}
+}

@@ -1,0 +1,50 @@
+package emu
+
+import (
+	"testing"
+	"time"
+
+	"r2c2/internal/routing"
+)
+
+// TestFlowTimestampsAreRackRelative pins the FCT wall-clock fix:
+// Flow.started and Flow.finished are nanoseconds since the rack epoch,
+// not absolute host time, so a wall-clock step (NTP slew) can never
+// produce a negative FCT, and Throughput is exactly size/FCT.
+func TestFlowTimestampsAreRackRelative(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 200, Recompute: time.Millisecond, Protocol: routing.RPS})
+	f, err := r.StartFlow(0, 5, 64<<10, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// An absolute unix timestamp would be ~1.7e18 ns; a rack-relative one
+	// is bounded by how long this test has been running.
+	if f.started < 0 || f.started > int64(time.Hour) {
+		t.Fatalf("Flow.started = %d ns; want a rack-relative offset, not absolute host time", f.started)
+	}
+	fin := f.finished.Load()
+	if fin <= f.started {
+		t.Fatalf("finished %d <= started %d; FCT would be non-positive", fin, f.started)
+	}
+	if got, want := f.Throughput(), float64(f.SizeBytes*8)/f.FCT().Seconds(); got != want {
+		t.Fatalf("Throughput() = %v, want size/FCT = %v", got, want)
+	}
+}
+
+func TestRackClockMonotonic(t *testing.T) {
+	c := newRackClock()
+	prev := c.nowNs()
+	if prev < 0 {
+		t.Fatalf("nowNs = %d at epoch, want >= 0", prev)
+	}
+	for i := 0; i < 1000; i++ {
+		n := c.nowNs()
+		if n < prev {
+			t.Fatalf("nowNs went backwards: %d after %d", n, prev)
+		}
+		prev = n
+	}
+}

@@ -79,3 +79,31 @@ func TestEmuDemandEstimation(t *testing.T) {
 		t.Fatalf("bulk flow got %.3g; demand-aware allocation should exceed 110 Mbps", bt)
 	}
 }
+
+// TestFlowDemandRoundTrip checks the emu side of the demand encoding:
+// Demand() mirrors the last core.KbpsDemand broadcast for host-limited
+// flows, reports the UnlimitedDemand sentinel for network-limited ones,
+// and decoding back through FlowInfo.DemandBits loses at most one Kbps
+// quantum.
+func TestFlowDemandRoundTrip(t *testing.T) {
+	networkLimited := &Flow{}
+	if networkLimited.Demand() != core.UnlimitedDemand {
+		t.Fatalf("network-limited Demand() = %d, want UnlimitedDemand", networkLimited.Demand())
+	}
+	hostLimited := &Flow{appRate: 20e6}
+	for _, bits := range []float64{0, 999, 1e3, 20e6, 4.2e12, 1e15} {
+		k := core.KbpsDemand(bits)
+		hostLimited.demandKbps.Store(k)
+		if got := hostLimited.Demand(); got != k {
+			t.Fatalf("Demand() = %d after storing %d", got, k)
+		}
+		info := core.FlowInfo{DemandKbps: hostLimited.Demand()}
+		back := info.DemandBits()
+		if back > bits {
+			t.Fatalf("decode %g exceeds encoded input %g", back, bits)
+		}
+		if k != core.UnlimitedDemand-1 && bits-back >= 1e3 {
+			t.Fatalf("round-trip of %g lost %g bits/s, more than one Kbps quantum", bits, bits-back)
+		}
+	}
+}

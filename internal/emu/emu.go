@@ -89,6 +89,7 @@ func (c *Config) defaults() {
 // injected with StartFlow and the rack is torn down with Stop.
 type Rack struct {
 	cfg Config
+	clk rackClock
 	tab *routing.Table
 	fib *topology.BroadcastFIB
 
@@ -132,8 +133,8 @@ type Flow struct {
 
 	rate      atomic.Uint64 // bits/s
 	bytesRcvd atomic.Int64
-	started   time.Time
-	finished  atomic.Int64 // unix nanos; 0 while incomplete
+	started   int64        // rack-clock nanos (rackClock.nowNs at StartFlow)
+	finished  atomic.Int64 // rack-clock nanos; 0 while incomplete
 	done      chan struct{}
 	doneOnce  sync.Once
 
@@ -165,7 +166,7 @@ func (f *Flow) Wait(timeout time.Duration) error {
 	select {
 	case <-f.done:
 		return nil
-	case <-time.After(timeout):
+	case <-hostAfter(timeout):
 		return fmt.Errorf("emu: flow %v incomplete after %v (%d/%d bytes)",
 			f.Info.ID, timeout, f.bytesRcvd.Load(), f.SizeBytes)
 	}
@@ -177,7 +178,7 @@ func (f *Flow) Throughput() float64 {
 	if fin == 0 {
 		return 0
 	}
-	dt := time.Duration(fin - f.started.UnixNano()).Seconds()
+	dt := time.Duration(fin - f.started).Seconds()
 	if dt <= 0 {
 		return 0
 	}
@@ -190,7 +191,7 @@ func (f *Flow) FCT() time.Duration {
 	if fin == 0 {
 		return 0
 	}
-	return time.Duration(fin - f.started.UnixNano())
+	return time.Duration(fin - f.started)
 }
 
 // New builds an emulated rack. Call Start before injecting flows.
@@ -208,6 +209,7 @@ func New(cfg Config) (*Rack, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Rack{
 		cfg:    cfg,
+		clk:    newRackClock(),
 		tab:    routing.NewTable(cfg.Graph),
 		fib:    topology.NewBroadcastFIB(cfg.Graph, cfg.TreesPerSource, cfg.Seed),
 		ctx:    ctx,
@@ -269,7 +271,7 @@ func (r *Rack) linkLoop(lid topology.LinkID) {
 	p := r.ports[lid]
 	to := r.cfg.Graph.Link(lid).To
 	perByte := time.Duration(float64(time.Second) * 8 / (r.cfg.LinkMbps * 1e6))
-	next := time.Now()
+	next := r.clk.now()
 	for {
 		select {
 		case <-r.ctx.Done():
@@ -280,16 +282,16 @@ func (r *Rack) linkLoop(lid topology.LinkID) {
 			// overshoots a sleep, the schedule may lag `now` by up to
 			// maxBurst and is repaid by back-to-back sends, keeping the
 			// long-run rate exact.
-			now := time.Now()
+			now := r.clk.now()
 			if floor := now.Add(-maxBurst); next.Before(floor) {
 				next = floor
 			}
 			next = next.Add(time.Duration(len(pkt)) * perByte)
 			// Batch small sleeps: exact pacing below the OS timer
 			// resolution is impossible, but long-run rates stay exact.
-			if wait := time.Until(next); wait > 500*time.Microsecond {
+			if wait := next.Sub(r.clk.now()); wait > 500*time.Microsecond {
 				select {
-				case <-time.After(wait):
+				case <-r.clk.after(wait):
 				case <-r.ctx.Done():
 					return
 				}
@@ -395,7 +397,7 @@ func (r *Rack) deliverData(at topology.NodeID, pkt []byte) {
 	f.bytesRcvd.Store(total)
 	if total >= f.SizeBytes {
 		f.doneOnce.Do(func() {
-			f.finished.Store(time.Now().UnixNano())
+			f.finished.Store(r.clk.nowNs())
 			close(f.done)
 			n.mu.Lock()
 			delete(n.rcvd, h.Flow)
@@ -409,7 +411,7 @@ func (r *Rack) deliverData(at topology.NodeID, pkt []byte) {
 // it sources.
 func (r *Rack) recomputeLoop(n *emuNode) {
 	defer r.wg.Done()
-	ticker := time.NewTicker(r.cfg.Recompute)
+	ticker := r.clk.newTicker(r.cfg.Recompute)
 	defer ticker.Stop()
 	for {
 		select {
@@ -469,7 +471,7 @@ func (r *Rack) startFlow(src, dst topology.NodeID, size int64, weight, priority 
 	// discovers the application's rate from observed queuing (Eq. 1) and
 	// the sender broadcasts the estimate once it diverges from what the
 	// rack believes.
-	f := &Flow{Info: info, SizeBytes: size, started: time.Now(), done: make(chan struct{}), appRate: appRate}
+	f := &Flow{Info: info, SizeBytes: size, started: r.clk.nowNs(), done: make(chan struct{}), appRate: appRate}
 	f.rate.Store(uint64(r.cfg.LinkMbps * 1e6))
 	f.demandKbps.Store(core.UnlimitedDemand)
 	n.flows[id] = f
@@ -499,7 +501,7 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(f.Info.ID)))
 	remaining := f.SizeBytes
 	var seq uint32
-	next := time.Now()
+	next := r.clk.now()
 
 	// Demand estimation state for host-limited flows (§3.3.2 Eq. 1). The
 	// estimator feeds on the achieved sending rate plus the sender-side
@@ -508,8 +510,8 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 	// diverge >15% from what the rack currently believes.
 	estPeriod := 4 * r.cfg.Recompute
 	var estimator *core.DemandEstimator
-	appStart := time.Now()
-	periodStart := appStart
+	appStartNs := r.clk.nowNs()
+	periodStartNs := appStartNs
 	var sentBits float64
 	var sentAtPeriodStart float64
 	if f.appRate > 0 {
@@ -522,13 +524,13 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 		}
 		if f.appRate > 0 {
 			// The application has produced this many bits so far.
-			produced := f.appRate * time.Since(appStart).Seconds()
+			produced := f.appRate * time.Duration(r.clk.nowNs()-appStartNs).Seconds()
 			if max := float64(f.SizeBytes * 8); produced > max {
 				produced = max
 			}
 			backlog := produced - sentBits
-			if now := time.Now(); now.Sub(periodStart) >= estPeriod {
-				sentRate := (sentBits - sentAtPeriodStart) / now.Sub(periodStart).Seconds()
+			if nowNs := r.clk.nowNs(); nowNs-periodStartNs >= int64(estPeriod) {
+				sentRate := (sentBits - sentAtPeriodStart) / time.Duration(nowNs-periodStartNs).Seconds()
 				d := estimator.Observe(sentRate, backlog)
 				newKbps := core.KbpsDemand(d)
 				old := f.demandKbps.Load()
@@ -547,12 +549,12 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 						n.mu.Unlock()
 					}
 				}
-				periodStart = now
+				periodStartNs = nowNs
 				sentAtPeriodStart = sentBits
 			}
 			if backlog < 8 { // nothing produced yet to send
 				select {
-				case <-time.After(100 * time.Microsecond):
+				case <-r.clk.after(100 * time.Microsecond):
 				case <-r.ctx.Done():
 					return
 				}
@@ -562,7 +564,7 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 		rate := f.Rate()
 		if rate <= 0 {
 			select {
-			case <-time.After(200 * time.Microsecond):
+			case <-r.clk.after(200 * time.Microsecond):
 			case <-r.ctx.Done():
 				return
 			}
@@ -576,7 +578,7 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 			payload = remaining
 		}
 		if f.appRate > 0 {
-			produced := f.appRate * time.Since(appStart).Seconds()
+			produced := f.appRate * time.Duration(r.clk.nowNs()-appStartNs).Seconds()
 			if max := float64(f.SizeBytes * 8); produced > max {
 				produced = max
 			}
@@ -630,14 +632,14 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 		remaining -= payload
 		sentBits += float64(payload * 8)
 
-		now := time.Now()
+		now := r.clk.now()
 		if floor := now.Add(-maxBurst); next.Before(floor) {
 			next = floor
 		}
 		next = next.Add(time.Duration(float64(len(buf)*8) / rate * float64(time.Second)))
-		if wait := time.Until(next); wait > 500*time.Microsecond {
+		if wait := next.Sub(r.clk.now()); wait > 500*time.Microsecond {
 			select {
-			case <-time.After(wait):
+			case <-r.clk.after(wait):
 			case <-r.ctx.Done():
 				return
 			}

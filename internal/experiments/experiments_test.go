@@ -211,6 +211,9 @@ func TestFig17HeadroomSweep(t *testing.T) {
 }
 
 func TestFig18AdaptiveWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level sweep")
+	}
 	s := TestScale()
 	res := Fig18(s, []float64{0, 0.25, 1.0},
 		genetic.Config{Population: 40, MaxGens: 25})

@@ -16,10 +16,18 @@ func TestSelectorReassignsSparseLoad(t *testing.T) {
 	g := torus(t, 4, 3)
 	eng, _, r := newR2C2Net(t, g, R2C2Config{
 		Headroom: 0.05, Protocol: routing.RPS, Recompute: 200 * simtime.Microsecond})
+	ga := genetic.Config{Population: 30, MaxGens: 15, Seed: 3}
+	runFor := 30 * simtime.Millisecond
+	if testing.Short() {
+		// The -race CI job runs -short: a smaller GA still finds the same
+		// reassignment on three flows, at a fraction of the search cost.
+		ga = genetic.Config{Population: 12, MaxGens: 8, Seed: 3}
+		runFor = 15 * simtime.Millisecond
+	}
 	sel := NewSelector(r, SelectorConfig{
 		Period: 5 * simtime.Millisecond,
 		MinAge: simtime.Millisecond,
-		GA:     genetic.Config{Population: 30, MaxGens: 15, Seed: 3},
+		GA:     ga,
 	})
 	sel.Start()
 
@@ -31,7 +39,7 @@ func TestSelectorReassignsSparseLoad(t *testing.T) {
 		r.StartFlow(10, 53, 512<<20, 1, 0),
 	}
 
-	eng.Run(30 * simtime.Millisecond)
+	eng.Run(runFor)
 	if sel.Runs == 0 {
 		t.Fatal("selector never ran")
 	}
