@@ -1,8 +1,13 @@
 GO ?= go
 FUZZTIME ?= 30s
 LINT_REPORT ?= r2c2-lint.json
+BENCH_REPORT ?= BENCH_sim.json
+# The hot-path micro-benchmark suite recorded in $(BENCH_REPORT); the
+# figure-harness benchmarks are excluded because they measure whole
+# experiments, not code paths.
+MICROBENCH = ^(BenchmarkSimulatorEventThroughput|BenchmarkWaterfillAllocate|BenchmarkIncrementalChurn|BenchmarkEmuDataPath|BenchmarkPhiRPS512|BenchmarkBroadcastEncodeDecode)$$
 
-.PHONY: build test race race-short debug lint fuzz vet bench-smoke verify
+.PHONY: build test race race-short debug lint fuzz vet bench-smoke bench-json verify
 
 build:
 	$(GO) build ./...
@@ -44,6 +49,17 @@ fuzz:
 # real measurement run.
 bench-smoke:
 	$(GO) test -run=^$$ -bench . -benchtime=1x ./...
+
+# Real measurement of the micro-benchmark suite, recorded as JSON
+# (benchmark name -> ns/op, allocs/op, events/run, ...) so the perf
+# trajectory is tracked per commit; CI uploads $(BENCH_REPORT) as an
+# artifact.
+bench-json:
+	@$(GO) test -run='^$$' -bench '$(MICROBENCH)' -benchmem . > $(BENCH_REPORT).txt \
+		|| { cat $(BENCH_REPORT).txt; rm -f $(BENCH_REPORT).txt; exit 1; }
+	@$(GO) run ./cmd/r2c2-benchjson < $(BENCH_REPORT).txt > $(BENCH_REPORT)
+	@rm -f $(BENCH_REPORT).txt
+	@echo "bench-json: wrote $(BENCH_REPORT)"
 
 verify: build vet lint test race debug bench-smoke
 	@echo verify: OK

@@ -342,9 +342,6 @@ func BenchmarkAblationBroadcastTrees(b *testing.B) {
 		for src := 0; src < g.Nodes(); src++ {
 			for ev := 0; ev < trees; ev++ { // one event per tree, round-robin
 				t, _ := fib.Tree(topology.NodeID(src), uint8(ev%trees))
-				for _, l := range t.LinkLoad(g.NumLinks()) {
-					_ = l
-				}
 				for lid, c := range t.LinkLoad(g.NumLinks()) {
 					load[lid] += c
 				}
@@ -398,6 +395,7 @@ func BenchmarkWaterfillAllocate(b *testing.B) {
 	alloc := waterfill.NewAllocator(waterfill.Config{
 		NumLinks: g.NumLinks(), Capacity: 10e9, Headroom: 0.05,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		alloc.Allocate(flows) // the paper's 512-node, 512-flow recomputation
@@ -447,6 +445,7 @@ func BenchmarkIncrementalChurn(b *testing.B) {
 	b.Run("incremental", func(b *testing.B) {
 		inc := waterfill.NewIncremental(cfg)
 		handles := inc.Rebuild(flows)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			inc.Update(handles[i%len(handles)], delta(i))
@@ -455,6 +454,7 @@ func BenchmarkIncrementalChurn(b *testing.B) {
 	b.Run("from-scratch", func(b *testing.B) {
 		alloc := waterfill.NewAllocator(cfg)
 		work := append([]waterfill.Flow(nil), flows...)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			work[i%len(work)] = delta(i)
@@ -494,6 +494,7 @@ func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
 		Nodes: g.Nodes(), MeanInterval: 10 * simtime.Microsecond, Count: 200, Seed: 5,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	events := uint64(0)
 	for i := 0; i < b.N; i++ {
@@ -613,6 +614,7 @@ func BenchmarkEmuDataPath(b *testing.B) {
 	}
 	rack.Start()
 	defer rack.Stop()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f, err := rack.StartFlow(0, 4, 1<<20, 1, 0)

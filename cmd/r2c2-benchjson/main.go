@@ -1,0 +1,91 @@
+// Command r2c2-benchjson converts `go test -bench` output on stdin into a
+// JSON object on stdout: benchmark name → {unit → value} for every metric
+// the benchmark reported (ns/op, B/op, allocs/op, custom units such as
+// events/run or MB/s). `make bench-json` pipes the micro-benchmark suite
+// through it to produce BENCH_sim.json, the perf-trajectory artifact CI
+// records on every run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "r2c2-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdin io.Reader, stdout io.Writer) error {
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := make(map[string]map[string]float64)
+	for sc.Scan() {
+		name, metrics, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		m := out[name]
+		if m == nil {
+			m = make(map[string]float64)
+			out[name] = m
+		}
+		for unit, v := range metrics {
+			m[unit] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out) // map keys marshal sorted: stable artifact diffs
+}
+
+// parseBenchLine parses one result line of `go test -bench` output:
+//
+//	BenchmarkName-8   30   38674206 ns/op   74008 events/run   54502 allocs/op
+//
+// i.e. the benchmark name (with the -GOMAXPROCS suffix, which is stripped),
+// the iteration count, then value/unit pairs.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false // e.g. "Benchmarking..." prose, not a result
+	}
+	metrics := make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return trimProcSuffix(fields[0]), metrics, true
+}
+
+// trimProcSuffix strips the trailing -GOMAXPROCS decoration go test appends
+// to benchmark names, so the JSON keys are stable across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

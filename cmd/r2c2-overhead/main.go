@@ -31,15 +31,16 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("r2c2-overhead", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		fig8  = fs.Bool("fig8", false, "Figure 8: CPU cost of rate recomputation (from-scratch vs incremental)")
-		fig9  = fs.Bool("fig9", false, "Figure 9: broadcast overhead vs small-flow byte fraction")
-		fig19 = fs.Bool("fig19", false, "Figure 19: decentralized vs centralized control traffic")
-		k     = fs.Int("k", 8, "torus radix for fig19")
-		dims  = fs.Int("dims", 3, "torus dimensions for fig19")
-		rhos  = fs.String("rhos", "", "comma-separated recomputation intervals in µs for fig8 (default: the built-in sweep around core.DefaultRho)")
-		flows = fs.Int("flows", 1200, "flows in the fig8 replayed trace")
-		ticks = fs.Int("max-ticks", 200, "recomputations timed per interval for fig8")
-		csv   = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		fig8     = fs.Bool("fig8", false, "Figure 8: CPU cost of rate recomputation (from-scratch vs incremental)")
+		fig9     = fs.Bool("fig9", false, "Figure 9: broadcast overhead vs small-flow byte fraction")
+		fig19    = fs.Bool("fig19", false, "Figure 19: decentralized vs centralized control traffic")
+		k        = fs.Int("k", 8, "torus radix for fig19")
+		dims     = fs.Int("dims", 3, "torus dimensions for fig19")
+		rhos     = fs.String("rhos", "", "comma-separated recomputation intervals in µs for fig8 (default: the built-in sweep around core.DefaultRho)")
+		flows    = fs.Int("flows", 1200, "flows in the fig8 replayed trace")
+		ticks    = fs.Int("max-ticks", 200, "recomputations timed per interval for fig8")
+		parallel = fs.Int("parallel", 0, "worker count for the fig8 per-interval replays (0 = GOMAXPROCS, 1 = sequential; note fig8 times wall clocks, so contention can inflate measured cost)")
+		csv      = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		s := experiments.TestScale()
 		s.Flows = *flows
+		s.Parallel = *parallel
 		res := experiments.Fig8(s, s.Tau, sweep, *ticks)
 		render(stdout, res.Table(), *csv)
 		fmt.Fprintln(stdout, "(full-* columns rebuild the allocation from scratch each tick; inc-* replay only the")

@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		tauUs    = fs.Float64("tau", 4, "mean flow inter-arrival time in microseconds (paper: 1 at 512 nodes)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		reliable = fs.Bool("reliable", false, "enable the §6 reliability extension for the R2C2 runs")
+		parallel = fs.Int("parallel", 0, "worker count for independent sweep runs (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 		csv      = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 	s := experiments.TestScale()
 	s.K, s.Dims, s.Flows, s.Seed = *k, *dims, *flows, *seed
 	s.Reliable = *reliable
+	s.Parallel = *parallel
 	tau := simtime.FromSeconds(*tauUs * 1e-6)
 	fmt.Fprintf(stdout, "topology: %d-ary %d-cube (%d nodes), %d flows, tau=%v\n\n",
 		s.K, s.Dims, s.Torus().Nodes(), s.Flows, tau)

@@ -27,6 +27,10 @@ type Scale struct {
 	Seed     int64
 	// Reliable turns on the §6 reliability extension for R2C2 runs.
 	Reliable bool
+	// Parallel is the worker count for sweeps of independent simulated
+	// runs (<= 0 means GOMAXPROCS; 1 forces sequential execution).
+	// Results are byte-identical at any worker count.
+	Parallel int
 }
 
 // PaperScale is the configuration of §5.2: the AMD SeaMicro-sized 512-node

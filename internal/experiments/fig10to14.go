@@ -4,6 +4,7 @@ import (
 	"r2c2/internal/routing"
 	"r2c2/internal/sim"
 	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
 	"r2c2/internal/trafficgen"
 )
 
@@ -13,19 +14,22 @@ type TransportRun struct {
 	Results   *sim.Results
 }
 
-// RunTransports executes the same heavy-tailed workload (§5.2) under R2C2,
-// TCP and PFQ — the common machinery behind Figures 10–14.
-func RunTransports(s Scale, tau simtime.Time, headroom float64, rho simtime.Time) []TransportRun {
-	g := s.Torus()
+// transportOrder is the fixed transport sequence of the §5.2 comparison.
+var transportOrder = []sim.Transport{sim.TransportR2C2, sim.TransportTCP, sim.TransportPFQ}
+
+// transportConfigs builds one RunConfig per transport for the heavy-tailed
+// workload at inter-arrival time tau. The graph is shared: it is immutable
+// once built, so configurations can run concurrently.
+func transportConfigs(g *topology.Graph, s Scale, tau simtime.Time, headroom float64, rho simtime.Time) []sim.RunConfig {
 	arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
 		Nodes:        g.Nodes(),
 		MeanInterval: tau,
 		Count:        s.Flows,
 		Seed:         s.Seed,
 	})
-	var out []TransportRun
-	for _, tr := range []sim.Transport{sim.TransportR2C2, sim.TransportTCP, sim.TransportPFQ} {
-		res := sim.Run(sim.RunConfig{
+	cfgs := make([]sim.RunConfig, 0, len(transportOrder))
+	for _, tr := range transportOrder {
+		cfgs = append(cfgs, sim.RunConfig{
 			Graph:     g,
 			Net:       sim.NetConfig{LinkGbps: s.LinkGbps, PropDelay: s.PropLat},
 			Transport: tr,
@@ -40,7 +44,18 @@ func RunTransports(s Scale, tau simtime.Time, headroom float64, rho simtime.Time
 			Arrivals: arrivals,
 			MaxTime:  arrivals[len(arrivals)-1].At + simtime.Second,
 		})
-		out = append(out, TransportRun{Transport: tr, Results: res})
+	}
+	return cfgs
+}
+
+// RunTransports executes the same heavy-tailed workload (§5.2) under R2C2,
+// TCP and PFQ — the common machinery behind Figures 10–14. The three runs
+// are independent and execute on s.Parallel workers.
+func RunTransports(s Scale, tau simtime.Time, headroom float64, rho simtime.Time) []TransportRun {
+	results := RunParallel(s.Parallel, transportConfigs(s.Torus(), s, tau, headroom, rho))
+	out := make([]TransportRun, len(results))
+	for i, res := range results {
+		out[i] = TransportRun{Transport: transportOrder[i], Results: res}
 	}
 	return out
 }
@@ -104,17 +119,26 @@ type Fig12to14Result struct {
 }
 
 // Fig12to14 sweeps τ and collects everything Figures 12, 13 and 14 plot.
+// The full sweep — every (τ, transport) point — is flattened into one batch
+// of independent runs executing on s.Parallel workers.
 func Fig12to14(s Scale, taus []simtime.Time) *Fig12to14Result {
-	res := &Fig12to14Result{Taus: taus}
+	g := s.Torus()
+	var cfgs []sim.RunConfig
 	for _, tau := range taus {
-		runs := RunTransports(s, tau, 0.05, 500*simtime.Microsecond)
+		cfgs = append(cfgs, transportConfigs(g, s, tau, 0.05, 500*simtime.Microsecond)...)
+	}
+	results := RunParallel(s.Parallel, cfgs)
+
+	res := &Fig12to14Result{Taus: taus}
+	for ti := range taus {
 		var fcts, longs []float64
-		for _, run := range runs {
-			fcts = append(fcts, run.Results.ShortFCT.Percentile(99))
-			longs = append(longs, run.Results.LongThroughput.Mean())
-			if run.Transport == sim.TransportR2C2 {
-				res.QueueP50 = append(res.QueueP50, run.Results.MaxQueue.Percentile(50))
-				res.QueueP99 = append(res.QueueP99, run.Results.MaxQueue.Percentile(99))
+		for tri, tr := range transportOrder {
+			out := results[ti*len(transportOrder)+tri]
+			fcts = append(fcts, out.ShortFCT.Percentile(99))
+			longs = append(longs, out.LongThroughput.Mean())
+			if tr == sim.TransportR2C2 {
+				res.QueueP50 = append(res.QueueP50, out.MaxQueue.Percentile(50))
+				res.QueueP99 = append(res.QueueP99, out.MaxQueue.Percentile(99))
 			}
 		}
 		res.FCT99 = append(res.FCT99, fcts)
@@ -162,15 +186,16 @@ type Fig17Result struct {
 	LongAvg   []float64 // mean long-flow throughput (Figure 17b)
 }
 
-// Fig17 sweeps the headroom parameter for R2C2 at fixed τ.
+// Fig17 sweeps the headroom parameter for R2C2 at fixed τ; the sweep
+// points run concurrently on s.Parallel workers.
 func Fig17(s Scale, tau simtime.Time, headrooms []float64) *Fig17Result {
 	g := s.Torus()
 	arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
 		Nodes: g.Nodes(), MeanInterval: tau, Count: s.Flows, Seed: s.Seed,
 	})
-	res := &Fig17Result{Headrooms: headrooms}
-	for _, h := range headrooms {
-		out := sim.Run(sim.RunConfig{
+	cfgs := make([]sim.RunConfig, len(headrooms))
+	for i, h := range headrooms {
+		cfgs[i] = sim.RunConfig{
 			Graph:     g,
 			Net:       sim.NetConfig{LinkGbps: s.LinkGbps, PropDelay: s.PropLat},
 			Transport: sim.TransportR2C2,
@@ -178,7 +203,10 @@ func Fig17(s Scale, tau simtime.Time, headrooms []float64) *Fig17Result {
 				Protocol: routing.RPS, Seed: s.Seed},
 			MaxTime:  arrivals[len(arrivals)-1].At + simtime.Second,
 			Arrivals: arrivals,
-		})
+		}
+	}
+	res := &Fig17Result{Headrooms: headrooms}
+	for _, out := range RunParallel(s.Parallel, cfgs) {
 		res.FCT99 = append(res.FCT99, out.ShortFCT.Percentile(99))
 		res.LongAvg = append(res.LongAvg, out.LongThroughput.Mean())
 	}

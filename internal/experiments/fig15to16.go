@@ -16,7 +16,9 @@ type Fig15Result struct {
 	Median, P95th []float64
 }
 
-// Fig15 sweeps ρ at fixed τ using the fluid model.
+// Fig15 sweeps ρ at fixed τ using the fluid model; the per-ρ fluid runs
+// execute concurrently on s.Parallel workers (the routing table they share
+// is internally synchronised).
 func Fig15(s Scale, tau simtime.Time, rhos []simtime.Time) *Fig15Result {
 	g := s.Torus()
 	tab := routing.NewTable(g)
@@ -26,16 +28,17 @@ func Fig15(s Scale, tau simtime.Time, rhos []simtime.Time) *Fig15Result {
 	cfg := fluid.Config{Tab: tab, Protocol: routing.RPS,
 		CapacityBits: s.LinkGbps * 1e9, Headroom: 0.05}
 	ideal := fluid.Run(cfg, arrivals)
-	res := &Fig15Result{Rhos: rhos}
-	for _, rho := range rhos {
+	res := &Fig15Result{Rhos: rhos,
+		Median: make([]float64, len(rhos)), P95th: make([]float64, len(rhos))}
+	parallelFor(s.Parallel, len(rhos), func(i int) {
 		c := cfg
-		c.Recompute = rho
+		c.Recompute = rhos[i]
 		periodic := fluid.Run(c, arrivals)
 		var sample stats.Sample
-		sample.AddAll(fluid.RateErrorFiltered(ideal, periodic, rho))
-		res.Median = append(res.Median, sample.Median())
-		res.P95th = append(res.P95th, sample.Percentile(95))
-	}
+		sample.AddAll(fluid.RateErrorFiltered(ideal, periodic, rhos[i]))
+		res.Median[i] = sample.Median()
+		res.P95th[i] = sample.Percentile(95)
+	})
 	return res
 }
 
@@ -56,14 +59,16 @@ type Fig16Result struct {
 	Median, P95th []float64
 }
 
-// Fig16 sweeps τ at fixed ρ using the fluid model.
+// Fig16 sweeps τ at fixed ρ using the fluid model; the per-τ points run
+// concurrently on s.Parallel workers.
 func Fig16(s Scale, rho simtime.Time, taus []simtime.Time) *Fig16Result {
 	g := s.Torus()
 	tab := routing.NewTable(g)
-	res := &Fig16Result{Taus: taus}
-	for _, tau := range taus {
+	res := &Fig16Result{Taus: taus,
+		Median: make([]float64, len(taus)), P95th: make([]float64, len(taus))}
+	parallelFor(s.Parallel, len(taus), func(i int) {
 		arrivals := trafficgen.Poisson(trafficgen.PoissonConfig{
-			Nodes: g.Nodes(), MeanInterval: tau, Count: s.Flows, Seed: s.Seed,
+			Nodes: g.Nodes(), MeanInterval: taus[i], Count: s.Flows, Seed: s.Seed,
 		})
 		cfg := fluid.Config{Tab: tab, Protocol: routing.RPS,
 			CapacityBits: s.LinkGbps * 1e9, Headroom: 0.05}
@@ -73,9 +78,9 @@ func Fig16(s Scale, rho simtime.Time, taus []simtime.Time) *Fig16Result {
 		periodic := fluid.Run(c, arrivals)
 		var sample stats.Sample
 		sample.AddAll(fluid.RateErrorFiltered(ideal, periodic, rho))
-		res.Median = append(res.Median, sample.Median())
-		res.P95th = append(res.P95th, sample.Percentile(95))
-	}
+		res.Median[i] = sample.Median()
+		res.P95th[i] = sample.Percentile(95)
+	})
 	return res
 }
 

@@ -24,30 +24,38 @@ func Fig18(s Scale, loads []float64, gaCfg genetic.Config) *Fig18Result {
 	g := s.Torus()
 	tab := routing.NewTable(g)
 	protocols := []routing.Protocol{routing.RPS, routing.VLB}
+	// The shared RNG threads through the loads in order, so workloads and
+	// random baselines are drawn sequentially up front; the expensive part
+	// — the GA and the allocator-driven fitness evaluations — then runs one
+	// load per worker. Each job builds its own fitness closure (the closure
+	// carries private allocator scratch and is not concurrent-safe).
+	workloads := make([][]routing.Demand, len(loads))
+	randomAsn := make([][]uint8, len(loads))
 	rng := rand.New(rand.NewSource(s.Seed))
-	res := &Fig18Result{Loads: loads}
-	for _, load := range loads {
-		flows := trafficgen.PermutationLoad(g, load, rng)
+	for i, load := range loads {
+		workloads[i] = trafficgen.PermutationLoad(g, load, rng)
+		if len(workloads[i]) > 0 {
+			randomAsn[i] = genetic.RandomAssignment(len(workloads[i]), len(protocols), rng)
+		}
+	}
+	res := &Fig18Result{Loads: loads,
+		Adaptive: make([]float64, len(loads)), AllRPS: make([]float64, len(loads)),
+		AllVLB: make([]float64, len(loads)), Random: make([]float64, len(loads))}
+	parallelFor(s.Parallel, len(loads), func(i int) {
+		flows := workloads[i]
 		if len(flows) == 0 {
-			res.Adaptive = append(res.Adaptive, 0)
-			res.AllRPS = append(res.AllRPS, 0)
-			res.AllVLB = append(res.AllVLB, 0)
-			res.Random = append(res.Random, 0)
-			continue
+			return // all-zero row
 		}
 		fitness := genetic.AggregateFitness(tab, s.LinkGbps*1e9, 0.05, flows, protocols)
-		allRPS := fitness(genetic.UniformAssignment(len(flows), 0))
-		allVLB := fitness(genetic.UniformAssignment(len(flows), 1))
-		random := fitness(genetic.RandomAssignment(len(flows), len(protocols), rng))
+		res.AllRPS[i] = fitness(genetic.UniformAssignment(len(flows), 0))
+		res.AllVLB[i] = fitness(genetic.UniformAssignment(len(flows), 1))
+		res.Random[i] = fitness(randomAsn[i])
 		cfg := gaCfg
 		cfg.Seed = s.Seed
 		best := genetic.Optimize(cfg, len(flows), len(protocols),
 			genetic.UniformAssignment(len(flows), 0), fitness)
-		res.Adaptive = append(res.Adaptive, best.Utility)
-		res.AllRPS = append(res.AllRPS, allRPS)
-		res.AllVLB = append(res.AllVLB, allVLB)
-		res.Random = append(res.Random, random)
-	}
+		res.Adaptive[i] = best.Utility
+	})
 	return res
 }
 

@@ -64,17 +64,27 @@ func Fig8(s Scale, tau simtime.Time, rhos []simtime.Time, maxTicks int) *Fig8Res
 		tab.Phi(routing.RPS, a.Src, a.Dst)
 	}
 
-	rc := core.NewRateComputer(tab, s.LinkGbps*1e9, 0.05)
-	res := &Fig8Result{Rhos: rhos}
-	for _, rho := range rhos {
+	var end simtime.Time
+	for _, fr := range lifetimes.Flows {
+		if fr.Ended > end {
+			end = fr.Ended
+		}
+	}
+	res := &Fig8Result{Rhos: rhos,
+		MedianHost: make([]float64, len(rhos)), P99Host: make([]float64, len(rhos)),
+		MedianAtom: make([]float64, len(rhos)), P99Atom: make([]float64, len(rhos)),
+		MedianInc: make([]float64, len(rhos)), P99Inc: make([]float64, len(rhos)),
+		MeanFlows: make([]float64, len(rhos))}
+	// Each ρ gets its own RateComputer (the delta-driven incremental path
+	// keeps per-instance state, so instances must not be shared); the per-ρ
+	// replays are independent and run on s.Parallel workers. Note this is a
+	// wall-clock measurement: on a loaded machine, parallel replays contend
+	// for cores and can inflate the measured cost.
+	parallelFor(s.Parallel, len(rhos), func(ri int) {
+		rho := rhos[ri]
+		rc := core.NewRateComputer(tab, s.LinkGbps*1e9, 0.05)
 		var overhead, overheadInc stats.Sample
 		var flowsPerTick stats.Sample
-		var end simtime.Time
-		for _, fr := range lifetimes.Flows {
-			if fr.Ended > end {
-				end = fr.Ended
-			}
-		}
 		ticks := 0
 		for t := rho; t < end && ticks < maxTicks; t += rho {
 			view := core.NewView()
@@ -104,14 +114,14 @@ func Fig8(s Scale, tau simtime.Time, rhos []simtime.Time, maxTicks int) *Fig8Res
 			flowsPerTick.Add(float64(view.Len()))
 			ticks++
 		}
-		res.MedianHost = append(res.MedianHost, overhead.Median())
-		res.P99Host = append(res.P99Host, overhead.Percentile(99))
-		res.MedianAtom = append(res.MedianAtom, overhead.Median()*AtomSlowdown)
-		res.P99Atom = append(res.P99Atom, overhead.Percentile(99)*AtomSlowdown)
-		res.MedianInc = append(res.MedianInc, overheadInc.Median())
-		res.P99Inc = append(res.P99Inc, overheadInc.Percentile(99))
-		res.MeanFlows = append(res.MeanFlows, flowsPerTick.Mean())
-	}
+		res.MedianHost[ri] = overhead.Median()
+		res.P99Host[ri] = overhead.Percentile(99)
+		res.MedianAtom[ri] = overhead.Median() * AtomSlowdown
+		res.P99Atom[ri] = overhead.Percentile(99) * AtomSlowdown
+		res.MedianInc[ri] = overheadInc.Median()
+		res.P99Inc[ri] = overheadInc.Percentile(99)
+		res.MeanFlows[ri] = flowsPerTick.Mean()
+	})
 	return res
 }
 

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"r2c2/internal/sim"
+)
+
+// RunParallel executes independent simulation configurations concurrently
+// on a pool of `workers` goroutines (workers <= 0 means GOMAXPROCS) and
+// returns their results in input order. Every configuration gets its own
+// engine, network and RNG state inside sim.Run, and results are merged by
+// index, so the output is byte-identical to running the configurations
+// sequentially — only wall-clock time changes. Configurations may share a
+// *topology.Graph (immutable after construction) and a *routing.Table
+// (internally synchronised).
+func RunParallel(workers int, cfgs []sim.RunConfig) []*sim.Results {
+	out := make([]*sim.Results, len(cfgs))
+	parallelFor(workers, len(cfgs), func(i int) {
+		out[i] = sim.Run(cfgs[i])
+	})
+	return out
+}
+
+// parallelFor runs job(0) … job(n-1) across a pool of `workers` goroutines
+// pulling indices from a shared atomic counter. workers <= 0 means
+// GOMAXPROCS; with one worker (or one job) it degenerates to a plain loop
+// on the calling goroutine. Jobs must be independent: they may write only
+// to their own index of any shared result slice.
+func parallelFor(workers, n int, job func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

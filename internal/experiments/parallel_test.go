@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"r2c2/internal/sim"
+	"r2c2/internal/simtime"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 37
+		var hits [n]int32
+		parallelFor(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	// Zero jobs must not deadlock or panic.
+	parallelFor(4, 0, func(i int) { t.Fatal("job ran with n=0") })
+}
+
+// TestRunParallelDeterministic is the regression test for the parallel
+// harness: the same configuration batch must produce identical Results —
+// every flow record, FCT sample and event count — whether it runs on one
+// worker or eight. Each run owns its engine and RNG state, and results
+// merge in input order, so the worker count can only change wall-clock
+// time, never output.
+func TestRunParallelDeterministic(t *testing.T) {
+	s := TestScale()
+	s.Flows = 150
+	g := s.Torus()
+	var cfgs []sim.RunConfig
+	for _, tau := range []simtime.Time{4 * simtime.Microsecond, 40 * simtime.Microsecond} {
+		cfgs = append(cfgs, transportConfigs(g, s, tau, 0.05, 500*simtime.Microsecond)...)
+	}
+
+	seq := RunParallel(1, cfgs)
+	par := RunParallel(8, cfgs)
+	if len(seq) != len(cfgs) || len(par) != len(cfgs) {
+		t.Fatalf("result count: seq=%d par=%d want %d", len(seq), len(par), len(cfgs))
+	}
+	for i := range cfgs {
+		if seq[i].Completed == 0 {
+			t.Fatalf("cfg %d (%v) completed no flows", i, cfgs[i].Transport)
+		}
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("cfg %d (%v): parallel run diverged from sequential\nseq: completed=%d events=%d drops=%d\npar: completed=%d events=%d drops=%d",
+				i, cfgs[i].Transport,
+				seq[i].Completed, seq[i].Events, seq[i].Drops,
+				par[i].Completed, par[i].Events, par[i].Drops)
+		}
+	}
+}

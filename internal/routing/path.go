@@ -14,21 +14,34 @@ import (
 // WLB) consult rng; deterministic ones (DOR) ignore it. For ECMP use
 // ECMPPath, which needs the flow identifier.
 func (t *Table) SamplePath(p Protocol, src, dst topology.NodeID, rng *rand.Rand) []topology.LinkID {
+	return t.AppendPath(nil, p, src, dst, rng)
+}
+
+// AppendPath is SamplePath appending into a caller-supplied buffer (reuse
+// its capacity across draws to keep per-packet sampling allocation-free).
+// The sampled hops are appended to buf and the extended slice returned.
+func (t *Table) AppendPath(buf []topology.LinkID, p Protocol, src, dst topology.NodeID, rng *rand.Rand) []topology.LinkID {
 	if src == dst {
-		return nil
+		return buf
 	}
 	switch p {
 	case RPS:
-		return t.sprayPath(src, dst, rng, nil)
+		return t.sprayPath(src, dst, rng, buf)
 	case DOR:
-		return t.dorPath(src, dst)
+		at := src
+		for at != dst {
+			lid := t.dorNext(at, dst)
+			buf = append(buf, lid)
+			at = t.g.Link(lid).To
+		}
+		return buf
 	case VLB:
 		// Uniform random waypoint, then minimal spraying in both phases.
 		w := topology.NodeID(rng.Intn(t.g.Nodes()))
-		path := t.sprayPath(src, w, rng, nil)
-		return t.sprayPath(w, dst, rng, path)
+		buf = t.sprayPath(src, w, rng, buf)
+		return t.sprayPath(w, dst, rng, buf)
 	case WLB:
-		return t.wlbPath(src, dst, rng)
+		return t.wlbPath(src, dst, rng, buf)
 	case ECMP:
 		panic("routing: SamplePath(ECMP) — use ECMPPath with the flow ID")
 	default:
@@ -53,14 +66,14 @@ func (t *Table) sprayPath(src, dst topology.NodeID, rng *rand.Rand, path []topol
 	return path
 }
 
-// wlbPath samples one weighted-load-balancing path: per-dimension direction
-// choice (short way w.p. (k-δ)/k), then uniform interleaving of the
-// per-dimension hops. Falls back to RPS on non-torus graphs, mirroring
+// wlbPath appends one weighted-load-balancing path onto path: per-dimension
+// direction choice (short way w.p. (k-δ)/k), then uniform interleaving of
+// the per-dimension hops. Falls back to RPS on non-torus graphs, mirroring
 // phiWLB.
-func (t *Table) wlbPath(src, dst topology.NodeID, rng *rand.Rand) []topology.LinkID {
+func (t *Table) wlbPath(src, dst topology.NodeID, rng *rand.Rand, path []topology.LinkID) []topology.LinkID {
 	g := t.g
 	if g.Kind() != topology.KindTorus || g.Degraded() {
-		return t.sprayPath(src, dst, rng, nil)
+		return t.sprayPath(src, dst, rng, path)
 	}
 	k := g.Radix()
 	dims := g.Dims()
@@ -82,7 +95,6 @@ func (t *Table) wlbPath(src, dst topology.NodeID, rng *rand.Rand) []topology.Lin
 		}
 	}
 	coord := g.Coord(src)
-	var path []topology.LinkID
 	for {
 		active := 0
 		for d := 0; d < dims; d++ {

@@ -12,44 +12,60 @@
 package sim
 
 import (
-	"container/heap"
-
 	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
 )
 
-// event is one scheduled callback.
+// eventKind discriminates the typed event records of the hot path. The
+// per-packet events (transmit completion, arrival, pacing) carry their
+// receiver and packet as plain struct fields and are dispatched through a
+// switch, so scheduling them allocates nothing; rare control-plane events
+// (recomputation ticks, failure detection, drop notifications) still use
+// evFunc closures.
+type eventKind uint8
+
+const (
+	evFunc   eventKind = iota // generic callback (cold path)
+	evTxDone                  // a port finished serialising pkt
+	evArrive                  // pkt reaches node after propagation
+	evSend                    // R2C2 token-bucket pacing: transmit sf's next packet
+	evRTO    eventKind = 4    // R2C2 reliability retransmission timeout (u64 = timer generation)
+	evTCPRTO eventKind = 5    // TCP retransmission timeout (u64 = timer generation)
+)
+
+// event is one scheduled typed record. Only the fields its kind names are
+// meaningful; events are stored by value in the engine's heap, so pushing
+// one never boxes through an interface or captures a closure.
 type event struct {
 	at  simtime.Time
 	seq uint64 // FIFO tie-break for equal timestamps: determinism
-	fn  func()
-}
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	kind eventKind
+	node topology.NodeID // evArrive: receiving node
+	u64  uint64          // evRTO/evTCPRTO: timer generation
+	pkt  *Packet         // evTxDone, evArrive
+	port *port           // evTxDone
+	rn   *r2c2Node       // evSend, evRTO
+	sf   *senderFlow     // evSend, evRTO
+	ts   *tcpSender      // evTCPRTO
+	fn   func()          // evFunc
 }
 
 // Engine is a deterministic discrete-event scheduler with a picosecond
-// clock. The zero value is ready to use.
+// clock. The zero value is ready to use. Events live in an in-package
+// value heap (no container/heap interface boxing); typed events dispatch
+// through receivers registered by NewNetwork / NewR2C2 / NewTCP.
 type Engine struct {
 	now    simtime.Time
 	nextID uint64
-	events eventHeap
+	events []event // binary min-heap by (at, seq)
 	count  uint64
+
+	// Typed-event receivers, registered at construction time by the
+	// same-package wiring (one Network and at most one transport per run).
+	net *Network
+	r2  *R2C2
+	tcp *TCP
 }
 
 // Now returns the current simulated time.
@@ -61,11 +77,7 @@ func (e *Engine) Processed() uint64 { return e.count }
 // Schedule runs fn at the given absolute time. Scheduling in the past
 // panics: it would silently corrupt causality.
 func (e *Engine) Schedule(at simtime.Time, fn func()) {
-	if at < e.now {
-		panic("sim: event scheduled in the past")
-	}
-	heap.Push(&e.events, event{at: at, seq: e.nextID, fn: fn})
-	e.nextID++
+	e.schedule(at, event{kind: evFunc, fn: fn})
 }
 
 // After schedules fn delay from now.
@@ -73,22 +85,103 @@ func (e *Engine) After(delay simtime.Time, fn func()) {
 	e.Schedule(e.now+delay, fn)
 }
 
+// schedule pushes a typed event record at an absolute time.
+func (e *Engine) schedule(at simtime.Time, ev event) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev.at = at
+	ev.seq = e.nextID
+	e.nextID++
+	e.push(ev)
+}
+
+// after pushes a typed event record delay from now.
+func (e *Engine) after(delay simtime.Time, ev event) {
+	e.schedule(e.now+delay, ev)
+}
+
+// less orders the heap by timestamp, then insertion sequence (FIFO among
+// equal-timestamp events: determinism).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap by sifting it up.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. The vacated slot is zeroed so
+// the heap does not retain packets or closures past their dispatch.
+func (e *Engine) pop() event {
+	top := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{}
+	e.events = e.events[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && e.less(l, min) {
+			min = l
+		}
+		if r < n && e.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		e.events[i], e.events[min] = e.events[min], e.events[i]
+		i = min
+	}
+}
+
 // Run processes events until the queue is empty or the clock passes until.
-// It returns the number of events processed by this call.
+// An event scheduled exactly at until still fires; if the queue drains
+// early the clock is advanced to until. It returns the number of events
+// processed by this call.
 func (e *Engine) Run(until simtime.Time) uint64 {
 	start := e.count
 	for len(e.events) > 0 {
 		if e.events[0].at > until {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.pop()
 		if invariantsEnabled {
 			assertInvariant(ev.at >= e.now,
 				"stale event pop: event at %v behind clock %v (clock must never go backwards)", ev.at, e.now)
 		}
 		e.now = ev.at
 		e.count++
-		ev.fn()
+		switch ev.kind {
+		case evFunc:
+			ev.fn()
+		case evTxDone:
+			e.net.transmitDone(ev.port, ev.pkt)
+		case evArrive:
+			e.net.arrive(ev.node, ev.pkt)
+		case evSend:
+			e.r2.sendNext(ev.rn, ev.sf)
+		case evRTO:
+			e.r2.onRTO(ev.rn, ev.sf, ev.u64)
+		case evTCPRTO:
+			e.tcp.onRTO(ev.ts, ev.u64)
+		}
 	}
 	if e.now < until {
 		e.now = until

@@ -94,6 +94,52 @@ func TestEnginePastSchedulingPanics(t *testing.T) {
 	eng.Run(10)
 }
 
+func TestEngineEventExactlyAtHorizon(t *testing.T) {
+	var eng Engine
+	ran := false
+	eng.Schedule(50, func() { ran = true })
+	eng.Run(50)
+	if !ran {
+		t.Fatal("event scheduled exactly at `until` must fire")
+	}
+	if eng.Now() != 50 {
+		t.Fatalf("now = %v, want 50", eng.Now())
+	}
+}
+
+// TestEngineHeapStress pushes events with colliding pseudo-random
+// timestamps through the value heap and checks the full pop order:
+// ascending time, FIFO among equal timestamps. This is the property the
+// hand-rolled heap must preserve from the container/heap version.
+func TestEngineHeapStress(t *testing.T) {
+	var eng Engine
+	const n = 2000
+	type stamp struct {
+		at  simtime.Time
+		seq int
+	}
+	var got []stamp
+	state := uint64(42)
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407 // LCG: deterministic
+		at := simtime.Time(state % 97)                          // heavy collisions
+		seq := i
+		eng.Schedule(at, func() { got = append(got, stamp{at, seq}) })
+	}
+	if eng.Run(1000) != n {
+		t.Fatal("event count mismatch")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("pop %d: time went backwards (%v after %v)", i, got[i].at, got[i-1].at)
+		}
+		if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+			t.Fatalf("pop %d: FIFO violated at t=%v (seq %d after %d)",
+				i, got[i].at, got[i].seq, got[i-1].seq)
+		}
+	}
+}
+
 func TestEngineProcessedCount(t *testing.T) {
 	var eng Engine
 	for i := 0; i < 7; i++ {

@@ -37,9 +37,11 @@ func (r *FlowRecord) Throughput() float64 {
 	return float64(r.SizeBytes*8) / (r.Finished - r.Started).Seconds()
 }
 
-// flowLedger indexes FlowRecords by ID.
+// flowLedger indexes FlowRecords by ID. order preserves creation order so
+// results assembly is deterministic (map iteration is not).
 type flowLedger struct {
 	records map[wire.FlowID]*FlowRecord
+	order   []*FlowRecord
 }
 
 func newFlowLedger() *flowLedger {
@@ -49,6 +51,7 @@ func newFlowLedger() *flowLedger {
 func (l *flowLedger) open(id wire.FlowID, src, dst topology.NodeID, size int64, at simtime.Time) *FlowRecord {
 	r := &FlowRecord{ID: id, Src: src, Dst: dst, SizeBytes: size, Started: at}
 	l.records[id] = r
+	l.order = append(l.order, r)
 	return r
 }
 

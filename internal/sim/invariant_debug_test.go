@@ -25,6 +25,27 @@ func TestAssertInvariantPanics(t *testing.T) {
 	assertInvariant(false, "rate %d", 7)
 }
 
+// TestPacketDoubleFreePanics checks the pool's use-after-free tripwire:
+// releasing a packet that is already on the free list must panic under the
+// debug build instead of silently corrupting the pool.
+func TestPacketDoubleFreePanics(t *testing.T) {
+	g := torus(t, 3, 3)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	pkt := net.newPacket()
+	net.freePacket(pkt)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double-free did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "double-free") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	net.freePacket(pkt)
+}
+
 // TestInvariantsHoldOnSmallRun drives a complete R2C2 simulation with the
 // debug assertions armed: any stale event pop or over-capacity pacing rate
 // panics the test.

@@ -30,6 +30,11 @@ const (
 // Packet is a simulated packet. Data and ack packets carry their full
 // source route; broadcast packets carry the event payload and are forwarded
 // via the broadcast FIB.
+//
+// Packets are recycled through the owning Network's per-run free list:
+// Inject and InjectBroadcast consume the packet, and the Network releases
+// it back to the pool when it is delivered or dropped. Callers must not
+// retain or reuse a packet after handing it to the Network.
 type Packet struct {
 	Kind      PacketKind
 	SizeBytes int // on-wire bytes
@@ -38,7 +43,7 @@ type Packet struct {
 	Seq       uint32 // packet index within the flow (data/ack)
 	Payload   int    // payload bytes carried (data)
 
-	Path []topology.LinkID // source route (data/ack)
+	Path []topology.LinkID // source route (data/ack); read-only once injected
 	Hop  int               // index of the next link in Path
 
 	Bcast *wire.Broadcast // event payload (broadcast)
@@ -47,6 +52,16 @@ type Packet struct {
 	// after a drop (§3.2: the dropping node informs the origin, which
 	// retransmits).
 	Retries uint8
+
+	// pathOwned marks Path's backing array as this packet's private
+	// sampling scratch, which the pool may recycle. Interned per-flow
+	// routes are shared by reference across packets and must never be
+	// recycled, so they leave this false.
+	pathOwned bool
+	// pooled is the use-after-free debug tag: true only while the packet
+	// sits in the free list. Hot-path touches assert it is false when
+	// invariantsEnabled (-tags debug).
+	pooled bool
 }
 
 // NetConfig describes the fabric the simulator models.
@@ -157,12 +172,57 @@ type Network struct {
 	// BcastBytesOnWire accumulates broadcast bytes across all link
 	// traversals — the §3.2 / Figure 9 overhead metric.
 	BcastBytesOnWire uint64
+
+	// free is the per-run packet free list: delivered and dropped packets
+	// are recycled instead of garbage-collected, keeping the steady-state
+	// data path allocation-free.
+	free []*Packet
 }
 
-// NewNetwork builds the fabric simulator.
+// newPacket takes a zeroed packet from the free list (or allocates one).
+// A recycled packet keeps its private path scratch buffer, truncated to
+// length zero, so route sampling reuses its capacity.
+func (n *Network) newPacket() *Packet {
+	if k := len(n.free) - 1; k >= 0 {
+		p := n.free[k]
+		n.free[k] = nil
+		n.free = n.free[:k]
+		if invariantsEnabled {
+			assertInvariant(p.pooled, "free-list entry not marked pooled")
+		}
+		p.pooled = false
+		return p
+	}
+	return &Packet{}
+}
+
+// freePacket zeroes pkt and returns it to the free list. Shared (interned)
+// routes are detached rather than recycled; owned scratch buffers stay with
+// the packet for the next sampling pass.
+func (n *Network) freePacket(p *Packet) {
+	if invariantsEnabled {
+		assertInvariant(!p.pooled, "packet double-free/use-after-free: kind %d flow %v seq %d", p.Kind, p.Flow, p.Seq)
+	}
+	scratch := p.Path
+	owned := p.pathOwned
+	*p = Packet{}
+	if owned {
+		p.Path = scratch[:0]
+		p.pathOwned = true
+	}
+	p.pooled = true
+	n.free = append(n.free, p)
+}
+
+// NewNetwork builds the fabric simulator and registers it as the engine's
+// typed-event receiver (one Network per Engine).
 func NewNetwork(g *topology.Graph, eng *Engine, cfg NetConfig) *Network {
 	cfg.defaults()
 	n := &Network{G: g, Eng: eng, Cfg: cfg}
+	if eng.net != nil && eng.net != n {
+		panic("sim: engine already drives another network")
+	}
+	eng.net = n
 	n.ports = make([]*port, g.NumLinks())
 	for lid := 0; lid < g.NumLinks(); lid++ {
 		p := &port{id: topology.LinkID(lid), to: g.Link(topology.LinkID(lid)).To}
@@ -211,6 +271,9 @@ func (n *Network) HasRoom(node topology.NodeID, flow wire.FlowID) bool {
 // It returns false if the packet was dropped at enqueue. In PFQ mode the
 // caller must check HasRoom first; Inject panics otherwise to surface
 // transport bugs.
+//
+// Inject consumes pkt: the Network owns it from here on and recycles it at
+// delivery or drop (on a false return it has already been recycled).
 func (n *Network) Inject(pkt *Packet) bool {
 	if pkt.Kind == KindBroadcast {
 		panic("sim: broadcasts are injected with InjectBroadcast")
@@ -232,12 +295,15 @@ func (n *Network) Inject(pkt *Packet) bool {
 }
 
 // InjectBroadcast delivers a broadcast locally at its origin and forwards
-// copies along the origin's broadcast-tree links.
+// copies along the origin's broadcast-tree links. Like Inject it consumes
+// pkt (the forwarded copies are fresh pool packets sharing the Bcast
+// payload, which is never pooled).
 func (n *Network) InjectBroadcast(origin topology.NodeID, pkt *Packet) {
 	if n.Deliver != nil {
 		n.Deliver(origin, pkt)
 	}
 	n.forwardBroadcast(origin, pkt)
+	n.freePacket(pkt)
 }
 
 func (n *Network) forwardBroadcast(at topology.NodeID, pkt *Packet) {
@@ -245,9 +311,15 @@ func (n *Network) forwardBroadcast(at topology.NodeID, pkt *Packet) {
 		return
 	}
 	for _, lid := range n.NextBroadcastHops(at, pkt) {
-		cp := *pkt
+		cp := n.newPacket()
+		cp.Kind = KindBroadcast
+		cp.SizeBytes = pkt.SizeBytes
+		cp.Flow = pkt.Flow
+		cp.Src = pkt.Src
+		cp.Bcast = pkt.Bcast
+		cp.Retries = pkt.Retries
 		n.BcastBytesOnWire += uint64(pkt.SizeBytes)
-		n.enqueue(at, lid, &cp)
+		n.enqueue(at, lid, cp)
 	}
 }
 
@@ -265,7 +337,7 @@ func (n *Network) FailLink(lid topology.LinkID) {
 		from := n.G.Link(lid).From
 		for fid, q := range p.flowQ {
 			for q.len() > 0 {
-				q.pop()
+				n.freePacket(q.pop())
 				n.buf[from][fid]--
 				lost++
 			}
@@ -274,7 +346,7 @@ func (n *Network) FailLink(lid topology.LinkID) {
 		p.rr = nil
 	} else {
 		for p.fifo.len() > 0 {
-			p.fifo.pop()
+			n.freePacket(p.fifo.pop())
 			lost++
 		}
 	}
@@ -299,6 +371,7 @@ func (n *Network) enqueue(at topology.NodeID, lid topology.LinkID, pkt *Packet) 
 		if n.OnDrop != nil {
 			n.OnDrop(pkt, lid)
 		}
+		n.freePacket(pkt)
 		return false
 	}
 	if p.flowQ != nil {
@@ -320,6 +393,7 @@ func (n *Network) enqueue(at topology.NodeID, lid topology.LinkID, pkt *Packet) 
 			if n.OnDrop != nil {
 				n.OnDrop(pkt, lid)
 			}
+			n.freePacket(pkt)
 			return false
 		}
 		p.fifo.push(pkt)
@@ -350,25 +424,31 @@ func (n *Network) transmit(p *port) {
 		p.busy = false
 		return
 	}
+	if invariantsEnabled {
+		assertInvariant(!pkt.pooled, "transmit of pooled packet: kind %d flow %v seq %d", pkt.Kind, pkt.Flow, pkt.Seq)
+	}
 	p.busy = true
 	p.queued -= pkt.SizeBytes
 	txTime := simtime.TransmitTime(pkt.SizeBytes, n.Cfg.LinkGbps)
-	from := n.G.Link(p.id).From
-	n.Eng.After(txTime, func() {
-		p.stats.SentBytes += uint64(pkt.SizeBytes)
-		if p.flowQ != nil {
-			// Credit released: the packet has left this node.
-			n.buf[from][pkt.Flow]--
-			if n.buf[from][pkt.Flow] == 0 {
-				delete(n.buf[from], pkt.Flow)
-			}
-			n.kickUpstream(from, pkt.Flow)
+	n.Eng.after(txTime, event{kind: evTxDone, port: p, pkt: pkt})
+}
+
+// transmitDone fires when a port finishes serialising pkt: the packet goes
+// onto the wire (arrival after propagation delay) and the port picks its
+// next packet.
+func (n *Network) transmitDone(p *port, pkt *Packet) {
+	p.stats.SentBytes += uint64(pkt.SizeBytes)
+	if p.flowQ != nil {
+		// Credit released: the packet has left this node.
+		from := n.G.Link(p.id).From
+		n.buf[from][pkt.Flow]--
+		if n.buf[from][pkt.Flow] == 0 {
+			delete(n.buf[from], pkt.Flow)
 		}
-		arrive := pkt
-		to := p.to
-		n.Eng.After(n.Cfg.PropDelay, func() { n.arrive(to, arrive) })
-		n.transmit(p)
-	})
+		n.kickUpstream(from, pkt.Flow)
+	}
+	n.Eng.after(n.Cfg.PropDelay, event{kind: evArrive, node: p.to, pkt: pkt})
+	n.transmit(p)
 }
 
 // pfqPick selects the next flow in round-robin order whose head packet can
@@ -421,17 +501,22 @@ func (n *Network) kickUpstream(node topology.NodeID, flow wire.FlowID) {
 // arrive handles a packet reaching `node`: delivery, broadcast fan-out, or
 // forwarding along its source route.
 func (n *Network) arrive(node topology.NodeID, pkt *Packet) {
+	if invariantsEnabled {
+		assertInvariant(!pkt.pooled, "arrival of pooled packet: kind %d flow %v seq %d", pkt.Kind, pkt.Flow, pkt.Seq)
+	}
 	switch pkt.Kind {
 	case KindBroadcast:
 		if n.Deliver != nil {
 			n.Deliver(node, pkt)
 		}
 		n.forwardBroadcast(node, pkt)
+		n.freePacket(pkt)
 	default:
 		if node == pkt.Dst {
 			if n.Deliver != nil {
 				n.Deliver(node, pkt)
 			}
+			n.freePacket(pkt)
 			return
 		}
 		if pkt.Hop >= len(pkt.Path) {

@@ -82,16 +82,16 @@ func (p *PFQ) fill(s *pfqSource) {
 		if s.remaining < payload {
 			payload = s.remaining
 		}
-		pkt := &Packet{
-			Kind:      KindData,
-			SizeBytes: int(payload) + DataHeaderBytes,
-			Flow:      s.id,
-			Src:       s.src,
-			Dst:       s.dst,
-			Seq:       s.seq,
-			Payload:   int(payload),
-			Path:      p.Tab.SamplePath(routing.RPS, s.src, s.dst, p.rng),
-		}
+		pkt := p.Net.newPacket()
+		pkt.Kind = KindData
+		pkt.SizeBytes = int(payload) + DataHeaderBytes
+		pkt.Flow = s.id
+		pkt.Src = s.src
+		pkt.Dst = s.dst
+		pkt.Seq = s.seq
+		pkt.Payload = int(payload)
+		pkt.Path = p.Tab.AppendPath(pkt.Path[:0], routing.RPS, s.src, s.dst, p.rng)
+		pkt.pathOwned = true
 		s.seq++
 		s.remaining -= payload
 		p.Net.Inject(pkt)

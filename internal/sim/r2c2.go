@@ -60,6 +60,11 @@ type R2C2 struct {
 	nodes  []*r2c2Node
 	ledger *flowLedger
 
+	// gen is the route generation: interned per-flow routes and ack paths
+	// tagged with an older generation are recomputed (a reroute swapped in a
+	// new Tab/linkMap underneath them).
+	gen uint64
+
 	// Failure state (§3.2, "Failures"): after detection, Tab/Fib/rc are
 	// rebuilt over the degraded fabric and linkMap translates its link IDs
 	// back to physical ports. nil linkMap means the fabric is intact.
@@ -111,6 +116,13 @@ type senderFlow struct {
 	cumAcked  uint32 // chunks acknowledged in order
 	rtoSeq    uint64 // invalidates stale RTO timers
 	rtoArmed  bool
+
+	// route is the flow's interned source route when its protocol is
+	// deterministic (DOR): computed once, shared by reference across all the
+	// flow's packets. routeGen tags the fabric generation it was computed
+	// under.
+	route    []topology.LinkID
+	routeGen uint64
 }
 
 // chunkPayload returns the payload size of chunk i.
@@ -135,6 +147,14 @@ func (sf *senderFlow) paceRate() float64 {
 type reorderState struct {
 	next uint32          // next in-order packet sequence expected
 	oob  map[uint32]bool // out-of-order packets buffered
+
+	// ackPath is the interned reverse DOR route for reliability acks,
+	// shared by reference across the flow's acks (a private copy, because
+	// translation to physical ports mutates it in place and the Phi cache
+	// it derives from must stay pristine). ackGen tags its fabric
+	// generation.
+	ackPath []topology.LinkID
+	ackGen  uint64
 }
 
 // NewR2C2 wires the transport into a network. It installs the Deliver and
@@ -164,6 +184,7 @@ func NewR2C2(net *Network, tab *routing.Table, cfg R2C2Config) *R2C2 {
 	net.Deliver = r.deliver
 	net.NextBroadcastHops = r.broadcastHops
 	net.OnDrop = r.onDrop
+	net.Eng.r2 = r // typed-event receiver for evSend/evRTO
 	// Arm the periodic recomputation tick.
 	net.Eng.After(cfg.Recompute, r.recomputeTick)
 	return r
@@ -197,14 +218,13 @@ func (r *R2C2) onDrop(pkt *Packet, at topology.LinkID) {
 		node := r.nodes[origin]
 		nb := b
 		nb.Tree = r.pickTree(node)
-		cp := &Packet{
-			Kind:      KindBroadcast,
-			SizeBytes: BroadcastBytes,
-			Flow:      nb.Flow(),
-			Src:       origin,
-			Bcast:     &nb,
-			Retries:   retries,
-		}
+		cp := r.Net.newPacket()
+		cp.Kind = KindBroadcast
+		cp.SizeBytes = BroadcastBytes
+		cp.Flow = nb.Flow()
+		cp.Src = origin
+		cp.Bcast = &nb
+		cp.Retries = retries
 		r.Net.InjectBroadcast(origin, cp)
 	})
 }
@@ -220,6 +240,18 @@ func (r *R2C2) phys(path []topology.LinkID) []topology.LinkID {
 		out[i] = r.linkMap[lid]
 	}
 	return out
+}
+
+// physInPlace is phys overwriting the slice itself: only for buffers the
+// caller owns (a packet's sampling scratch or an interned copy), never for
+// cached Phi or successor paths.
+func (r *R2C2) physInPlace(path []topology.LinkID) {
+	if r.linkMap == nil {
+		return
+	}
+	for i, lid := range path {
+		path[i] = r.linkMap[lid]
+	}
 }
 
 // FailLink fails both directions of the cable between a and b. Packets in
@@ -300,6 +332,7 @@ func (r *R2C2) FailNode(dead topology.NodeID, detection simtime.Time) error {
 // reroute swaps in the degraded fabric and re-announces every live flow.
 func (r *R2C2) reroute(sub *topology.Graph, mapping []topology.LinkID) {
 	r.FailureReroutes++
+	r.gen++ // invalidate interned routes computed over the old fabric
 	r.Tab = routing.NewTable(sub)
 	r.Fib = topology.NewBroadcastFIB(sub, r.Cfg.TreesPerSource, r.Cfg.Seed)
 	r.linkMap = mapping
@@ -416,13 +449,12 @@ func (r *R2C2) pickTree(node *r2c2Node) uint8 {
 
 // broadcast applies an event locally and floods it along the chosen tree.
 func (r *R2C2) broadcast(node *r2c2Node, b *wire.Broadcast) {
-	pkt := &Packet{
-		Kind:      KindBroadcast,
-		SizeBytes: BroadcastBytes,
-		Flow:      b.Flow(),
-		Src:       topology.NodeID(b.Src),
-		Bcast:     b,
-	}
+	pkt := r.Net.newPacket()
+	pkt.Kind = KindBroadcast
+	pkt.SizeBytes = BroadcastBytes
+	pkt.Flow = b.Flow()
+	pkt.Src = topology.NodeID(b.Src)
+	pkt.Bcast = b
 	r.Net.InjectBroadcast(node.id, pkt)
 }
 
@@ -448,7 +480,27 @@ func (r *R2C2) armSender(node *r2c2Node, sf *senderFlow) {
 		return
 	}
 	sf.armed = true
-	r.Net.Eng.After(0, func() { r.sendNext(node, sf) })
+	r.Net.Eng.after(0, event{kind: evSend, rn: node, sf: sf})
+}
+
+// fillPath sets pkt.Path to the flow's source route, already translated to
+// physical ports. Deterministic protocols (DOR) intern the route on the
+// flow and share it by reference; randomised ones sample per packet into
+// the packet's recycled scratch buffer.
+func (r *R2C2) fillPath(pkt *Packet, sf *senderFlow) {
+	if sf.info.Protocol == routing.DOR {
+		if sf.route == nil || sf.routeGen != r.gen {
+			sf.route = r.Tab.AppendPath(nil, routing.DOR, sf.info.Src, sf.info.Dst, r.rng)
+			r.physInPlace(sf.route)
+			sf.routeGen = r.gen
+		}
+		pkt.Path = sf.route
+		pkt.pathOwned = false
+		return
+	}
+	pkt.Path = r.Tab.AppendPath(pkt.Path[:0], sf.info.Protocol, sf.info.Src, sf.info.Dst, r.rng)
+	r.physInPlace(pkt.Path)
+	pkt.pathOwned = true
 }
 
 func (r *R2C2) sendNext(node *r2c2Node, sf *senderFlow) {
@@ -487,17 +539,15 @@ func (r *R2C2) sendNext(node *r2c2Node, sf *senderFlow) {
 		sf.remaining -= payload
 	}
 	size := int(payload) + DataHeaderBytes
-	path := r.phys(r.Tab.SamplePath(sf.info.Protocol, sf.info.Src, sf.info.Dst, r.rng))
-	pkt := &Packet{
-		Kind:      KindData,
-		SizeBytes: size,
-		Flow:      sf.info.ID,
-		Src:       sf.info.Src,
-		Dst:       sf.info.Dst,
-		Seq:       seq,
-		Payload:   int(payload),
-		Path:      path,
-	}
+	pkt := r.Net.newPacket()
+	pkt.Kind = KindData
+	pkt.SizeBytes = size
+	pkt.Flow = sf.info.ID
+	pkt.Src = sf.info.Src
+	pkt.Dst = sf.info.Dst
+	pkt.Seq = seq
+	pkt.Payload = int(payload)
+	r.fillPath(pkt, sf)
 	r.Net.Inject(pkt)
 
 	if r.Cfg.Reliable {
@@ -516,7 +566,7 @@ func (r *R2C2) sendNext(node *r2c2Node, sf *senderFlow) {
 		gap = 1
 	}
 	sf.armed = true
-	r.Net.Eng.After(gap, func() { r.sendNext(node, sf) })
+	r.Net.Eng.after(gap, event{kind: evSend, rn: node, sf: sf})
 }
 
 // finishSender retires a flow at its source and broadcasts the finish.
@@ -534,8 +584,7 @@ func (r *R2C2) armRTO(node *r2c2Node, sf *senderFlow) {
 	}
 	sf.rtoArmed = true
 	sf.rtoSeq++
-	mySeq := sf.rtoSeq
-	r.Net.Eng.After(r.Cfg.RTO, func() { r.onRTO(node, sf, mySeq) })
+	r.Net.Eng.after(r.Cfg.RTO, event{kind: evRTO, rn: node, sf: sf, u64: sf.rtoSeq})
 }
 
 // onRTO pulls the send pointer back to the cumulative-ack point: go-back-N
@@ -649,17 +698,23 @@ func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
 	}
 	if r.Cfg.Reliable {
 		// Cumulative acknowledgement, solely for reliability (§6): routed
-		// minimally and deterministically back to the sender.
-		ackPath := r.phys(r.Tab.Phi(routing.DOR, pkt.Dst, pkt.Src).Links)
-		r.Net.Inject(&Packet{
-			Kind:      KindAck,
-			SizeBytes: AckBytes,
-			Flow:      pkt.Flow,
-			Src:       pkt.Dst,
-			Dst:       pkt.Src,
-			Seq:       rs.next,
-			Path:      append([]topology.LinkID(nil), ackPath...),
-		})
+		// minimally and deterministically back to the sender, along a route
+		// interned once per flow on the receive state.
+		if rs.ackPath == nil || rs.ackGen != r.gen {
+			rs.ackPath = append(rs.ackPath[:0], r.Tab.Phi(routing.DOR, pkt.Dst, pkt.Src).Links...)
+			r.physInPlace(rs.ackPath)
+			rs.ackGen = r.gen
+		}
+		ack := r.Net.newPacket()
+		ack.Kind = KindAck
+		ack.SizeBytes = AckBytes
+		ack.Flow = pkt.Flow
+		ack.Src = pkt.Dst
+		ack.Dst = pkt.Src
+		ack.Seq = rs.next
+		ack.Path = rs.ackPath
+		ack.pathOwned = false
+		r.Net.Inject(ack)
 	}
 }
 

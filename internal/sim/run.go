@@ -8,7 +8,6 @@ import (
 	"r2c2/internal/stats"
 	"r2c2/internal/topology"
 	"r2c2/internal/trafficgen"
-	"r2c2/internal/wire"
 )
 
 // Transport selects which stack a run uses.
@@ -99,13 +98,13 @@ func Run(cfg RunConfig) *Results {
 		maxTime = cfg.Arrivals[len(cfg.Arrivals)-1].At + 100*simtime.Millisecond
 	}
 
-	var ledger map[wire.FlowID]*FlowRecord
+	var ledger *flowLedger
 	var r2c2 *R2C2
 	var tcp *TCP
 	switch cfg.Transport {
 	case TransportR2C2:
 		r2c2 = NewR2C2(net, tab, cfg.R2C2)
-		ledger = r2c2.Ledger()
+		ledger = r2c2.ledger
 		for _, a := range cfg.Arrivals {
 			arr := a
 			eng.Schedule(arr.At, func() {
@@ -114,14 +113,14 @@ func Run(cfg RunConfig) *Results {
 		}
 	case TransportTCP:
 		tcp = NewTCP(net, tab, cfg.TCP)
-		ledger = tcp.Ledger()
+		ledger = tcp.ledger
 		for _, a := range cfg.Arrivals {
 			arr := a
 			eng.Schedule(arr.At, func() { tcp.StartFlow(arr.Src, arr.Dst, arr.SizeBytes) })
 		}
 	case TransportPFQ:
 		pfq := NewPFQ(net, tab, cfg.PFQSeed)
-		ledger = pfq.Ledger()
+		ledger = pfq.ledger
 		for _, a := range cfg.Arrivals {
 			arr := a
 			eng.Schedule(arr.At, func() { pfq.StartFlow(arr.Src, arr.Dst, arr.SizeBytes) })
@@ -143,9 +142,9 @@ func Run(cfg RunConfig) *Results {
 			next = maxTime
 		}
 		eng.Run(next)
-		if len(ledger) == total {
+		if len(ledger.order) == total {
 			done := 0
-			for _, rec := range ledger {
+			for _, rec := range ledger.order {
 				if rec.Done {
 					done++
 				}
@@ -159,8 +158,10 @@ func Run(cfg RunConfig) *Results {
 		}
 	}
 
+	// Iterate in flow-creation order: Results (FCT sample order included)
+	// must be identical across runs of the same configuration.
 	res := &Results{Transport: cfg.Transport, EndTime: eng.Now(), Events: eng.Processed()}
-	for _, rec := range ledger {
+	for _, rec := range ledger.order {
 		res.Flows = append(res.Flows, rec)
 		if !rec.Done {
 			res.Incomplete++

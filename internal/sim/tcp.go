@@ -86,6 +86,7 @@ func NewTCP(net *Network, tab *routing.Table, cfg TCPConfig) *TCP {
 		nextSeq: make(map[topology.NodeID]uint16),
 	}
 	net.Deliver = t.deliver
+	net.Eng.tcp = t // typed-event receiver for evTCPRTO
 	return t
 }
 
@@ -137,17 +138,17 @@ func (t *TCP) sendPacket(s *tcpSender, seq uint32, retx bool) {
 	if seq == s.totalPkts-1 {
 		payload = s.lastSize
 	}
-	pkt := &Packet{
-		Kind:      KindData,
-		SizeBytes: payload + DataHeaderBytes,
-		Flow:      s.id,
-		Src:       s.src,
-		Dst:       s.dst,
-		Seq:       seq,
-		Payload:   payload,
-		Path:      append([]topology.LinkID(nil), s.path...),
-		Retx:      retx,
-	}
+	pkt := t.Net.newPacket()
+	pkt.Kind = KindData
+	pkt.SizeBytes = payload + DataHeaderBytes
+	pkt.Flow = s.id
+	pkt.Src = s.src
+	pkt.Dst = s.dst
+	pkt.Seq = seq
+	pkt.Payload = payload
+	pkt.Path = s.path // per-flow ECMP route, shared by reference
+	pkt.pathOwned = false
+	pkt.Retx = retx
 	if retx {
 		t.Retransmissions++
 	}
@@ -161,12 +162,11 @@ func (t *TCP) armRTO(s *tcpSender) {
 	}
 	s.rtoArmed = true
 	s.rtoSeq++
-	mySeq := s.rtoSeq
 	rto := 4 * s.srtt
 	if rto < t.Cfg.MinRTO {
 		rto = t.Cfg.MinRTO
 	}
-	t.Net.Eng.After(rto, func() { t.onRTO(s, mySeq) })
+	t.Net.Eng.after(rto, event{kind: evTCPRTO, ts: s, u64: s.rtoSeq})
 }
 
 func (t *TCP) onRTO(s *tcpSender, seq uint64) {
@@ -218,15 +218,15 @@ func (t *TCP) receiveData(at topology.NodeID, pkt *Packet) {
 	}
 	// Cumulative ack (per packet, 16 bytes on the wire).
 	s := t.senders[pkt.Flow]
-	ack := &Packet{
-		Kind:      KindAck,
-		SizeBytes: AckBytes,
-		Flow:      pkt.Flow,
-		Src:       pkt.Dst,
-		Dst:       pkt.Src,
-		Seq:       r.next,
-		Path:      append([]topology.LinkID(nil), s.ackPath...),
-	}
+	ack := t.Net.newPacket()
+	ack.Kind = KindAck
+	ack.SizeBytes = AckBytes
+	ack.Flow = pkt.Flow
+	ack.Src = pkt.Dst
+	ack.Dst = pkt.Src
+	ack.Seq = r.next
+	ack.Path = s.ackPath // per-flow reverse route, shared by reference
+	ack.pathOwned = false
 	t.Net.Inject(ack)
 	if !rec.Done && rec.BytesRcvd >= rec.SizeBytes {
 		rec.Done = true
