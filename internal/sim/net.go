@@ -53,11 +53,11 @@ type Packet struct {
 	// retransmits).
 	Retries uint8
 
-	// pathOwned marks Path's backing array as this packet's private
-	// sampling scratch, which the pool may recycle. Interned per-flow
-	// routes are shared by reference across packets and must never be
-	// recycled, so they leave this false.
-	pathOwned bool
+	// scratch is the packet's private route-sampling buffer, recycled with
+	// the packet. Randomised protocols sample into it and point Path at it;
+	// interned per-flow routes set Path directly, leaving scratch parked so
+	// its capacity survives runs that mix sampled and interned routes.
+	scratch []topology.LinkID
 	// pooled is the use-after-free debug tag: true only while the packet
 	// sits in the free list. Hot-path touches assert it is false when
 	// invariantsEnabled (-tags debug).
@@ -180,8 +180,8 @@ type Network struct {
 }
 
 // newPacket takes a zeroed packet from the free list (or allocates one).
-// A recycled packet keeps its private path scratch buffer, truncated to
-// length zero, so route sampling reuses its capacity.
+// A recycled packet keeps its private scratch buffer, truncated to length
+// zero, so route sampling reuses its capacity.
 func (n *Network) newPacket() *Packet {
 	if k := len(n.free) - 1; k >= 0 {
 		p := n.free[k]
@@ -196,20 +196,16 @@ func (n *Network) newPacket() *Packet {
 	return &Packet{}
 }
 
-// freePacket zeroes pkt and returns it to the free list. Shared (interned)
-// routes are detached rather than recycled; owned scratch buffers stay with
-// the packet for the next sampling pass.
+// freePacket zeroes pkt and returns it to the free list. Path is detached
+// (shared interned routes must never be recycled); the scratch buffer stays
+// with the packet for the next sampling pass.
 func (n *Network) freePacket(p *Packet) {
 	if invariantsEnabled {
 		assertInvariant(!p.pooled, "packet double-free/use-after-free: kind %d flow %v seq %d", p.Kind, p.Flow, p.Seq)
 	}
-	scratch := p.Path
-	owned := p.pathOwned
+	scratch := p.scratch
 	*p = Packet{}
-	if owned {
-		p.Path = scratch[:0]
-		p.pathOwned = true
-	}
+	p.scratch = scratch[:0]
 	p.pooled = true
 	n.free = append(n.free, p)
 }

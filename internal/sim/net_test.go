@@ -156,6 +156,67 @@ func TestInjectValidation(t *testing.T) {
 	})
 }
 
+// A recycled packet's sampling scratch must survive carrying an interned
+// (shared) route: runs mixing sampled and interned traffic — reliable R2C2
+// with RPS data and DOR acks — would otherwise bleed pooled capacity.
+func TestPoolScratchSurvivesInternedRoutes(t *testing.T) {
+	g := torus(t, 4, 1)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{})
+	tab := routing.NewTable(g)
+
+	// A sampling pass grows the packet's scratch buffer.
+	p := net.newPacket()
+	p.scratch = append(p.scratch[:0], tab.Phi(routing.DOR, 0, 2).Links...)
+	p.Path = p.scratch
+	cap0 := cap(p.scratch)
+	if cap0 == 0 {
+		t.Fatal("sampling left no scratch capacity")
+	}
+	net.freePacket(p)
+
+	// The recycled packet carries an interned route instead...
+	p = net.newPacket()
+	if cap(p.scratch) != cap0 {
+		t.Fatalf("recycled packet lost scratch: cap %d, want %d", cap(p.scratch), cap0)
+	}
+	p.Path = tab.Phi(routing.DOR, 0, 2).Links
+	net.freePacket(p)
+
+	// ...and the scratch must still be there for the next sampling pass,
+	// with the shared route detached, not recycled.
+	p = net.newPacket()
+	if cap(p.scratch) != cap0 {
+		t.Fatalf("interned route discarded the scratch buffer: cap %d, want %d", cap(p.scratch), cap0)
+	}
+	if p.Path != nil {
+		t.Fatal("recycled packet still references a shared route")
+	}
+	net.freePacket(p)
+}
+
+// Wiring a second transport of the same kind onto an engine must panic, as
+// NewNetwork does: pending typed events would silently be redirected to the
+// new instance.
+func TestSecondTransportOnEnginePanics(t *testing.T) {
+	g := torus(t, 4, 1)
+	tab := routing.NewTable(g)
+
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{})
+	NewR2C2(net, tab, R2C2Config{})
+	assertPanics(t, "second R2C2 on one engine", func() {
+		NewR2C2(net, tab, R2C2Config{})
+	})
+
+	eng2 := &Engine{}
+	net2 := NewNetwork(g, eng2, NetConfig{})
+	NewTCP(net2, tab, TCPConfig{})
+	assertPanics(t, "second TCP on one engine", func() {
+		NewTCP(net2, tab, TCPConfig{})
+	})
+}
+
 func assertPanics(t *testing.T, name string, f func()) {
 	t.Helper()
 	defer func() {

@@ -90,8 +90,8 @@ func (p *PFQ) fill(s *pfqSource) {
 		pkt.Dst = s.dst
 		pkt.Seq = s.seq
 		pkt.Payload = int(payload)
-		pkt.Path = p.Tab.AppendPath(pkt.Path[:0], routing.RPS, s.src, s.dst, p.rng)
-		pkt.pathOwned = true
+		pkt.scratch = p.Tab.AppendPath(pkt.scratch[:0], routing.RPS, s.src, s.dst, p.rng)
+		pkt.Path = pkt.scratch
 		s.seq++
 		s.remaining -= payload
 		p.Net.Inject(pkt)

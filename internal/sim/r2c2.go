@@ -184,6 +184,9 @@ func NewR2C2(net *Network, tab *routing.Table, cfg R2C2Config) *R2C2 {
 	net.Deliver = r.deliver
 	net.NextBroadcastHops = r.broadcastHops
 	net.OnDrop = r.onDrop
+	if net.Eng.r2 != nil && net.Eng.r2 != r {
+		panic("sim: engine already drives another R2C2 transport")
+	}
 	net.Eng.r2 = r // typed-event receiver for evSend/evRTO
 	// Arm the periodic recomputation tick.
 	net.Eng.After(cfg.Recompute, r.recomputeTick)
@@ -495,12 +498,11 @@ func (r *R2C2) fillPath(pkt *Packet, sf *senderFlow) {
 			sf.routeGen = r.gen
 		}
 		pkt.Path = sf.route
-		pkt.pathOwned = false
 		return
 	}
-	pkt.Path = r.Tab.AppendPath(pkt.Path[:0], sf.info.Protocol, sf.info.Src, sf.info.Dst, r.rng)
-	r.physInPlace(pkt.Path)
-	pkt.pathOwned = true
+	pkt.scratch = r.Tab.AppendPath(pkt.scratch[:0], sf.info.Protocol, sf.info.Src, sf.info.Dst, r.rng)
+	r.physInPlace(pkt.scratch)
+	pkt.Path = pkt.scratch
 }
 
 func (r *R2C2) sendNext(node *r2c2Node, sf *senderFlow) {
@@ -699,9 +701,12 @@ func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
 	if r.Cfg.Reliable {
 		// Cumulative acknowledgement, solely for reliability (§6): routed
 		// minimally and deterministically back to the sender, along a route
-		// interned once per flow on the receive state.
+		// interned once per flow on the receive state. Rebuilds after a
+		// reroute go into a fresh buffer — in-flight acks share the old
+		// backing array by reference and must keep their pre-failure
+		// snapshot (same reason fillPath's DOR branch allocates anew).
 		if rs.ackPath == nil || rs.ackGen != r.gen {
-			rs.ackPath = append(rs.ackPath[:0], r.Tab.Phi(routing.DOR, pkt.Dst, pkt.Src).Links...)
+			rs.ackPath = append([]topology.LinkID(nil), r.Tab.Phi(routing.DOR, pkt.Dst, pkt.Src).Links...)
 			r.physInPlace(rs.ackPath)
 			rs.ackGen = r.gen
 		}
@@ -713,7 +718,6 @@ func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
 		ack.Dst = pkt.Src
 		ack.Seq = rs.next
 		ack.Path = rs.ackPath
-		ack.pathOwned = false
 		r.Net.Inject(ack)
 	}
 }

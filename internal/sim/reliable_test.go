@@ -98,3 +98,41 @@ func TestReliableReceiverCleanup(t *testing.T) {
 		t.Fatalf("receiver retains %d flow states after finish broadcast", got)
 	}
 }
+
+// After a reroute bumps the fabric generation, the interned reliability ack
+// route must be rebuilt into a fresh buffer: acks already in flight share
+// the old backing array by reference, and an in-place rebuild would rewrite
+// their remaining hops to new-fabric link IDs mid-flight.
+func TestReliableAckRebuildPreservesInFlightRoute(t *testing.T) {
+	g := torus(t, 4, 2)
+	_, net, r := newReliableNet(t, g, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	id := r.StartFlow(0, 3, 1<<20, 1, 0)
+
+	deliver := func(seq uint32) {
+		pkt := net.newPacket()
+		pkt.Kind = KindData
+		pkt.SizeBytes = MaxPayload + DataHeaderBytes
+		pkt.Flow = id
+		pkt.Src = 0
+		pkt.Dst = 3
+		pkt.Seq = seq
+		pkt.Payload = MaxPayload
+		r.receiveData(3, pkt)
+		net.freePacket(pkt)
+	}
+	deliver(0) // interns the ack route on the receive state
+	rs := r.nodes[3].recv[id]
+	inFlight := rs.ackPath // what an in-flight ack references
+	snapshot := append([]topology.LinkID(nil), inFlight...)
+
+	r.gen++ // as reroute() does after a fabric failure
+	deliver(1)
+	if &rs.ackPath[0] == &inFlight[0] {
+		t.Fatal("ack route rebuilt in place: in-flight acks see the new fabric's links")
+	}
+	for i, lid := range inFlight {
+		if lid != snapshot[i] {
+			t.Fatalf("in-flight ack route mutated at hop %d: %v, want %v", i, lid, snapshot[i])
+		}
+	}
+}

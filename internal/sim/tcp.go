@@ -86,6 +86,9 @@ func NewTCP(net *Network, tab *routing.Table, cfg TCPConfig) *TCP {
 		nextSeq: make(map[topology.NodeID]uint16),
 	}
 	net.Deliver = t.deliver
+	if net.Eng.tcp != nil && net.Eng.tcp != t {
+		panic("sim: engine already drives another TCP transport")
+	}
 	net.Eng.tcp = t // typed-event receiver for evTCPRTO
 	return t
 }
@@ -147,7 +150,6 @@ func (t *TCP) sendPacket(s *tcpSender, seq uint32, retx bool) {
 	pkt.Seq = seq
 	pkt.Payload = payload
 	pkt.Path = s.path // per-flow ECMP route, shared by reference
-	pkt.pathOwned = false
 	pkt.Retx = retx
 	if retx {
 		t.Retransmissions++
@@ -226,7 +228,6 @@ func (t *TCP) receiveData(at topology.NodeID, pkt *Packet) {
 	ack.Dst = pkt.Src
 	ack.Seq = r.next
 	ack.Path = s.ackPath // per-flow reverse route, shared by reference
-	ack.pathOwned = false
 	t.Net.Inject(ack)
 	if !rec.Done && rec.BytesRcvd >= rec.SizeBytes {
 		rec.Done = true
