@@ -7,7 +7,9 @@ BENCH_REPORT ?= BENCH_sim.json
 # experiments, not code paths.
 MICROBENCH = ^(BenchmarkSimulatorEventThroughput|BenchmarkWaterfillAllocate|BenchmarkIncrementalChurn|BenchmarkEmuDataPath|BenchmarkPhiRPS512|BenchmarkBroadcastEncodeDecode)$$
 
-.PHONY: build test race race-short debug lint fuzz vet bench-smoke bench-json verify
+FAULTS_REPORT ?= faultsweep.csv
+
+.PHONY: build test race race-short debug lint fuzz vet bench-smoke bench-json faults-smoke verify
 
 build:
 	$(GO) build ./...
@@ -61,5 +63,15 @@ bench-json:
 	@rm -f $(BENCH_REPORT).txt
 	@echo "bench-json: wrote $(BENCH_REPORT)"
 
-verify: build vet lint test race debug bench-smoke
+# Sim-vs-emu fault-injection cross-validation on a seeded schedule (link
+# flaps + a node crash, DESIGN.md §10). The CSV comparing completed-flow
+# counts and FCT percentiles goes to $(FAULTS_REPORT); CI uploads it as an
+# artifact.
+faults-smoke:
+	@$(GO) run ./cmd/r2c2-emu -faults gen:7 -flows 20 -bytes 262144 -interval 3ms -csv > $(FAULTS_REPORT) \
+		|| { cat $(FAULTS_REPORT); rm -f $(FAULTS_REPORT); exit 1; }
+	@cat $(FAULTS_REPORT)
+	@echo "faults-smoke: wrote $(FAULTS_REPORT)"
+
+verify: build vet lint test race debug bench-smoke faults-smoke
 	@echo verify: OK

@@ -28,3 +28,20 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// TestRunFaults cross-validates a tiny fault schedule on both backends.
+func TestRunFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulator runs in wall-clock time")
+	}
+	var out bytes.Buffer
+	args := []string{"-faults", "gen:7", "-flows", "12", "-bytes", "131072", "-interval", "3ms"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"schedule:", "reroutes", "expected reroute waves"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -8,6 +8,8 @@
 //	r2c2-sim -fig10 -k 8 -dims 3 -flows 20000   # paper scale
 //	r2c2-sim -fig12 -k 4 -dims 3 -flows 2000    # reduced sweep
 //	r2c2-sim -fig17
+//	r2c2-sim -faults gen:7                      # seeded fault schedule
+//	r2c2-sim -faults 'down@10ms:0-1/2ms;crash@40ms:5/2ms'
 package main
 
 import (
@@ -15,9 +17,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"r2c2/internal/experiments"
 	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
 )
 
 func main() {
@@ -42,9 +46,13 @@ func run(args []string, stdout io.Writer) error {
 		reliable = fs.Bool("reliable", false, "enable the §6 reliability extension for the R2C2 runs")
 		parallel = fs.Int("parallel", 0, "worker count for independent sweep runs (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 		csv      = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		faultArg = fs.String("faults", "", "fault schedule: gen:<seed>, DSL (down@10ms:0-1/2ms;...) or JSON; runs the fault sweep on a 2D torus instead of the figures")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *faultArg != "" {
+		return runFaults(stdout, *faultArg, *k, *seed, *csv)
 	}
 	if !*fig10 && !*fig12 && !*fig17 {
 		*fig10, *fig12, *fig17 = true, true, true
@@ -83,6 +91,32 @@ func run(args []string, stdout io.Writer) error {
 		res := experiments.Fig17(s, tau, []float64{0, 0.01, 0.05, 0.10, 0.20})
 		render(stdout, res.Table(), *csv)
 	}
+	return nil
+}
+
+// runFaults replays a fault schedule on the packet-level simulator (the
+// deterministic half of the sim/emu fault cross-validation; r2c2-emu
+// -faults runs both sides).
+func runFaults(stdout io.Writer, arg string, k int, seed int64, csv bool) error {
+	cfg := experiments.DefaultFaultSweep()
+	cfg.K, cfg.Seed = k, seed
+	g, err := topology.NewTorus(cfg.K, 2)
+	if err != nil {
+		return err
+	}
+	horizon := cfg.MeanInterval * time.Duration(cfg.Flows)
+	sched, err := experiments.ScheduleArg(g, arg, horizon)
+	if err != nil {
+		return err
+	}
+	cfg.Schedule = sched
+	fmt.Fprintf(stdout, "fault sweep: %dx%d 2D torus, %d x %d-byte flows, schedule %s\n\n",
+		cfg.K, cfg.K, cfg.Flows, cfg.FlowBytes, sched)
+	st, err := experiments.FaultSweepSim(cfg)
+	if err != nil {
+		return err
+	}
+	render(stdout, st.SimTable(sched), csv)
 	return nil
 }
 

@@ -26,3 +26,24 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// TestRunFaults replays a tiny explicit schedule through the fault sweep;
+// deterministic, so exact structure is asserted.
+func TestRunFaults(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-faults", "down@10ms:0-1/2ms;crash@40ms:5/2ms", "-csv"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"completed,", "reroutes,2", "expected waves,2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFaultsBadSchedule(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-faults", "down@10ms:0-99/2ms"}, &out); err == nil {
+		t.Fatal("schedule with out-of-range node accepted")
+	}
+}

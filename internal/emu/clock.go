@@ -60,10 +60,12 @@ func (c rackClock) newTicker(d time.Duration) *time.Ticker {
 	return time.NewTicker(d)
 }
 
-// hostAfter is the one clock primitive not tied to a rack: Flow.Wait
+// hostTimer is the one clock primitive not tied to a rack: Flow.Wait
 // offers its caller a host-time timeout on a flow that may belong to an
-// already-stopped rack.
-func hostAfter(d time.Duration) <-chan time.Time {
+// already-stopped rack. It returns a Timer (not a bare channel) so the
+// caller can Stop it when the flow wins the race — time.After would leak
+// the timer until it fires.
+func hostTimer(d time.Duration) *time.Timer {
 	//lint:ignore no-wallclock caller-facing timeout in host time; not a measurement
-	return time.After(d)
+	return time.NewTimer(d)
 }

@@ -25,6 +25,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -90,8 +91,11 @@ func (c *Config) defaults() {
 type Rack struct {
 	cfg Config
 	clk rackClock
+	// tab is the routing table of the PHYSICAL graph. It never changes:
+	// data packets carry port indices into the physical graph's out-lists,
+	// so route encoding always goes through it. Path *selection* uses the
+	// current fabric's table (see fabricState).
 	tab *routing.Table
-	fib *topology.BroadcastFIB
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -104,6 +108,59 @@ type Rack struct {
 	flows   map[wire.FlowID]*Flow
 
 	drops atomic.Uint64
+
+	// fabric is the routing state every data-plane goroutine reads: swapped
+	// atomically by swapFabric after a fault's detection delay, exactly like
+	// the simulator's Tab/Fib/linkMap swap (sim/emu parity contract).
+	fabric atomic.Pointer[fabricState]
+
+	// Fault-injection state. Lock order: faultMu before any emuNode.mu,
+	// never the reverse.
+	faultMu     sync.Mutex
+	failedLinks map[topology.LinkID]bool
+	deadNodes   map[topology.NodeID]bool
+	faultSeq    uint64 // fault injections (guarded by faultMu)
+	coveredSeq  uint64 // injections already covered by a fabric swap
+	reroutes    atomic.Uint64
+	faultErrs   atomic.Uint64
+
+	// Random-loss RNG shared by all lossy ports (only taken on ports with a
+	// drop probability installed).
+	lossMu  sync.Mutex
+	lossRng *rand.Rand
+}
+
+// fabricState is the routing state of one fabric generation: the table and
+// broadcast FIB built over the (possibly degraded) graph, the mapping from
+// its link IDs back to physical ports, and the set of crashed nodes.
+type fabricState struct {
+	tab     *routing.Table
+	fib     *topology.BroadcastFIB
+	linkMap []topology.LinkID // nil while the fabric is intact
+	dead    map[topology.NodeID]bool
+}
+
+// phys translates a path of fabric link IDs to physical link IDs, copying
+// when a translation is needed (FIB/Phi caches must stay pristine).
+func (st *fabricState) phys(path []topology.LinkID) []topology.LinkID {
+	if st.linkMap == nil {
+		return path
+	}
+	out := make([]topology.LinkID, len(path))
+	for i, lid := range path {
+		out[i] = st.linkMap[lid]
+	}
+	return out
+}
+
+// physInPlace is phys overwriting a buffer the caller owns.
+func (st *fabricState) physInPlace(path []topology.LinkID) {
+	if st.linkMap == nil {
+		return
+	}
+	for i, lid := range path {
+		path[i] = st.linkMap[lid]
+	}
 }
 
 type emuPort struct {
@@ -112,7 +169,15 @@ type emuPort struct {
 	maxSeen  atomic.Int64 // max queued bytes observed
 	sent     atomic.Uint64
 	enqueued atomic.Uint64
+	// dead marks a failed link: enqueues are dropped and the linkLoop
+	// discards anything already queued (queued packets on dead ports are
+	// lost, matching sim.Network.FailLink).
+	dead atomic.Bool
+	// dropBits is math.Float64bits of the random-drop probability.
+	dropBits atomic.Uint64
 }
+
+func (p *emuPort) dropProb() float64 { return math.Float64frombits(p.dropBits.Load()) }
 
 type emuNode struct {
 	id topology.NodeID
@@ -137,6 +202,10 @@ type Flow struct {
 	finished  atomic.Int64 // rack-clock nanos; 0 while incomplete
 	done      chan struct{}
 	doneOnce  sync.Once
+	// aborted is closed when the flow is abandoned because one of its
+	// endpoints crashed (§3.2): the sender stops and Wait returns an error.
+	aborted   chan struct{}
+	abortOnce sync.Once
 
 	// Host-limited flows (§3.3.2): the application produces bytes at
 	// appRate bits/s; the sender estimates demand from its queue
@@ -161,12 +230,32 @@ func (f *Flow) Rate() float64 { return float64(f.rate.Load()) }
 // Done is closed when the receiver has every byte.
 func (f *Flow) Done() <-chan struct{} { return f.done }
 
-// Wait blocks until the flow completes or the timeout elapses.
+// Abandoned reports whether the flow was given up on because one of its
+// endpoints crashed.
+func (f *Flow) Abandoned() bool {
+	select {
+	case <-f.aborted:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *Flow) abort() { f.abortOnce.Do(func() { close(f.aborted) }) }
+
+// Wait blocks until the flow completes, is abandoned (an endpoint
+// crashed), or the timeout elapses. The timer is stopped on the early
+// returns — time.After would leak one timer per call until expiry.
 func (f *Flow) Wait(timeout time.Duration) error {
+	t := hostTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-f.done:
 		return nil
-	case <-hostAfter(timeout):
+	case <-f.aborted:
+		return fmt.Errorf("emu: flow %v abandoned after an endpoint failure (%d/%d bytes)",
+			f.Info.ID, f.bytesRcvd.Load(), f.SizeBytes)
+	case <-t.C:
 		return fmt.Errorf("emu: flow %v incomplete after %v (%d/%d bytes)",
 			f.Info.ID, timeout, f.bytesRcvd.Load(), f.SizeBytes)
 	}
@@ -208,14 +297,19 @@ func New(cfg Config) (*Rack, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Rack{
-		cfg:    cfg,
-		clk:    newRackClock(),
-		tab:    routing.NewTable(cfg.Graph),
-		fib:    topology.NewBroadcastFIB(cfg.Graph, cfg.TreesPerSource, cfg.Seed),
-		ctx:    ctx,
-		cancel: cancel,
-		flows:  make(map[wire.FlowID]*Flow),
+		cfg:         cfg,
+		clk:         newRackClock(),
+		tab:         routing.NewTable(cfg.Graph),
+		ctx:         ctx,
+		cancel:      cancel,
+		flows:       make(map[wire.FlowID]*Flow),
+		failedLinks: make(map[topology.LinkID]bool),
+		deadNodes:   make(map[topology.NodeID]bool),
 	}
+	r.fabric.Store(&fabricState{
+		tab: r.tab,
+		fib: topology.NewBroadcastFIB(cfg.Graph, cfg.TreesPerSource, cfg.Seed),
+	})
 	r.ports = make([]*emuPort, cfg.Graph.NumLinks())
 	for i := range r.ports {
 		r.ports[i] = &emuPort{ch: make(chan []byte, cfg.QueuePackets)}
@@ -278,6 +372,12 @@ func (r *Rack) linkLoop(lid topology.LinkID) {
 			return
 		case pkt := <-p.ch:
 			p.queued.Add(int64(-len(pkt)))
+			if p.dead.Load() {
+				// Failed link: everything queued at failure time (or racing
+				// the enqueue-side dead check) is lost.
+				r.drops.Add(1)
+				continue
+			}
 			// Token-bucket pacing with bounded catch-up: when the OS timer
 			// overshoots a sleep, the schedule may lag `now` by up to
 			// maxBurst and is repaid by back-to-back sends, keeping the
@@ -302,9 +402,30 @@ func (r *Rack) linkLoop(lid topology.LinkID) {
 	}
 }
 
+// lossy reports whether a packet offered to this port should be lost to
+// fault injection: the link is dead, or a random-drop roll fails.
+func (r *Rack) lossy(p *emuPort) bool {
+	if p.dead.Load() {
+		return true
+	}
+	if prob := p.dropProb(); prob > 0 {
+		r.lossMu.Lock()
+		roll := r.lossRng.Float64()
+		r.lossMu.Unlock()
+		if roll < prob {
+			return true
+		}
+	}
+	return false
+}
+
 // enqueue drops the packet if the port queue is full, mirroring drop-tail.
 func (r *Rack) enqueue(lid topology.LinkID, pkt []byte) bool {
 	p := r.ports[lid]
+	if r.lossy(p) {
+		r.drops.Add(1)
+		return false
+	}
 	select {
 	case p.ch <- pkt:
 		q := p.queued.Add(int64(len(pkt)))
@@ -367,11 +488,17 @@ func (r *Rack) receive(at topology.NodeID, pkt []byte) {
 }
 
 func (r *Rack) forwardBroadcast(at, src topology.NodeID, tree uint8, pkt []byte) {
-	hops, ok := r.fib.NextHops(src, tree, at)
+	st := r.fabric.Load()
+	hops, ok := st.fib.NextHops(src, tree, at)
 	if !ok {
-		panic("emu: broadcast FIB miss")
+		// A fabric swap replaced the FIB underneath an in-flight broadcast:
+		// the new trees need not visit `at`, and a crashed origin has no
+		// trees at all. The flood stops; the post-swap re-announce
+		// resynchronises any views that missed it (sim parity).
+		r.drops.Add(1)
+		return
 	}
-	for _, lid := range hops {
+	for _, lid := range st.phys(hops) {
 		r.enqueue(lid, pkt) // same read-only buffer fans out to all children
 	}
 }
@@ -471,9 +598,19 @@ func (r *Rack) startFlow(src, dst topology.NodeID, size int64, weight, priority 
 	// discovers the application's rate from observed queuing (Eq. 1) and
 	// the sender broadcasts the estimate once it diverges from what the
 	// rack believes.
-	f := &Flow{Info: info, SizeBytes: size, started: r.clk.nowNs(), done: make(chan struct{}), appRate: appRate}
+	f := &Flow{Info: info, SizeBytes: size, started: r.clk.nowNs(), done: make(chan struct{}), aborted: make(chan struct{}), appRate: appRate}
 	f.rate.Store(uint64(r.cfg.LinkMbps * 1e6))
 	f.demandKbps.Store(core.UnlimitedDemand)
+	if st := r.fabric.Load(); st.dead[src] || st.dead[dst] {
+		// Abandoned at birth: a crashed endpoint can neither send nor
+		// receive (sim parity: the ledger records the flow, nothing runs).
+		n.mu.Unlock()
+		f.abort()
+		r.flowsMu.Lock()
+		r.flows[id] = f
+		r.flowsMu.Unlock()
+		return f, nil
+	}
 	n.flows[id] = f
 	n.view.AddFlow(info)
 	tree := n.nextTree
@@ -521,6 +658,9 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 	for remaining > 0 {
 		if r.ctx.Err() != nil {
 			return
+		}
+		if f.Abandoned() {
+			return // endpoint crashed; swapFabric purged the flow from views
 		}
 		if f.appRate > 0 {
 			// The application has produced this many bits so far.
@@ -589,7 +729,16 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 				continue
 			}
 		}
-		path := r.tab.SamplePath(f.Info.Protocol, f.Info.Src, f.Info.Dst, rng)
+		// Sample the path on the CURRENT fabric (reroutes swap it in after
+		// the detection delay), translate to physical link IDs, then encode
+		// port indices against the physical graph — data packets index the
+		// physical out-lists at every hop.
+		st := r.fabric.Load()
+		if st.dead[f.Info.Src] || st.dead[f.Info.Dst] {
+			return // crashed endpoint; the abort lands with the swap
+		}
+		path := st.tab.SamplePath(f.Info.Protocol, f.Info.Src, f.Info.Dst, rng)
+		st.physInPlace(path)
 		ports, err := r.tab.PortRoute(path)
 		if err != nil {
 			panic(err)
@@ -613,20 +762,28 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 		if err != nil {
 			panic(err)
 		}
-		// Blocking send into the first-hop port: NIC back-pressure.
+		// Blocking send into the first-hop port: NIC back-pressure. A dead
+		// or lossy first hop consumes the packet without queueing it (the
+		// NIC "sent" it onto the failed cable), so pacing still advances.
 		p := r.ports[path[0]]
-		select {
-		case p.ch <- buf:
-			q := p.queued.Add(int64(len(buf)))
-			for {
-				max := p.maxSeen.Load()
-				if q <= max || p.maxSeen.CompareAndSwap(max, q) {
-					break
+		if r.lossy(p) {
+			r.drops.Add(1)
+		} else {
+			select {
+			case p.ch <- buf:
+				q := p.queued.Add(int64(len(buf)))
+				for {
+					max := p.maxSeen.Load()
+					if q <= max || p.maxSeen.CompareAndSwap(max, q) {
+						break
+					}
 				}
+				p.enqueued.Add(1)
+			case <-r.ctx.Done():
+				return
+			case <-f.aborted:
+				return
 			}
-			p.enqueued.Add(1)
-		case <-r.ctx.Done():
-			return
 		}
 		seq++
 		remaining -= payload
@@ -646,6 +803,9 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 		}
 	}
 	// Sender done: clear the flow from the local view and broadcast finish.
+	if f.Abandoned() {
+		return // purged by the fabric swap; no finish to announce
+	}
 	n.mu.Lock()
 	delete(n.flows, f.Info.ID)
 	n.view.RemoveFlow(f.Info.ID)

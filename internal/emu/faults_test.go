@@ -1,0 +1,231 @@
+package emu
+
+import (
+	"testing"
+	"time"
+
+	"r2c2/internal/faults"
+	"r2c2/internal/routing"
+	"r2c2/internal/topology"
+)
+
+// waitReroutes polls until the rack has performed at least n fabric swaps.
+func waitReroutes(t *testing.T, r *Rack, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.Reroutes() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("reroutes = %d, want >= %d", r.Reroutes(), n)
+}
+
+func fabricHasCable(r *Rack, a, b topology.NodeID) bool {
+	g := r.fabric.Load().tab.Graph()
+	_, ok := g.LinkBetween(a, b)
+	return ok
+}
+
+// Link failure, reroute, and repair (§3.2 plus its recovery half): after
+// the detection delay the fabric swaps to a degraded graph, flows route
+// around the dead cable and complete; after the repair's detection delay
+// the fabric re-expands and uses the cable again.
+func TestEmuFailAndRepairLink(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 200, Recompute: time.Millisecond, Protocol: routing.RPS})
+	if err := r.FailLink(0, 1, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FailLink(0, 1, time.Millisecond); err == nil {
+		t.Fatal("re-failing a dead cable should error")
+	}
+	waitReroutes(t, r, 1)
+	if fabricHasCable(r, 0, 1) || fabricHasCable(r, 1, 0) {
+		t.Fatal("degraded fabric still contains the failed cable")
+	}
+	ab, _ := r.cfg.Graph.LinkBetween(0, 1)
+	if !r.ports[ab].dead.Load() {
+		t.Fatal("failed port not dark")
+	}
+	// A neighbour flow across the dead cable completes on detour paths.
+	f, err := r.StartFlow(0, 1, 256<<10, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sent := r.ports[ab].sent.Load(); sent != 0 {
+		t.Fatalf("dead cable carried %d bytes", sent)
+	}
+
+	if err := r.RepairLink(0, 1, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RepairLink(0, 1, time.Millisecond); err == nil {
+		t.Fatal("repairing a healthy cable should error")
+	}
+	waitReroutes(t, r, 2)
+	st := r.fabric.Load()
+	if !fabricHasCable(r, 0, 1) {
+		t.Fatal("repaired cable missing from the re-expanded fabric")
+	}
+	if st.linkMap != nil {
+		t.Fatal("fully repaired fabric should drop the link-ID translation")
+	}
+	f2, err := r.StartFlow(0, 1, 256<<10, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Overlapping failures with interleaved detection windows — the emulator
+// side of the sim's headline regression: the later-firing detection must
+// not install a fabric computed before the second failure, and the epoch
+// guard collapses both injections into one swap.
+func TestEmuOverlappingFailures(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 200, Recompute: time.Millisecond, Protocol: routing.RPS})
+	if err := r.FailLink(0, 1, 300*time.Millisecond); err != nil { // slow detection
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := r.FailLink(2, 3, 20*time.Millisecond); err != nil { // fast detection
+		t.Fatal(err)
+	}
+	waitReroutes(t, r, 1)
+	if fabricHasCable(r, 0, 1) || fabricHasCable(r, 2, 3) {
+		t.Fatal("first swap must exclude BOTH failed cables")
+	}
+	time.Sleep(400 * time.Millisecond) // the slow detection window passes
+	if got := r.Reroutes(); got != 1 {
+		t.Fatalf("reroutes = %d, want 1 (stale detection rebuilt the fabric)", got)
+	}
+	if fabricHasCable(r, 0, 1) || fabricHasCable(r, 2, 3) {
+		t.Fatal("stale detection resurrected a failed cable")
+	}
+}
+
+// Node crash: the dead node's flows are abandoned (Wait errors), purged
+// from every surviving view, and a survivor flow completes.
+func TestEmuFailNode(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 200, Recompute: time.Millisecond, Protocol: routing.RPS})
+	fromDead, err := r.StartFlow(5, 10, 64<<20, 1, 0) // far larger than the crash window
+	if err != nil {
+		t.Fatal(err)
+	}
+	toDead, err := r.StartFlow(0, 5, 64<<20, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The survivor must still be running when the swap lands: a flow that
+	// finishes inside the detection window floods its finish broadcast on
+	// the pre-failure trees, where the dark ports eat it — by design, only
+	// ongoing flows are re-announced after a swap (sim behaves the same).
+	survivor, err := r.StartFlow(1, 2, 8<<20, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // views see all three flows
+	if err := r.FailNode(5, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FailNode(5, time.Millisecond); err == nil {
+		t.Fatal("double crash should error")
+	}
+	waitReroutes(t, r, 1)
+	if err := fromDead.Wait(5 * time.Second); err == nil {
+		t.Fatal("flow sourced at the dead node cannot complete")
+	}
+	if !fromDead.Abandoned() || !toDead.Abandoned() {
+		t.Fatal("flows involving the dead node not abandoned")
+	}
+	if err := survivor.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Surviving views drain the dead node's flows (and eventually the
+	// completed survivor too).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		clean := true
+		for n := 0; n < r.cfg.Graph.Nodes(); n++ {
+			if n == 5 {
+				continue
+			}
+			if r.ViewLen(topology.NodeID(n)) != 0 {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for n := 0; n < r.cfg.Graph.Nodes(); n++ {
+		if n != 5 && r.ViewLen(topology.NodeID(n)) != 0 {
+			t.Fatalf("node %d still holds purged flows in its view", n)
+		}
+	}
+}
+
+// Flows started toward a crashed endpoint are abandoned at birth, and a
+// crashed node cannot source new flows.
+func TestEmuAbandonAtBirth(t *testing.T) {
+	r := newRack(t, Config{LinkMbps: 200, Recompute: time.Millisecond, Protocol: routing.RPS})
+	if err := r.FailNode(5, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	waitReroutes(t, r, 1)
+	f, err := r.StartFlow(0, 5, 1<<20, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Abandoned() {
+		t.Fatal("flow to a crashed node not abandoned at birth")
+	}
+	if err := f.Wait(time.Second); err == nil {
+		t.Fatal("Wait on an abandoned flow must error")
+	}
+	if r.ViewLen(0) != 0 {
+		t.Fatal("abandoned-at-birth flow leaked into the source view")
+	}
+}
+
+// A full schedule replayed on the emulator: the swap count matches the
+// schedule's expected wave count and every event injects cleanly.
+func TestEmuApplyFaults(t *testing.T) {
+	g, err := topology.NewTorus(2, 3) // the 8-node rack
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.Generate(g, faults.GenConfig{
+		Seed:    11,
+		Horizon: 80 * time.Millisecond,
+		Flaps:   2,
+		Crash:   true,
+		DownFor: 30 * time.Millisecond,
+		Detect:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRack(t, Config{Graph: g, LinkMbps: 100, Recompute: time.Millisecond, Protocol: routing.RPS})
+	r.ApplyFaults(sched)
+	deadline := time.Now().Add(10 * time.Second)
+	want := uint64(sched.Waves())
+	for time.Now().Before(deadline) && r.Reroutes() < want {
+		time.Sleep(time.Millisecond)
+	}
+	// Give any stale detection timers time to (incorrectly) fire.
+	time.Sleep(100 * time.Millisecond)
+	if got := r.Reroutes(); got != want {
+		t.Fatalf("reroutes = %d, want %d (schedule waves)\nschedule:\n%s", got, want, sched)
+	}
+	if errs := r.FaultErrors(); errs != 0 {
+		t.Fatalf("%d schedule events failed to inject", errs)
+	}
+}

@@ -232,3 +232,151 @@ func TestR2C2SurvivesNodeFailure(t *testing.T) {
 		t.Fatalf("3-ring minus one node should stay connected: %v", err)
 	}
 }
+
+// assertLinkGone fails the test if the transport's current routing table
+// still contains the physical cable a-b (in either direction).
+func assertLinkGone(t *testing.T, r *R2C2, a, b topology.NodeID) {
+	t.Helper()
+	sub := r.Tab.Graph()
+	if _, ok := sub.LinkBetween(a, b); ok {
+		t.Fatalf("routing table resurrects failed link %d->%d", a, b)
+	}
+	if _, ok := sub.LinkBetween(b, a); ok {
+		t.Fatalf("routing table resurrects failed link %d->%d", b, a)
+	}
+}
+
+// Headline regression (overlapping failures with interleaved detection
+// windows): link A fails at t with a LONG detection delay, link B fails at
+// t+10µs with a SHORT one. B's detection fires first and must install a
+// fabric missing BOTH links; A's later-firing detection must not reinstall
+// a snapshot taken before B failed — that would resurrect B in the routing
+// table and send traffic onto a dead port forever.
+func TestOverlappingLinkFailures(t *testing.T) {
+	g := torus(t, 4, 2)
+	if _, ok := g.LinkBetween(2, 3); !ok {
+		t.Fatal("test assumes a 2-3 cable on the 4x2 torus")
+	}
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	r := NewR2C2(net, routing.NewTable(g), R2C2Config{
+		Headroom: 0.05, Protocol: routing.RPS,
+		Recompute: 100 * simtime.Microsecond,
+		Reliable:  true, RTO: 300 * simtime.Microsecond,
+	})
+	// A neighbour flow straddling link B: if B is resurrected, RPS routes
+	// its packets onto the dead port and the flow starves.
+	id := r.StartFlow(2, 3, 8<<20, 1, 0)
+	eng.Run(simtime.Millisecond)
+	if err := r.FailLink(0, 1, 100*simtime.Microsecond); err != nil { // link A, slow detection
+		t.Fatal(err)
+	}
+	eng.Schedule(eng.Now()+10*simtime.Microsecond, func() {
+		if err := r.FailLink(2, 3, 20*simtime.Microsecond); err != nil { // link B, fast detection
+			t.Error(err)
+		}
+	})
+	eng.Run(simtime.Second) // both detection windows long past
+	assertLinkGone(t, r, 0, 1)
+	assertLinkGone(t, r, 2, 3)
+	// B's fire at t+30µs already covered A's injection, so A's fire at
+	// t+100µs must be a no-op: exactly one fabric rebuild.
+	if r.FailureReroutes != 1 {
+		t.Fatalf("reroutes = %d, want 1 (stale callback rebuilt the fabric)", r.FailureReroutes)
+	}
+	if rec := r.Ledger()[id]; !rec.Done {
+		t.Fatalf("flow across the resurrected link starved: %d/%d bytes", rec.BytesRcvd, rec.SizeBytes)
+	}
+}
+
+// Regression: a node crash AFTER an earlier link failure must fold the
+// accumulated failed links into the degraded fabric — WithoutNode(dead)
+// alone would reroute traffic onto the previously failed link.
+func TestLinkThenNodeFailure(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	r := NewR2C2(net, routing.NewTable(g), R2C2Config{
+		Headroom: 0.05, Protocol: routing.RPS,
+		Recompute: 100 * simtime.Microsecond,
+		Reliable:  true, RTO: 300 * simtime.Microsecond,
+	})
+	id := r.StartFlow(0, 1, 8<<20, 1, 0) // straddles the link that dies
+	eng.Run(simtime.Millisecond)
+	if err := r.FailLink(0, 1, 50*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2 * simtime.Millisecond) // first reroute done
+	assertLinkGone(t, r, 0, 1)
+	if err := r.FailNode(5, 50*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(simtime.Second)
+	if r.FailureReroutes != 2 {
+		t.Fatalf("reroutes = %d, want 2", r.FailureReroutes)
+	}
+	// The node-crash reroute must still exclude the earlier link failure.
+	assertLinkGone(t, r, 0, 1)
+	for _, lid := range g.Out(5) {
+		l := g.Link(lid)
+		assertLinkGone(t, r, l.From, l.To)
+	}
+	if rec := r.Ledger()[id]; !rec.Done {
+		t.Fatalf("flow rerouted onto the dead link: %d/%d bytes", rec.BytesRcvd, rec.SizeBytes)
+	}
+}
+
+// RepairLink (§3.2's recovery half): after the repair's detection window
+// the fabric re-expands, the generation bumps, and traffic uses the cable
+// again.
+func TestRepairLinkReexpandsFabric(t *testing.T) {
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	r := NewR2C2(net, routing.NewTable(g), R2C2Config{
+		Headroom: 0.05, Protocol: routing.RPS,
+		Recompute: 100 * simtime.Microsecond,
+		Reliable:  true, RTO: 300 * simtime.Microsecond,
+	})
+	if err := r.RepairLink(0, 1, simtime.Microsecond); err == nil {
+		t.Fatal("repairing a healthy link should error")
+	}
+	if err := r.FailLink(0, 1, 50*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(simtime.Millisecond)
+	assertLinkGone(t, r, 0, 1)
+	if err := r.RepairLink(0, 1, 50*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2 * simtime.Millisecond)
+	if r.FailureReroutes != 2 {
+		t.Fatalf("reroutes = %d, want 2 (repair must rebuild the fabric)", r.FailureReroutes)
+	}
+	if _, ok := r.Tab.Graph().LinkBetween(0, 1); !ok {
+		t.Fatal("repaired link missing from the re-expanded routing table")
+	}
+	if r.linkMap != nil {
+		t.Fatal("fully repaired fabric should drop the link-ID translation")
+	}
+	ab, _ := g.LinkBetween(0, 1)
+	if net.LinkFailed(ab) {
+		t.Fatal("repaired port still dead")
+	}
+	// A neighbour flow 0->1 on the repaired fabric transits the cable.
+	id := r.StartFlow(0, 1, 4<<20, 1, 0)
+	eng.Run(eng.Now() + simtime.Second)
+	if rec := r.Ledger()[id]; !rec.Done {
+		t.Fatalf("post-repair flow incomplete: %d/%d", rec.BytesRcvd, rec.SizeBytes)
+	}
+	if net.PortStats(ab).SentBytes == 0 {
+		t.Fatal("repaired cable carried no traffic")
+	}
+	// A crashed node's cables cannot be repaired while it is down.
+	if err := r.FailNode(10, 50*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RepairLink(10, 11, simtime.Microsecond); err == nil {
+		t.Fatal("repairing a dead node's cable should error")
+	}
+}

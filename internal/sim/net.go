@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"r2c2/internal/simtime"
 	"r2c2/internal/topology"
@@ -74,6 +75,10 @@ type NetConfig struct {
 	// with PFQBufferPackets per flow per node (§5.2's upper-bound baseline).
 	PerFlowQueues    bool
 	PFQBufferPackets int
+	// LossSeed seeds the random-drop RNG used by SetLinkDropProb, keeping
+	// lossy-link runs reproducible. The RNG is only created when a drop
+	// probability is installed, so loss-free runs stay untouched.
+	LossSeed int64
 }
 
 func (c *NetConfig) defaults() {
@@ -177,6 +182,12 @@ type Network struct {
 	// are recycled instead of garbage-collected, keeping the steady-state
 	// data path allocation-free.
 	free []*Packet
+
+	// Random-loss state (fault injection): lossProb[lid] is the probability
+	// a packet enqueued on lid is dropped. nil until SetLinkDropProb is
+	// first called, so intact runs pay nothing.
+	lossProb []float64
+	lossRng  *rand.Rand
 }
 
 // newPacket takes a zeroed packet from the free list (or allocates one).
@@ -351,8 +362,31 @@ func (n *Network) FailLink(lid topology.LinkID) {
 	n.totalDrops += lost
 }
 
+// RepairLink brings a failed directed link back into service: packets
+// routed onto it flow again. Rebuilding the routing state so traffic
+// actually uses it again is the transport's job (R2C2.RepairLink).
+func (n *Network) RepairLink(lid topology.LinkID) {
+	n.ports[lid].dead = false
+}
+
 // LinkFailed reports whether a directed link has been failed.
 func (n *Network) LinkFailed(lid topology.LinkID) bool { return n.ports[lid].dead }
+
+// SetLinkDropProb installs a random-drop probability p in [0,1] on a
+// directed link — the lossy-cable fault model. p = 0 removes the loss.
+func (n *Network) SetLinkDropProb(lid topology.LinkID, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("sim: drop probability %v out of [0,1]", p))
+	}
+	if n.lossProb == nil {
+		if p == 0 {
+			return
+		}
+		n.lossProb = make([]float64, len(n.ports))
+		n.lossRng = rand.New(rand.NewSource(n.Cfg.LossSeed))
+	}
+	n.lossProb[lid] = p
+}
 
 // enqueue appends pkt to the drop-tail queue of the given output port and
 // starts transmission if the port is idle.
@@ -362,6 +396,23 @@ func (n *Network) enqueue(at topology.NodeID, lid topology.LinkID, pkt *Packet) 
 		panic("sim: enqueue at wrong node")
 	}
 	if p.dead {
+		p.stats.DroppedPkts++
+		n.totalDrops++
+		if n.OnDrop != nil {
+			n.OnDrop(pkt, lid)
+		}
+		n.freePacket(pkt)
+		return false
+	}
+	if n.lossProb != nil && n.lossProb[lid] > 0 && n.lossRng.Float64() < n.lossProb[lid] {
+		// Random loss on a lossy cable (fault injection). The PFQ charge
+		// taken at injection/reservation is released with the packet.
+		if n.buf != nil {
+			n.buf[at][pkt.Flow]--
+			if n.buf[at][pkt.Flow] == 0 {
+				delete(n.buf[at], pkt.Flow)
+			}
+		}
 		p.stats.DroppedPkts++
 		n.totalDrops++
 		if n.OnDrop != nil {

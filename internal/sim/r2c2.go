@@ -68,8 +68,21 @@ type R2C2 struct {
 	// Failure state (§3.2, "Failures"): after detection, Tab/Fib/rc are
 	// rebuilt over the degraded fabric and linkMap translates its link IDs
 	// back to physical ports. nil linkMap means the fabric is intact.
+	//
+	// The degraded fabric is always recomputed at detection-FIRE time from
+	// the accumulated failedLinks/deadNodes union, never from a snapshot
+	// captured at injection: overlapping failures with interleaved
+	// detection windows would otherwise let a later-firing callback
+	// install an older fabric, resurrecting a still-failed link. failSeq
+	// counts fault injections and reroutedSeq the injections already
+	// covered by a reroute, so a detection callback whose injections were
+	// all covered by an earlier (later-injected, shorter-delay) reroute
+	// no-ops instead of rebuilding the same fabric again.
 	failedLinks map[topology.LinkID]bool
+	deadNodes   map[topology.NodeID]bool
 	linkMap     []topology.LinkID
+	failSeq     uint64
+	reroutedSeq uint64
 	// FailureReroutes counts fabric rebuilds.
 	FailureReroutes uint64
 
@@ -181,6 +194,7 @@ func NewR2C2(net *Network, tab *routing.Table, cfg R2C2Config) *R2C2 {
 		}
 	}
 	r.failedLinks = make(map[topology.LinkID]bool)
+	r.deadNodes = make(map[topology.NodeID]bool)
 	net.Deliver = r.deliver
 	net.NextBroadcastHops = r.broadcastHops
 	net.OnDrop = r.onDrop
@@ -257,6 +271,16 @@ func (r *R2C2) physInPlace(path []topology.LinkID) {
 	}
 }
 
+// degradedFabric recomputes the degraded fabric from the CURRENT failure
+// state. Called at injection (to validate connectivity before committing)
+// and at detection-fire time (never from a stale snapshot).
+func (r *R2C2) degradedFabric() (*topology.Graph, []topology.LinkID, error) {
+	if len(r.failedLinks) == 0 && len(r.deadNodes) == 0 {
+		return r.Net.G, nil, nil
+	}
+	return r.Net.G.WithoutLinksAndNodes(r.failedLinks, r.deadNodes)
+}
+
 // FailLink fails both directions of the cable between a and b. Packets in
 // flight or later routed onto the dead ports are lost immediately; after
 // `detection` (the topology-discovery delay of §3.2) every node switches to
@@ -276,18 +300,20 @@ func (r *R2C2) FailLink(a, b topology.NodeID, detection simtime.Time) error {
 	if len(added) == 0 {
 		return fmt.Errorf("sim: no link between %d and %d", a, b)
 	}
-	// Validate connectivity before killing anything.
-	sub, mapping, err := r.Net.G.WithoutLinks(r.failedLinks)
-	if err != nil {
+	// Validate connectivity before killing anything. Only the union is
+	// checked here; connectivity is monotone in the failed set, so every
+	// later fire-time recompute over a subset-or-equal state succeeds too.
+	if _, _, err := r.degradedFabric(); err != nil {
 		for _, lid := range added {
 			delete(r.failedLinks, lid)
 		}
 		return err
 	}
-	for lid := range r.failedLinks {
+	for _, lid := range added {
 		r.Net.FailLink(lid)
 	}
-	r.Net.Eng.After(detection, func() { r.reroute(sub, mapping) })
+	r.failSeq++
+	r.Net.Eng.After(detection, r.rerouteNow)
 	return nil
 }
 
@@ -298,16 +324,30 @@ func (r *R2C2) FailLink(a, b topology.NodeID, detection simtime.Time) error {
 // re-announce their own flows. Flows sourced at or destined to the dead
 // node are abandoned and remain incomplete in the ledger.
 func (r *R2C2) FailNode(dead topology.NodeID, detection simtime.Time) error {
-	sub, mapping, err := r.Net.G.WithoutNode(dead)
-	if err != nil {
+	if r.deadNodes[dead] {
+		return fmt.Errorf("sim: node %d already failed", dead)
+	}
+	r.deadNodes[dead] = true
+	// Fold the node's links into failedLinks so later link failures are
+	// validated against the full union (a link failure after a node crash
+	// must not count on the dead node's cables for connectivity).
+	var added []topology.LinkID
+	for _, links := range [][]topology.LinkID{r.Net.G.Out(dead), r.Net.G.In(dead)} {
+		for _, lid := range links {
+			if !r.failedLinks[lid] {
+				r.failedLinks[lid] = true
+				added = append(added, lid)
+			}
+		}
+	}
+	if _, _, err := r.degradedFabric(); err != nil {
+		delete(r.deadNodes, dead)
+		for _, lid := range added {
+			delete(r.failedLinks, lid)
+		}
 		return err
 	}
-	for _, lid := range r.Net.G.Out(dead) {
-		r.failedLinks[lid] = true
-		r.Net.FailLink(lid)
-	}
-	for _, lid := range r.Net.G.In(dead) {
-		r.failedLinks[lid] = true
+	for _, lid := range added {
 		r.Net.FailLink(lid)
 	}
 	// The dead node stops sending instantly: drop its sender state so
@@ -316,26 +356,75 @@ func (r *R2C2) FailNode(dead topology.NodeID, detection simtime.Time) error {
 	for id := range node.flows {
 		delete(node.flows, id)
 	}
-	r.Net.Eng.After(detection, func() {
-		// Purge dead-node flows BEFORE rerouting so the re-announce loop
-		// never tries to route toward an unreachable destination.
-		for _, n := range r.nodes {
-			for _, info := range n.view.Flows() {
-				if info.Src == dead || info.Dst == dead {
-					n.view.RemoveFlow(info.ID)
-					delete(n.flows, info.ID) // abandon senders to the dead node
-				}
-			}
-		}
-		r.reroute(sub, mapping)
-	})
+	r.failSeq++
+	r.Net.Eng.After(detection, r.rerouteNow)
 	return nil
+}
+
+// RepairLink returns both directions of the cable between a and b to
+// service — the recovery half of §3.2: after `detection` (topology
+// discovery runs for repairs exactly as for failures) every node switches
+// back to the re-expanded fabric and re-announces its flows. Cables of a
+// crashed node cannot be repaired while the node is dead.
+func (r *R2C2) RepairLink(a, b topology.NodeID, detection simtime.Time) error {
+	if r.deadNodes[a] || r.deadNodes[b] {
+		return fmt.Errorf("sim: cannot repair link %d-%d of a failed node", a, b)
+	}
+	var repaired []topology.LinkID
+	for _, pair := range [][2]topology.NodeID{{a, b}, {b, a}} {
+		lid, ok := r.Net.G.LinkBetween(pair[0], pair[1])
+		if !ok || !r.failedLinks[lid] {
+			continue
+		}
+		delete(r.failedLinks, lid)
+		repaired = append(repaired, lid)
+	}
+	if len(repaired) == 0 {
+		return fmt.Errorf("sim: no failed link between %d and %d", a, b)
+	}
+	for _, lid := range repaired {
+		r.Net.RepairLink(lid)
+	}
+	r.failSeq++
+	r.Net.Eng.After(detection, r.rerouteNow)
+	return nil
+}
+
+// rerouteNow is the detection-fire callback shared by every fault
+// injection: it recomputes the degraded fabric from the CURRENT failure
+// state and swaps it in. The epoch guard makes callbacks whose injections
+// were already covered by a later-injected, earlier-firing reroute no-op.
+func (r *R2C2) rerouteNow() {
+	if r.reroutedSeq >= r.failSeq {
+		return // a newer reroute already covers this injection
+	}
+	sub, mapping, err := r.degradedFabric()
+	if err != nil {
+		// Every injection validated the union it created, and connectivity
+		// is monotone in the failed set.
+		panic(fmt.Sprintf("sim: degraded fabric invalid at detection time: %v", err))
+	}
+	r.reroutedSeq = r.failSeq
+	r.reroute(sub, mapping)
 }
 
 // reroute swaps in the degraded fabric and re-announces every live flow.
 func (r *R2C2) reroute(sub *topology.Graph, mapping []topology.LinkID) {
 	r.FailureReroutes++
 	r.gen++ // invalidate interned routes computed over the old fabric
+	// Purge flows involving dead nodes BEFORE rebuilding, so the
+	// re-announce loop never routes toward an unreachable endpoint and no
+	// view keeps bandwidth reserved for a crashed node's flows.
+	if len(r.deadNodes) > 0 {
+		for _, n := range r.nodes {
+			for _, info := range n.view.Flows() {
+				if r.deadNodes[info.Src] || r.deadNodes[info.Dst] {
+					n.view.RemoveFlow(info.ID)
+					delete(n.flows, info.ID) // abandon senders to dead nodes
+				}
+			}
+		}
+	}
 	r.Tab = routing.NewTable(sub)
 	r.Fib = topology.NewBroadcastFIB(sub, r.Cfg.TreesPerSource, r.Cfg.Seed)
 	r.linkMap = mapping
@@ -343,6 +432,9 @@ func (r *R2C2) reroute(sub *topology.Graph, mapping []topology.LinkID) {
 	// "Upon detecting a failure, nodes broadcast information about all
 	// their ongoing flows" (§3.2).
 	for _, node := range r.nodes {
+		if r.deadNodes[node.id] {
+			continue
+		}
 		for _, sf := range node.flows {
 			r.broadcast(node, sf.info.StartBroadcast(r.pickTree(node)))
 		}
@@ -379,6 +471,13 @@ func (r *R2C2) StartHostLimitedFlow(src, dst topology.NodeID, sizeBytes int64, w
 	node := r.nodes[src]
 	id := wire.MakeFlowID(uint16(src), node.nextSeq)
 	node.nextSeq++
+	if r.deadNodes[src] || r.deadNodes[dst] {
+		// Abandoned at birth: a crashed endpoint can neither send nor
+		// receive. The ledger records the flow (it stays incomplete) so
+		// workload replays account for it.
+		r.ledger.open(id, src, dst, sizeBytes, r.Net.Eng.Now())
+		return id
+	}
 	demand := core.UnlimitedDemand
 	if demandBits > 0 {
 		demand = core.KbpsDemand(demandBits)
@@ -464,7 +563,12 @@ func (r *R2C2) broadcast(node *r2c2Node, b *wire.Broadcast) {
 func (r *R2C2) broadcastHops(at topology.NodeID, pkt *Packet) []topology.LinkID {
 	hops, ok := r.Fib.NextHops(pkt.Src, pkt.Bcast.Tree, at)
 	if !ok {
-		panic("sim: broadcast FIB miss")
+		// A reroute swapped the FIB underneath an in-flight broadcast: the
+		// new trees need not visit `at` on this tree, and a dead origin has
+		// no trees at all. The copy already delivered here stands; the
+		// flood just stops (§3.2's re-announce resynchronises any views
+		// that missed it).
+		return nil
 	}
 	return r.phys(hops)
 }
@@ -629,6 +733,9 @@ func (r *R2C2) receiveAck(pkt *Packet) {
 // deliver handles packets reaching a node: broadcasts update the view,
 // data packets update receive state and flow records.
 func (r *R2C2) deliver(at topology.NodeID, pkt *Packet) {
+	if r.deadNodes[at] {
+		return // a crashed node processes nothing (in-flight arrivals die here)
+	}
 	switch pkt.Kind {
 	case KindBroadcast:
 		if pkt.Bcast.Event == wire.EventFlowFinish && topology.NodeID(pkt.Bcast.Dst) == at {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"r2c2/internal/faults"
 	"r2c2/internal/routing"
 	"r2c2/internal/simtime"
 	"r2c2/internal/stats"
@@ -50,6 +51,9 @@ type RunConfig struct {
 	PFQSeed   int64
 
 	Arrivals []trafficgen.Arrival
+	// Faults is an optional fault schedule injected during the run
+	// (TransportR2C2 only; the other transports have no failure handling).
+	Faults faults.Schedule
 	// MaxTime hard-stops the simulation; incomplete flows are reported as
 	// such. Zero means 100 ms after the last arrival.
 	MaxTime simtime.Time
@@ -68,6 +72,7 @@ type Results struct {
 	MaxQueue       stats.Sample // bytes, per output port
 
 	Reorder         stats.Sample // reorder-buffer occupancy (R2C2 only)
+	FailureReroutes uint64       // fabric rebuilds after faults (R2C2 only)
 	Drops           uint64
 	Retransmissions uint64 // TCP only
 	BcastBytes      uint64 // broadcast bytes on the wire (R2C2 only)
@@ -89,6 +94,9 @@ func Run(cfg RunConfig) *Results {
 	if cfg.Transport == TransportPFQ {
 		cfg.Net.PerFlowQueues = true
 	}
+	if cfg.Faults.Len() > 0 && cfg.Transport != TransportR2C2 {
+		panic(fmt.Sprintf("sim: fault schedules require TransportR2C2, got %v", cfg.Transport))
+	}
 	eng := &Engine{}
 	net := NewNetwork(cfg.Graph, eng, cfg.Net)
 	tab := routing.NewTable(cfg.Graph)
@@ -105,6 +113,9 @@ func Run(cfg RunConfig) *Results {
 	case TransportR2C2:
 		r2c2 = NewR2C2(net, tab, cfg.R2C2)
 		ledger = r2c2.ledger
+		if cfg.Faults.Len() > 0 {
+			r2c2.ApplyFaults(cfg.Faults)
+		}
 		for _, a := range cfg.Arrivals {
 			arr := a
 			eng.Schedule(arr.At, func() {
@@ -184,6 +195,7 @@ func Run(cfg RunConfig) *Results {
 		res.Reorder = r2c2.Reorder
 		res.Recomputations = r2c2.Recomputations
 		res.RecomputeRounds = r2c2.RecomputeRounds
+		res.FailureReroutes = r2c2.FailureReroutes
 	}
 	if tcp != nil {
 		res.Retransmissions = tcp.Retransmissions

@@ -245,29 +245,7 @@ func (g *Graph) MinimalSuccessors(dst NodeID) [][]LinkID {
 // endpoint node would become unreachable from another: R2C2 assumes the
 // rack stays connected (a torus survives many link failures).
 func (g *Graph) WithoutLinks(failed map[LinkID]bool) (*Graph, []LinkID, error) {
-	edges := make([]Link, 0, len(g.links)-len(failed))
-	mapping := make([]LinkID, 0, len(g.links)-len(failed))
-	for id, l := range g.links {
-		if failed[LinkID(id)] {
-			continue
-		}
-		edges = append(edges, l)
-		mapping = append(mapping, LinkID(id))
-	}
-	sub, err := NewGraph(g.kind, g.n, g.total, edges)
-	if err != nil {
-		return nil, nil, err
-	}
-	sub.k, sub.dims = g.k, g.dims
-	sub.degraded = g.degraded || len(failed) > 0
-	for a := 0; a < sub.n; a++ {
-		for b := 0; b < sub.n; b++ {
-			if sub.Dist(NodeID(a), NodeID(b)) < 0 {
-				return nil, nil, fmt.Errorf("topology: failures partition the rack (%d unreachable from %d)", b, a)
-			}
-		}
-	}
-	return sub, mapping, nil
+	return g.WithoutLinksAndNodes(failed, nil)
 }
 
 // WithoutNode returns the graph with every link of `dead` removed — the
@@ -275,17 +253,33 @@ func (g *Graph) WithoutLinks(failed map[LinkID]bool) (*Graph, []LinkID, error) {
 // WithoutLinks. The dead node itself is allowed to be unreachable; every
 // pair of surviving endpoints must remain mutually connected.
 func (g *Graph) WithoutNode(dead NodeID) (*Graph, []LinkID, error) {
-	failed := make(map[LinkID]bool)
-	for _, lid := range g.out[dead] {
-		failed[lid] = true
+	return g.WithoutLinksAndNodes(nil, map[NodeID]bool{dead: true})
+}
+
+// WithoutLinksAndNodes returns the degraded fabric after an arbitrary mix
+// of link and node failures: every link in `failed` plus every link of
+// every node in `dead` is removed. This is the fire-time recompute used by
+// the failure path — overlapping failures accumulate in the two sets and
+// the fabric is always rebuilt from their union, never from a stale
+// snapshot. Dead nodes are allowed to be unreachable; every pair of
+// surviving endpoints must remain mutually connected.
+func (g *Graph) WithoutLinksAndNodes(failed map[LinkID]bool, dead map[NodeID]bool) (*Graph, []LinkID, error) {
+	gone := make(map[LinkID]bool, len(failed)+4*len(dead))
+	for lid := range failed {
+		gone[lid] = true
 	}
-	for _, lid := range g.in[dead] {
-		failed[lid] = true
+	for d := range dead {
+		for _, lid := range g.out[d] {
+			gone[lid] = true
+		}
+		for _, lid := range g.in[d] {
+			gone[lid] = true
+		}
 	}
-	edges := make([]Link, 0, len(g.links)-len(failed))
-	mapping := make([]LinkID, 0, len(g.links)-len(failed))
+	edges := make([]Link, 0, len(g.links)-len(gone))
+	mapping := make([]LinkID, 0, len(g.links)-len(gone))
 	for id, l := range g.links {
-		if failed[LinkID(id)] {
+		if gone[LinkID(id)] {
 			continue
 		}
 		edges = append(edges, l)
@@ -296,17 +290,17 @@ func (g *Graph) WithoutNode(dead NodeID) (*Graph, []LinkID, error) {
 		return nil, nil, err
 	}
 	sub.k, sub.dims = g.k, g.dims
-	sub.degraded = true
+	sub.degraded = g.degraded || len(gone) > 0
 	for a := 0; a < sub.n; a++ {
-		if NodeID(a) == dead {
+		if dead[NodeID(a)] {
 			continue
 		}
 		for b := 0; b < sub.n; b++ {
-			if NodeID(b) == dead {
+			if dead[NodeID(b)] {
 				continue
 			}
 			if sub.Dist(NodeID(a), NodeID(b)) < 0 {
-				return nil, nil, fmt.Errorf("topology: losing node %d partitions the survivors (%d unreachable from %d)", dead, b, a)
+				return nil, nil, fmt.Errorf("topology: failures partition the rack (%d unreachable from %d)", b, a)
 			}
 		}
 	}
