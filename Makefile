@@ -8,8 +8,11 @@ BENCH_REPORT ?= BENCH_sim.json
 MICROBENCH = ^(BenchmarkSimulatorEventThroughput|BenchmarkWaterfillAllocate|BenchmarkIncrementalChurn|BenchmarkEmuDataPath|BenchmarkPhiRPS512|BenchmarkBroadcastEncodeDecode)$$
 
 FAULTS_REPORT ?= faultsweep.csv
+EMU_BENCH_REPORT ?= BENCH_emu.json
+ALLOC_BUDGET ?= alloc_budget.json
+ALLOC_DRIFT ?= alloc_drift.json
 
-.PHONY: build test race race-short debug lint fuzz vet bench-smoke bench-json faults-smoke verify
+.PHONY: build test race race-short debug lint fuzz vet bench-smoke bench-json faults-smoke alloccheck alloccheck-update verify
 
 build:
 	$(GO) build ./...
@@ -54,14 +57,27 @@ bench-smoke:
 
 # Real measurement of the micro-benchmark suite, recorded as JSON
 # (benchmark name -> ns/op, allocs/op, events/run, ...) so the perf
-# trajectory is tracked per commit; CI uploads $(BENCH_REPORT) as an
-# artifact.
+# trajectory is tracked per commit; CI uploads $(BENCH_REPORT) and
+# $(EMU_BENCH_REPORT) as artifacts. The emulator benchmarks are split into
+# their own report because they measure wall-clock goroutine scheduling and
+# move with machine load, while the simulator numbers are deterministic.
 bench-json:
 	@$(GO) test -run='^$$' -bench '$(MICROBENCH)' -benchmem . > $(BENCH_REPORT).txt \
 		|| { cat $(BENCH_REPORT).txt; rm -f $(BENCH_REPORT).txt; exit 1; }
-	@$(GO) run ./cmd/r2c2-benchjson < $(BENCH_REPORT).txt > $(BENCH_REPORT)
+	@$(GO) run ./cmd/r2c2-benchjson -emu $(EMU_BENCH_REPORT) < $(BENCH_REPORT).txt > $(BENCH_REPORT)
 	@rm -f $(BENCH_REPORT).txt
-	@echo "bench-json: wrote $(BENCH_REPORT)"
+	@echo "bench-json: wrote $(BENCH_REPORT) and $(EMU_BENCH_REPORT)"
+
+# Compiler escape-analysis gate for the zero-alloc roadmap (DESIGN.md §11):
+# rebuilds the hot packages with -gcflags=-m and fails on any per-function
+# escape count above the checked-in $(ALLOC_BUDGET). The drift report is
+# always written; CI uploads it as an artifact. Regenerate the baseline
+# with `make alloccheck-update` after deliberate changes.
+alloccheck:
+	$(GO) run ./cmd/r2c2-allocheck -baseline $(ALLOC_BUDGET) -drift $(ALLOC_DRIFT)
+
+alloccheck-update:
+	$(GO) run ./cmd/r2c2-allocheck -baseline $(ALLOC_BUDGET) -update
 
 # Sim-vs-emu fault-injection cross-validation on a seeded schedule (link
 # flaps + a node crash, DESIGN.md §10). The CSV comparing completed-flow
@@ -73,5 +89,5 @@ faults-smoke:
 	@cat $(FAULTS_REPORT)
 	@echo "faults-smoke: wrote $(FAULTS_REPORT)"
 
-verify: build vet lint test race debug bench-smoke faults-smoke
+verify: build vet lint test race debug alloccheck bench-smoke faults-smoke
 	@echo verify: OK

@@ -1,0 +1,362 @@
+// Command r2c2-allocheck gates the zero-alloc roadmap on the Go compiler's
+// own escape analysis. It rebuilds the hot packages with `go build
+// -gcflags=-m`, parses the heap-allocation diagnostics ("escapes to heap",
+// "moved to heap"), attributes each site to its enclosing function, and
+// diffs the per-function counts against a checked-in baseline
+// (alloc_budget.json). New escape sites fail the build; improvements are
+// reported and folded into the baseline with -update.
+//
+// The -m wording and the analysis itself drift between Go releases, so the
+// baseline records the Go version it was generated with. When the running
+// toolchain's language version differs, the gate is skipped with a warning
+// (CI pins the toolchain, so the gate is always live there); -strict forces
+// the comparison anyway.
+//
+// Usage:
+//
+//	go run ./cmd/r2c2-allocheck              # gate against alloc_budget.json
+//	go run ./cmd/r2c2-allocheck -update      # regenerate the baseline
+//	go run ./cmd/r2c2-allocheck -drift d.json # also write a drift report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultPkgs are the hot packages under the allocation budget: the
+// simulator and emulator data paths plus everything they call per packet.
+var defaultPkgs = []string{
+	"./internal/sim",
+	"./internal/emu",
+	"./internal/core",
+	"./internal/waterfill",
+	"./internal/wire",
+}
+
+// Baseline is the checked-in allocation budget: per package, per function,
+// how many heap-allocation diagnostics the compiler reports.
+type Baseline struct {
+	GoVersion string                    `json:"go_version"`
+	Packages  map[string]map[string]int `json:"packages"`
+}
+
+// Drift is the machine-readable diff report written by -drift; CI uploads
+// it as an artifact so a failing gate shows exactly what moved.
+type Drift struct {
+	GoVersion       string   `json:"go_version"`
+	BaselineVersion string   `json:"baseline_version"`
+	Gated           bool     `json:"gated"` // false when skipped on version mismatch
+	Regressions     []string `json:"regressions"`
+	Improvements    []string `json:"improvements"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "alloc_budget.json", "per-function escape-count baseline to gate against")
+		update       = flag.Bool("update", false, "regenerate the baseline instead of gating")
+		pkgList      = flag.String("pkgs", strings.Join(defaultPkgs, ","), "comma-separated packages to analyse")
+		driftPath    = flag.String("drift", "", "write a JSON drift report to this path")
+		strict       = flag.Bool("strict", false, "gate even when the Go version differs from the baseline's")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *baselinePath, *pkgList, *driftPath, *update, *strict); err != nil {
+		fmt.Fprintln(os.Stderr, "r2c2-allocheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, baselinePath, pkgList, driftPath string, update, strict bool) error {
+	pkgs := strings.Split(pkgList, ",")
+	out, err := buildDiagnostics(pkgs)
+	if err != nil {
+		return err
+	}
+	diags := parseDiagnostics(out)
+	current, err := attribute(diags)
+	if err != nil {
+		return err
+	}
+	version := langVersion(runtime.Version())
+
+	if update {
+		b := Baseline{GoVersion: runtime.Version(), Packages: current}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "r2c2-allocheck: wrote %s (%d packages, %s)\n", baselinePath, len(current), runtime.Version())
+		return nil
+	}
+
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("no baseline: %v (run with -update to create %s)", err, baselinePath)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("corrupt baseline %s: %v", baselinePath, err)
+	}
+
+	gated := strict || version == langVersion(base.GoVersion)
+	regressions, improvements := diff(base.Packages, current)
+	if driftPath != "" {
+		d := Drift{
+			GoVersion:       runtime.Version(),
+			BaselineVersion: base.GoVersion,
+			Gated:           gated,
+			Regressions:     regressions,
+			Improvements:    improvements,
+		}
+		dd, err := json.MarshalIndent(&d, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(driftPath, append(dd, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !gated {
+		fmt.Fprintf(stdout, "r2c2-allocheck: baseline is %s, toolchain is %s; escape analysis shifts between releases, skipping gate (use -strict to force)\n",
+			base.GoVersion, runtime.Version())
+		return nil
+	}
+	for _, s := range improvements {
+		fmt.Fprintf(stdout, "improved: %s\n", s)
+	}
+	if len(improvements) > 0 {
+		fmt.Fprintf(stdout, "r2c2-allocheck: %d function(s) allocate less than the baseline; run -update to ratchet down\n", len(improvements))
+	}
+	if len(regressions) > 0 {
+		for _, s := range regressions {
+			fmt.Fprintf(stdout, "regressed: %s\n", s)
+		}
+		return fmt.Errorf("%d new escape site(s) vs %s (baseline %s)", len(regressions), baselinePath, base.GoVersion)
+	}
+	fmt.Fprintf(stdout, "r2c2-allocheck: clean vs %s\n", baselinePath)
+	return nil
+}
+
+// buildDiagnostics compiles pkgs with escape-analysis diagnostics enabled
+// and returns the compiler's stderr. -gcflags without a package pattern
+// applies only to the packages named on the command line, which is exactly
+// the hot set.
+func buildDiagnostics(pkgs []string) (string, error) {
+	args := append([]string{"build", "-gcflags=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go build -gcflags=-m failed: %v\n%s", err, stderr.String())
+	}
+	return stderr.String(), nil
+}
+
+// diagnostic is one heap-allocation report from the compiler.
+type diagnostic struct {
+	pkg  string // import path, from the preceding "# pkg" header
+	file string
+	line int
+	msg  string
+}
+
+// parseDiagnostics extracts the heap-allocation diagnostics from -gcflags=-m
+// output. The format is a "# importpath" header followed by
+// "file:line:col: message" lines. Only messages that report a heap
+// allocation count: "... escapes to heap" and "moved to heap: x". Wording
+// for the rest of the -m output (inlining decisions, "does not escape",
+// "leaking param") varies across Go releases and is ignored wholesale, so
+// the parser only ever matches the two phrases that have been stable since
+// escape analysis diagnostics existed.
+func parseDiagnostics(out string) []diagnostic {
+	var diags []diagnostic
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# ") {
+			pkg = strings.TrimSpace(line[2:])
+			continue
+		}
+		if !isAllocMsg(line) {
+			continue
+		}
+		file, ln, msg, ok := splitPosLine(line)
+		if !ok {
+			continue
+		}
+		diags = append(diags, diagnostic{pkg: pkg, file: file, line: ln, msg: msg})
+	}
+	return diags
+}
+
+// isAllocMsg reports whether a -m line describes a heap allocation. "does
+// not escape" also contains "escape", so the positive phrases are matched
+// exactly.
+func isAllocMsg(line string) bool {
+	return strings.Contains(line, "escapes to heap") || strings.Contains(line, "moved to heap")
+}
+
+// splitPosLine splits "path/file.go:12:34: message" into its parts. Windows
+// drive letters don't occur here (the build runs in-repo), so the first
+// colon ends the path.
+func splitPosLine(line string) (file string, ln int, msg string, ok bool) {
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return parts[0], n, strings.TrimSpace(parts[3]), true
+}
+
+// attribute maps diagnostics to their enclosing top-level function and
+// returns pkg → function → escape count. Sites inside closures count
+// against the declaring function; file-scope sites (var initialisers) are
+// keyed "<file-scope>".
+func attribute(diags []diagnostic) (map[string]map[string]int, error) {
+	extents := map[string][]funcExtent{}
+	counts := map[string]map[string]int{}
+	for _, d := range diags {
+		ex, ok := extents[d.file]
+		if !ok {
+			var err error
+			ex, err = fileExtents(d.file)
+			if err != nil {
+				return nil, fmt.Errorf("attributing %s: %v", d.file, err)
+			}
+			extents[d.file] = ex
+		}
+		fn := "<file-scope>"
+		for _, e := range ex {
+			if d.line >= e.start && d.line <= e.end {
+				fn = e.name
+				break
+			}
+		}
+		m := counts[d.pkg]
+		if m == nil {
+			m = map[string]int{}
+			counts[d.pkg] = m
+		}
+		m[fn]++
+	}
+	return counts, nil
+}
+
+type funcExtent struct {
+	name       string
+	start, end int
+}
+
+// fileExtents parses one source file and returns the line ranges of its
+// top-level function declarations. Methods are named "(T).M" or "(*T).M"
+// to match how humans read the baseline.
+func fileExtents(path string) ([]funcExtent, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var out []funcExtent
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		out = append(out, funcExtent{
+			name:  funcName(fd),
+			start: fset.Position(fd.Pos()).Line,
+			end:   fset.Position(fd.End()).Line,
+		})
+	}
+	return out, nil
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return "(" + typeString(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+}
+
+// typeString renders a receiver type without going through go/types:
+// receivers are only ever named types, pointers to them, or generic
+// instantiations.
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.IndexExpr:
+		return typeString(t.X) // drop the type-parameter list
+	case *ast.IndexListExpr:
+		return typeString(t.X)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// diff compares the current counts against the baseline. A function whose
+// count rose (or that is new) is a regression; one whose count fell (or
+// that disappeared) is an improvement. Lines are sorted for stable output.
+func diff(base, current map[string]map[string]int) (regressions, improvements []string) {
+	for pkg, funcs := range current {
+		for fn, n := range funcs {
+			was := base[pkg][fn]
+			switch {
+			case n > was:
+				regressions = append(regressions,
+					fmt.Sprintf("%s.%s: %d escape site(s), baseline %d", pkg, fn, n, was))
+			case n < was:
+				improvements = append(improvements,
+					fmt.Sprintf("%s.%s: %d escape site(s), baseline %d", pkg, fn, n, was))
+			}
+		}
+	}
+	for pkg, funcs := range base {
+		for fn, was := range funcs {
+			if _, ok := current[pkg][fn]; !ok && was > 0 {
+				improvements = append(improvements,
+					fmt.Sprintf("%s.%s: 0 escape site(s), baseline %d", pkg, fn, was))
+			}
+		}
+	}
+	sort.Strings(regressions)
+	sort.Strings(improvements)
+	return regressions, improvements
+}
+
+// langVersion reduces a runtime version ("go1.24.0", "go1.24rc1") to its
+// language version ("go1.24"): escape analysis does not change in patch
+// releases, so baselines stay valid across them.
+func langVersion(v string) string {
+	rest, ok := strings.CutPrefix(v, "go")
+	if !ok {
+		return v // devel builds etc.: compare verbatim
+	}
+	parts := strings.SplitN(rest, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	minor := parts[1]
+	if i := strings.IndexFunc(minor, func(r rune) bool { return r < '0' || r > '9' }); i >= 0 {
+		minor = minor[:i]
+	}
+	return "go" + parts[0] + "." + minor
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestParseDiagnosticsGolden checks the -gcflags=-m parser against captured
+// outputs of two Go releases. The wording around the heap diagnostics
+// drifts between releases (inline costs, leak phrasing, conversion
+// rendering), but "escapes to heap" and "moved to heap" are stable — the
+// parser must extract exactly the same sites from both files.
+func TestParseDiagnosticsGolden(t *testing.T) {
+	want := []diagnostic{
+		{pkg: "example.com/fake/internal/hot", file: "internal/hot/hot.go", line: 33, msg: "make([]byte, n) escapes to heap"},
+		{pkg: "example.com/fake/internal/hot", file: "internal/hot/hot.go", line: 40, msg: "moved to heap: hdr"},
+		{pkg: "example.com/fake/internal/hot", file: "internal/hot/hot.go", line: 44, msg: "&Header{...} escapes to heap"},
+		{pkg: "example.com/fake/internal/hot", file: "internal/hot/hot.go", line: 66, msg: "id escapes to heap"},
+		{pkg: "example.com/fake/internal/cold", file: "internal/cold/cold.go", line: 10, msg: "&State{...} escapes to heap"},
+	}
+	for _, golden := range []string{"gcm_go122.txt", "gcm_go124.txt"} {
+		data, err := os.ReadFile(filepath.Join("testdata", golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := parseDiagnostics(string(data))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: parsed %+v\nwant %+v", golden, got, want)
+		}
+	}
+}
+
+// TestAttribute maps diagnostic lines to enclosing functions, including
+// methods, generic functions, and sites inside closures (attributed to the
+// declaring function).
+func TestAttribute(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+type Engine struct{}
+
+func (e *Engine) Run() []byte {
+	return make([]byte, 64)
+}
+
+func grow[T any](xs []T) []T {
+	return append(xs, *new(T))
+}
+
+func outer() func() *Engine {
+	return func() *Engine {
+		return &Engine{}
+	}
+}
+`
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []diagnostic{
+		{pkg: "p", file: path, line: 6, msg: "make([]byte, 64) escapes to heap"},
+		{pkg: "p", file: path, line: 10, msg: "new(T) escapes to heap"},
+		{pkg: "p", file: path, line: 15, msg: "&Engine{} escapes to heap"},
+		{pkg: "p", file: path, line: 14, msg: "func literal escapes to heap"},
+	}
+	got, err := attribute(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]map[string]int{
+		"p": {
+			"(*Engine).Run": 1,
+			"grow":          1,
+			"outer":         2, // the closure and its body both count against the declarer
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("attribute = %+v, want %+v", got, want)
+	}
+}
+
+// TestDiff covers the three drift shapes: a count increase and a new
+// function are regressions; a decrease and a disappearance are
+// improvements; equality is silence.
+func TestDiff(t *testing.T) {
+	base := map[string]map[string]int{
+		"p": {"A": 2, "B": 1, "C": 3, "Gone": 1},
+	}
+	current := map[string]map[string]int{
+		"p": {"A": 3, "B": 1, "C": 1, "New": 1},
+	}
+	reg, imp := diff(base, current)
+	wantReg := []string{
+		"p.A: 3 escape site(s), baseline 2",
+		"p.New: 1 escape site(s), baseline 0",
+	}
+	wantImp := []string{
+		"p.C: 1 escape site(s), baseline 3",
+		"p.Gone: 0 escape site(s), baseline 1",
+	}
+	if !reflect.DeepEqual(reg, wantReg) {
+		t.Errorf("regressions = %v, want %v", reg, wantReg)
+	}
+	if !reflect.DeepEqual(imp, wantImp) {
+		t.Errorf("improvements = %v, want %v", imp, wantImp)
+	}
+}
+
+func TestLangVersion(t *testing.T) {
+	cases := map[string]string{
+		"go1.22":          "go1.22",
+		"go1.22.4":        "go1.22",
+		"go1.24.0":        "go1.24",
+		"go1.24rc1":       "go1.24",
+		"devel +abc12345": "devel +abc12345",
+	}
+	for in, want := range cases {
+		if got := langVersion(in); got != want {
+			t.Errorf("langVersion(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

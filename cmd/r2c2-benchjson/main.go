@@ -4,11 +4,18 @@
 // events/run or MB/s). `make bench-json` pipes the micro-benchmark suite
 // through it to produce BENCH_sim.json, the perf-trajectory artifact CI
 // records on every run.
+//
+// With -emu FILE, benchmarks whose name contains "Emu" (the wall-clock
+// emulator data path) are split out into FILE instead of stdout, so the
+// simulator and emulator perf trajectories are tracked as separate
+// artifacts: emulator numbers move with machine load, simulator numbers
+// should not.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -17,25 +24,32 @@ import (
 )
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	emuPath := flag.String("emu", "", "write emulator benchmarks (name contains \"Emu\") to this file instead of stdout")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *emuPath); err != nil {
 		fmt.Fprintln(os.Stderr, "r2c2-benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stdin io.Reader, stdout io.Writer) error {
+func run(stdin io.Reader, stdout io.Writer, emuPath string) error {
 	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	out := make(map[string]map[string]float64)
+	emu := make(map[string]map[string]float64)
 	for sc.Scan() {
 		name, metrics, ok := parseBenchLine(sc.Text())
 		if !ok {
 			continue
 		}
-		m := out[name]
+		dest := out
+		if emuPath != "" && strings.Contains(name, "Emu") {
+			dest = emu
+		}
+		m := dest[name]
 		if m == nil {
 			m = make(map[string]float64)
-			out[name] = m
+			dest[name] = m
 		}
 		for unit, v := range metrics {
 			m[unit] = v
@@ -47,9 +61,29 @@ func run(stdin io.Reader, stdout io.Writer) error {
 	if len(out) == 0 {
 		return fmt.Errorf("no benchmark result lines on stdin")
 	}
-	enc := json.NewEncoder(stdout)
+	if emuPath != "" {
+		if len(emu) == 0 {
+			return fmt.Errorf("-emu %s: no emulator benchmark lines on stdin", emuPath)
+		}
+		f, err := os.Create(emuPath)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(f, emu); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return writeJSON(stdout, out)
+}
+
+func writeJSON(w io.Writer, v map[string]map[string]float64) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out) // map keys marshal sorted: stable artifact diffs
+	return enc.Encode(v) // map keys marshal sorted: stable artifact diffs
 }
 
 // parseBenchLine parses one result line of `go test -bench` output:

@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	r2c2-lint ./...          # lint the whole module
-//	r2c2-lint -json ./...    # machine-readable findings
-//	r2c2-lint -rules         # list the rules and their scope
+//	r2c2-lint ./...                        # lint the whole module
+//	r2c2-lint -json ./...                  # machine-readable findings
+//	r2c2-lint -rules alloc-hotpath ./...   # run only the named rules
+//	r2c2-lint -list                        # list the rules and their scope
+//
+// //lint:ignore directives are always validated against the full rule
+// set, even under -rules, so a filtered run never misreports a directive
+// naming an unselected rule as unknown.
 //
 // It exits non-zero when any finding survives //lint:ignore suppression.
 package main
@@ -40,7 +45,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("r2c2-lint", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
-	listRules := fs.Bool("rules", false, "list the rules and exit")
+	listRules := fs.Bool("list", false, "list the rules and exit")
+	ruleFilter := fs.String("rules", "", "comma-separated rule names to run (default: every rule)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +63,33 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	// Directives are validated against the full rule set regardless of
+	// the filter; the filter only selects which rules run.
+	known := analysis.KnownRules(rules, moduleRules)
+	if *ruleFilter != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*ruleFilter, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				return fmt.Errorf("unknown rule %q (see r2c2-lint -list)", name)
+			}
+			want[name] = true
+		}
+		var selRules []analysis.Analyzer
+		for _, a := range rules {
+			if want[a.Name()] {
+				selRules = append(selRules, a)
+			}
+		}
+		var selModule []analysis.ModuleAnalyzer
+		for _, a := range moduleRules {
+			if want[a.Name()] {
+				selModule = append(selModule, a)
+			}
+		}
+		rules, moduleRules = selRules, selModule
+	}
+
 	root := "."
 	if fs.NArg() > 0 {
 		// Accept "./..." and friends: the runner always recurses.
@@ -67,7 +100,7 @@ func run(args []string, stdout io.Writer) error {
 			root = "."
 		}
 	}
-	diags, err := analysis.RunAll(root, rules, moduleRules)
+	diags, err := analysis.RunAllKnown(root, rules, moduleRules, known)
 	if err != nil {
 		return err
 	}

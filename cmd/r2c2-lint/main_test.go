@@ -8,15 +8,109 @@ import (
 	"testing"
 )
 
-func TestRunRules(t *testing.T) {
+func TestRunList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-rules"}, &out); err != nil {
-		t.Fatalf("run -rules: %v", err)
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
 	}
-	for _, rule := range []string{"no-wallclock", "no-global-rand", "mutex-by-value", "goroutine-leak", "unit-suffix"} {
+	for _, rule := range []string{"no-wallclock", "no-global-rand", "mutex-by-value", "goroutine-leak", "unit-suffix", "alloc-hotpath"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Fatalf("rule listing missing %q:\n%s", rule, out.String())
 		}
+	}
+}
+
+// writeTree materialises a module fixture: path -> content, rooted at a
+// temp dir with a go.mod.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module example.com/fake\n\ngo 1.22\n"
+	for path, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// multiPkgFixture trips several rules across two packages: a wall-clock
+// read and hot-path allocations in internal/sim, global rand in
+// internal/routing. The ignore directive names a rule outside any -rules
+// filter, exercising full-set directive validation.
+func multiPkgFixture(t *testing.T) string {
+	return writeTree(t, map[string]string{
+		"internal/sim/clock.go": `package sim
+
+import "time"
+
+func now() int64 { return time.Now().UnixNano() }
+
+//r2c2:hotpath
+func dispatch(n int) []int {
+	xs := make([]int, n)
+	return xs
+}
+`,
+		"internal/routing/rand.go": `package routing
+
+import "math/rand"
+
+//lint:ignore no-global-rand fixture exercises directive validation
+func pick(n int) int { return rand.Intn(n) }
+
+func pick2(n int) int { return rand.Intn(n) }
+`,
+	})
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	root := multiPkgFixture(t)
+	for _, mode := range [][]string{{"-json"}, {}} {
+		args := append(append([]string(nil), mode...), root+"/...")
+		var a, b bytes.Buffer
+		errA := run(args, &a)
+		errB := run(args, &b)
+		if errA == nil || errB == nil {
+			t.Fatalf("fixture should produce findings (args %v)", args)
+		}
+		if errA.Error() != errB.Error() {
+			t.Fatalf("finding counts differ between runs: %v vs %v", errA, errB)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("output not byte-identical across runs (args %v):\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+				args, a.String(), b.String())
+		}
+	}
+}
+
+func TestRunRuleFilter(t *testing.T) {
+	root := multiPkgFixture(t)
+	var out bytes.Buffer
+	err := run([]string{"-rules", "alloc-hotpath", root + "/..."}, &out)
+	if err == nil {
+		t.Fatal("hot-path make should survive the filter and exit non-zero")
+	}
+	if _, ok := err.(errFindings); !ok {
+		t.Fatalf("want errFindings, got %T: %v", err, err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "alloc-hotpath") || !strings.Contains(got, "make allocates") {
+		t.Errorf("filtered run missing the alloc-hotpath finding:\n%s", got)
+	}
+	for _, absent := range []string{"no-wallclock", "no-global-rand", "unknown rule"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("filtered run should not mention %q:\n%s", absent, got)
+		}
+	}
+
+	if err := run([]string{"-rules", "no-such-rule", root + "/..."}, &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown rule") {
+		t.Errorf("bogus -rules name should error, got %v", err)
 	}
 }
 

@@ -55,6 +55,9 @@ func DefaultModule() []ModuleAnalyzer {
 		// A send on a channel with no live receiver wedges a goroutine
 		// forever; Stop() then never returns.
 		NewChanBlock(),
+		// The zero-alloc roadmap item is only landable if the annotated
+		// hot paths stay allocation-free between perf PRs.
+		NewAllocHotpath(),
 	}
 }
 
@@ -83,7 +86,15 @@ func runModule(mod *Module, analyzers []ModuleAnalyzer) []Diagnostic {
 // directive's rule names against the combined rule set — a directive
 // naming an unknown rule is itself a finding, never a silent suppression.
 func RunAll(root string, syntactic []Analyzer, module []ModuleAnalyzer) ([]Diagnostic, error) {
-	known := knownRules(syntactic, module)
+	return RunAllKnown(root, syntactic, module, knownRules(syntactic, module))
+}
+
+// RunAllKnown is RunAll with an explicit known-rule set for directive
+// validation. A caller running a filtered subset of rules (r2c2-lint
+// -rules alloc-hotpath) must still validate //lint:ignore directives
+// against the full rule set, or every directive naming an unselected rule
+// would misreport as unknown.
+func RunAllKnown(root string, syntactic []Analyzer, module []ModuleAnalyzer, known map[string]bool) ([]Diagnostic, error) {
 	diags, ignores, err := runSyntactic(root, syntactic, known)
 	if err != nil {
 		return nil, err
@@ -99,6 +110,12 @@ func RunAll(root string, syntactic []Analyzer, module []ModuleAnalyzer) ([]Diagn
 	}
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// KnownRules builds the set of rule names a //lint:ignore directive may
+// legally address for the given rule sets.
+func KnownRules(syntactic []Analyzer, module []ModuleAnalyzer) map[string]bool {
+	return knownRules(syntactic, module)
 }
 
 // knownRules builds the set of rule names a //lint:ignore directive may
@@ -172,6 +189,7 @@ func CheckSourceModule(pkgs map[string]map[string]string, analyzers []ModuleAnal
 
 	mod := &Module{Fset: fset}
 	ignores := ignoreSet{}
+	known := knownRules(nil, analyzers)
 	var diags []Diagnostic
 	for _, path := range order {
 		info := &types.Info{
@@ -191,7 +209,7 @@ func CheckSourceModule(pkgs map[string]map[string]string, analyzers []ModuleAnal
 			Pkg:  pkg,
 			Info: info,
 		}
-		ig, igDiags := collectIgnores(&pass.Pass, nil)
+		ig, igDiags := collectIgnores(&pass.Pass, known)
 		diags = append(diags, igDiags...)
 		for file, lines := range ig {
 			for line, rules := range lines {
@@ -211,7 +229,11 @@ func CheckSourceModule(pkgs map[string]map[string]string, analyzers []ModuleAnal
 	return diags, nil
 }
 
-// sortDiagnostics orders findings by file, line, then rule.
+// sortDiagnostics orders findings by file, line, rule, then column and
+// message. The full tie-break matters: runSyntactic walks a map of
+// directories and Resolve phases iterate maps, so without a total order
+// two runs over the same tree could interleave equal-(file,line,rule)
+// findings differently and break byte-identical output.
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos.Filename != diags[j].Pos.Filename {
@@ -220,6 +242,12 @@ func sortDiagnostics(diags []Diagnostic) {
 		if diags[i].Pos.Line != diags[j].Pos.Line {
 			return diags[i].Pos.Line < diags[j].Pos.Line
 		}
-		return diags[i].Rule < diags[j].Rule
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
+		}
+		if diags[i].Pos.Column != diags[j].Pos.Column {
+			return diags[i].Pos.Column < diags[j].Pos.Column
+		}
+		return diags[i].Message < diags[j].Message
 	})
 }

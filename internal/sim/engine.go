@@ -155,6 +155,14 @@ func (e *Engine) pop() event {
 // An event scheduled exactly at until still fires; if the queue drains
 // early the clock is advanced to until. It returns the number of events
 // processed by this call.
+//
+// Run is the simulator's hot loop: the annotation puts the whole typed
+// dispatch tree — heap ops, Network forwarding, both transports — under
+// the allocation budget. evFunc closures dispatch dynamically and escape
+// the static call graph, so cold control-plane callbacks stay off-budget
+// by construction; anything per-packet must use a typed event.
+//
+//r2c2:hotpath
 func (e *Engine) Run(until simtime.Time) uint64 {
 	start := e.count
 	for len(e.events) > 0 {
@@ -163,8 +171,8 @@ func (e *Engine) Run(until simtime.Time) uint64 {
 		}
 		ev := e.pop()
 		if invariantsEnabled {
-			assertInvariant(ev.at >= e.now,
-				"stale event pop: event at %v behind clock %v (clock must never go backwards)", ev.at, e.now)
+			//lint:ignore alloc-hotpath debug-only assertion args; invariantsEnabled is constant-false in release builds
+			assertInvariant(ev.at >= e.now, "stale event pop: event at %v behind clock %v (clock must never go backwards)", ev.at, e.now)
 		}
 		e.now = ev.at
 		e.count++

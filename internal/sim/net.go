@@ -204,6 +204,7 @@ func (n *Network) newPacket() *Packet {
 		p.pooled = false
 		return p
 	}
+	//lint:ignore alloc-hotpath free-list miss: pool growth is amortised across the run
 	return &Packet{}
 }
 
@@ -212,6 +213,7 @@ func (n *Network) newPacket() *Packet {
 // with the packet for the next sampling pass.
 func (n *Network) freePacket(p *Packet) {
 	if invariantsEnabled {
+		//lint:ignore alloc-hotpath debug-only assertion args; invariantsEnabled is constant-false in release builds
 		assertInvariant(!p.pooled, "packet double-free/use-after-free: kind %d flow %v seq %d", p.Kind, p.Flow, p.Seq)
 	}
 	scratch := p.scratch
@@ -426,6 +428,7 @@ func (n *Network) enqueue(at topology.NodeID, lid topology.LinkID, pkt *Packet) 
 		// injection (source) or reservation (upstream transmission start).
 		q, ok := p.flowQ[pkt.Flow]
 		if !ok {
+			//lint:ignore alloc-hotpath one queue per (port, flow) pair on first use, not per packet
 			q = &pktQueue{}
 			p.flowQ[pkt.Flow] = q
 		}
@@ -472,6 +475,7 @@ func (n *Network) transmit(p *port) {
 		return
 	}
 	if invariantsEnabled {
+		//lint:ignore alloc-hotpath debug-only assertion args; invariantsEnabled is constant-false in release builds
 		assertInvariant(!pkt.pooled, "transmit of pooled packet: kind %d flow %v seq %d", pkt.Kind, pkt.Flow, pkt.Seq)
 	}
 	p.busy = true
@@ -549,6 +553,7 @@ func (n *Network) kickUpstream(node topology.NodeID, flow wire.FlowID) {
 // forwarding along its source route.
 func (n *Network) arrive(node topology.NodeID, pkt *Packet) {
 	if invariantsEnabled {
+		//lint:ignore alloc-hotpath debug-only assertion args; invariantsEnabled is constant-false in release builds
 		assertInvariant(!pkt.pooled, "arrival of pooled packet: kind %d flow %v seq %d", pkt.Kind, pkt.Flow, pkt.Seq)
 	}
 	switch pkt.Kind {

@@ -98,6 +98,11 @@ type R2C2 struct {
 	Retransmissions uint64
 	// BcastRetransmits counts §3.2 broadcast retransmissions after drops.
 	BcastRetransmits uint64
+
+	// tickCache maps view hashes to allocator runs within one recomputeTick
+	// round. It persists across ticks (cleared, not reallocated) so the
+	// periodic recomputation stays off the per-tick allocation budget.
+	tickCache map[uint64]*core.Allocation
 }
 
 type r2c2Node struct {
@@ -835,15 +840,19 @@ func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
 // share a single allocator run, keyed by the view hash.
 func (r *R2C2) recomputeTick() {
 	r.RecomputeRounds++
-	cache := make(map[uint64]*core.Allocation)
+	if r.tickCache == nil {
+		r.tickCache = make(map[uint64]*core.Allocation)
+	}
+	clear(r.tickCache) // reuse the buckets across ticks
 	for _, node := range r.nodes {
 		if len(node.flows) == 0 {
 			continue
 		}
-		alloc, ok := cache[node.view.Hash()]
+		h := node.view.Hash()
+		alloc, ok := r.tickCache[h]
 		if !ok {
 			alloc = r.rc.Compute(node.view)
-			cache[node.view.Hash()] = alloc
+			r.tickCache[h] = alloc
 			r.Recomputations++
 		}
 		for id, sf := range node.flows {

@@ -187,7 +187,8 @@ func (t *TCP) onRTO(s *tcpSender, seq uint64) {
 	}
 	s.cwnd = 1
 	s.dupAcks = 0
-	s.sent = make(map[uint32]simtime.Time)
+	clear(s.sent) // reuse the map's buckets: go-back-N retransmits refill it
+
 	s.nextSend = s.cumAcked
 	t.pump(s)
 }

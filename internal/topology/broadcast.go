@@ -54,21 +54,41 @@ func BuildBroadcastTrees(g *Graph, src NodeID, count int, rngSeed int64) []*Broa
 	}
 	rng := rand.New(rand.NewSource(rngSeed))
 	trees := make([]*BroadcastTree, count)
+	// Scratch shared by every tree of this source: per-vertex parent picks,
+	// per-parent child counts, and the candidate buffer. Building a FIB
+	// constructs sources × count trees, so per-vertex slice churn here
+	// dominated the simulator's setup allocations.
+	scratch := &treeScratch{
+		picks:      make([]LinkID, g.Vertices()),
+		counts:     make([]int, g.Vertices()),
+		candidates: make([]LinkID, 0, 8),
+	}
 	for i := 0; i < count; i++ {
-		trees[i] = buildOneTree(g, src, uint8(i), rng)
+		trees[i] = buildOneTree(g, src, uint8(i), rng, scratch)
 	}
 	return trees
 }
 
-func buildOneTree(g *Graph, src NodeID, id uint8, rng *rand.Rand) *BroadcastTree {
+type treeScratch struct {
+	picks      []LinkID // chosen parent link per vertex; -1 = not in tree
+	counts     []int    // children per parent vertex
+	candidates []LinkID
+}
+
+func buildOneTree(g *Graph, src NodeID, id uint8, rng *rand.Rand, sc *treeScratch) *BroadcastTree {
 	t := &BroadcastTree{
 		Root:     src,
 		ID:       id,
 		Children: make([][]LinkID, g.Vertices()),
 	}
+	for v := range sc.picks {
+		sc.picks[v] = -1
+		sc.counts[v] = 0
+	}
 	// For each non-root vertex pick a random parent among its predecessors
 	// at distance-1; this yields a shortest-path tree with randomised shape.
 	depth := 0
+	total := 0
 	for v := 0; v < g.Vertices(); v++ {
 		if NodeID(v) == src {
 			continue
@@ -80,18 +100,40 @@ func buildOneTree(g *Graph, src NodeID, id uint8, rng *rand.Rand) *BroadcastTree
 		if dv > depth {
 			depth = dv
 		}
-		var candidates []LinkID
+		candidates := sc.candidates[:0]
 		for _, lid := range g.In(NodeID(v)) {
 			p := g.Link(lid).From
 			if g.Dist(src, p) == dv-1 {
 				candidates = append(candidates, lid)
 			}
 		}
+		sc.candidates = candidates[:0]
 		if len(candidates) == 0 {
 			panic("topology: BFS invariant violated: reachable node without shortest-path parent")
 		}
 		pick := candidates[rng.Intn(len(candidates))]
-		t.Children[g.Link(pick).From] = append(t.Children[g.Link(pick).From], pick)
+		sc.picks[v] = pick
+		sc.counts[g.Link(pick).From]++
+		total++
+	}
+	// Bucket the picks into child lists carved out of one backing array
+	// instead of growing each parent's slice separately. Iterating vertices
+	// in ascending order preserves the original per-parent link order.
+	flat := make([]LinkID, 0, total)
+	off := 0
+	for p := 0; p < g.Vertices(); p++ {
+		if sc.counts[p] == 0 {
+			continue
+		}
+		t.Children[p] = flat[off : off : off+sc.counts[p]]
+		off += sc.counts[p]
+	}
+	for v := 0; v < g.Vertices(); v++ {
+		if sc.picks[v] < 0 {
+			continue
+		}
+		p := g.Link(sc.picks[v]).From
+		t.Children[p] = append(t.Children[p], sc.picks[v])
 	}
 	t.Depth = depth
 	return t

@@ -222,6 +222,7 @@ func (g *Graph) computeDistances() {
 // some shortest path from v to dst. succ[dst] is empty. Random packet
 // spraying picks uniformly among these at every hop (§2.2.1).
 func (g *Graph) MinimalSuccessors(dst NodeID) [][]LinkID {
+	//lint:ignore alloc-hotpath computed once per destination and cached by routing.Table.successors
 	succ := make([][]LinkID, g.total)
 	for v := 0; v < g.total; v++ {
 		dv := g.dist[v][dst]

@@ -110,6 +110,7 @@ func (g *Graph) Coord(id NodeID) []int {
 	if g.k == 0 {
 		panic("topology: Coord on non-cube graph")
 	}
+	//lint:ignore alloc-hotpath dims-bounded coordinate vector; callers run at route-build time, not per forwarded packet
 	c := make([]int, g.dims)
 	idToCoord(int(id), g.k, c)
 	return c
@@ -138,6 +139,7 @@ func (g *Graph) TorusOffset(a, b NodeID) []int {
 		panic("topology: TorusOffset on non-torus graph")
 	}
 	ca, cb := g.Coord(a), g.Coord(b)
+	//lint:ignore alloc-hotpath dims-bounded offset vector; callers run at route-build time, not per forwarded packet
 	off := make([]int, g.dims)
 	for d := 0; d < g.dims; d++ {
 		delta := ((cb[d]-ca[d])%g.k + g.k) % g.k // forward distance in [0,k)

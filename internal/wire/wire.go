@@ -150,10 +150,12 @@ func EncodeData(buf []byte, h *DataHeader, payload []byte) ([]byte, error) {
 		return buf, ErrRouteTooLong
 	}
 	if len(payload) != int(h.PLen) {
+		//lint:ignore alloc-hotpath error path: encoder misuse, unreachable for well-formed senders
 		return buf, fmt.Errorf("wire: payload length %d != plen %d", len(payload), h.PLen)
 	}
 	off := len(buf)
-	buf = append(buf, make([]byte, DataHeaderSize)...)
+	var pad [DataHeaderSize]byte // stack scratch: append(make(...)) would heap-allocate the pad
+	buf = append(buf, pad[:]...)
 	b := buf[off:]
 	b[0] = byte(TypeData)
 	b[1] = h.RLen
@@ -178,18 +180,35 @@ func EncodeData(buf []byte, h *DataHeader, payload []byte) ([]byte, error) {
 }
 
 // DecodeData parses a data packet, verifying type and checksum. The
-// returned payload aliases pkt.
+// returned payload aliases pkt. The destination-side hot path should use
+// DecodeDataInto with a reused header instead; DecodeData allocates one
+// per call.
 func DecodeData(pkt []byte) (*DataHeader, []byte, error) {
+	h := &DataHeader{}
+	payload, err := DecodeDataInto(pkt, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, payload, nil
+}
+
+// DecodeDataInto is DecodeData parsing into a caller-supplied header — the
+// destination decodes every payload packet, so the per-packet *DataHeader
+// of DecodeData would dominate the receive path's allocation budget. The
+// returned payload aliases pkt; on error *h is unspecified.
+//
+//r2c2:hotpath
+func DecodeDataInto(pkt []byte, h *DataHeader) ([]byte, error) {
 	if len(pkt) < DataHeaderSize {
-		return nil, nil, ErrShortPacket
+		return nil, ErrShortPacket
 	}
 	if PacketType(pkt[0]) != TypeData {
-		return nil, nil, ErrBadType
+		return nil, ErrBadType
 	}
 	if int(pkt[1]) > MaxRouteHops {
 		// The encoder never emits such a header; reject it so decoding and
 		// re-encoding are inverses on accepted packets.
-		return nil, nil, ErrRouteTooLong
+		return nil, ErrRouteTooLong
 	}
 	stored := binary.BigEndian.Uint16(pkt[15:])
 	var zeroed [DataHeaderSize]byte
@@ -197,9 +216,9 @@ func DecodeData(pkt []byte) (*DataHeader, []byte, error) {
 	zeroed[2] = 0 // ridx is hop-mutable and excluded from the checksum
 	zeroed[15], zeroed[16] = 0, 0
 	if checksum16(zeroed[:]) != stored {
-		return nil, nil, ErrBadChecksum
+		return nil, ErrBadChecksum
 	}
-	h := &DataHeader{
+	*h = DataHeader{
 		RLen: pkt[1],
 		RIdx: pkt[2],
 		Flow: FlowID(binary.BigEndian.Uint32(pkt[3:])),
@@ -210,9 +229,9 @@ func DecodeData(pkt []byte) (*DataHeader, []byte, error) {
 	}
 	copy(h.Route[:], pkt[19:35])
 	if len(pkt) < DataHeaderSize+int(h.PLen) {
-		return nil, nil, ErrShortPacket
+		return nil, ErrShortPacket
 	}
-	return h, pkt[DataHeaderSize : DataHeaderSize+int(h.PLen)], nil
+	return pkt[DataHeaderSize : DataHeaderSize+int(h.PLen)], nil
 }
 
 // Broadcast is the decoded 16-byte broadcast packet of Figure 6. It
@@ -260,6 +279,7 @@ func DecodeBroadcast(pkt []byte) (*Broadcast, error) {
 	if checksum8(pkt[:15]) != pkt[15] {
 		return nil, ErrBadChecksum
 	}
+	//lint:ignore alloc-hotpath one header per received control broadcast; broadcasts are per flow event, not per data packet
 	return &Broadcast{
 		Event:      EventKind(pkt[0] & 0xF),
 		Src:        binary.BigEndian.Uint16(pkt[1:]),
