@@ -627,3 +627,71 @@ func BenchmarkEmuDataPath(b *testing.B) {
 	}
 	b.SetBytes(1 << 20)
 }
+
+// Raw scheduler throughput: a ladder of self-rearming timers with spread
+// periods drains ~100k events through the hierarchical timer wheel — no
+// network, no transport, just schedule/advance/dispatch (DESIGN.md §12).
+// The per-timer callbacks are reused func values, so steady state measures
+// the wheel, not closure construction.
+func BenchmarkTimerWheel(b *testing.B) {
+	const (
+		timers = 64
+		fires  = 100_000
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := &sim.Engine{}
+		left := fires
+		for j := 0; j < timers; j++ {
+			// Periods span level 0 through level 2 of the wheel so the
+			// benchmark exercises placement and cascading, not one slot.
+			period := simtime.Time(j+1) * 37 * simtime.Nanosecond
+			var fn func()
+			fn = func() {
+				if left > 0 {
+					left--
+					eng.After(period, fn)
+				}
+			}
+			eng.After(period, fn)
+		}
+		for eng.Pending() {
+			eng.Run(eng.Now() + simtime.Millisecond)
+		}
+	}
+	b.ReportMetric(float64(fires+timers), "events/op")
+}
+
+// Mbuf-pool churn on the emulated rack: 2 KB flows are dominated by the
+// control plane — every one carves start/finish broadcast chains and a
+// handful of data segments out of the pool, fans the broadcasts out with
+// per-hop retains and releases everything back (DESIGN.md §12). Steady-state
+// allocs/op therefore measures pool recycling, not payload throughput.
+func BenchmarkEmuMbufPool(b *testing.B) {
+	g, err := topology.NewTorus(3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rack, err := emu.New(emu.Config{Graph: g, LinkMbps: 400, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rack.Start()
+	defer rack.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := rack.StartFlow(0, 4, 2048, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Wait(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := rack.MbufStats(); st.Released > 0 && b.N > 10 {
+		b.ReportMetric(float64(st.PeakLive), "peak-segs")
+	}
+}

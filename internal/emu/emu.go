@@ -69,6 +69,10 @@ type Config struct {
 // repaid with back-to-back sends; longer stalls are forgiven.
 const maxBurst = 5 * time.Millisecond
 
+// zeroPayload is the shared read-only payload source — the emulated app
+// sends zero bytes. Replaces the former per-sender 1500-byte scratch.
+var zeroPayload [1500]byte
+
 func (c *Config) defaults() {
 	if c.LinkMbps == 0 {
 		c.LinkMbps = 200
@@ -128,6 +132,10 @@ type Rack struct {
 	// drop probability installed).
 	lossMu  sync.Mutex
 	lossRng *rand.Rand
+
+	// pool is the rack-wide mbuf segment pool (mbuf.go) every packet
+	// buffer is carved from.
+	pool mbufPool
 }
 
 // fabricState is the routing state of one fabric generation: the table and
@@ -165,7 +173,7 @@ func (st *fabricState) physInPlace(path []topology.LinkID) {
 }
 
 type emuPort struct {
-	ch       chan []byte
+	ch       chan emuPkt
 	queued   atomic.Int64 // bytes
 	maxSeen  atomic.Int64 // max queued bytes observed
 	sent     atomic.Uint64
@@ -313,7 +321,7 @@ func New(cfg Config) (*Rack, error) {
 	})
 	r.ports = make([]*emuPort, cfg.Graph.NumLinks())
 	for i := range r.ports {
-		r.ports[i] = &emuPort{ch: make(chan []byte, cfg.QueuePackets)}
+		r.ports[i] = &emuPort{ch: make(chan emuPkt, cfg.QueuePackets)}
 	}
 	r.nodes = make([]*emuNode, cfg.Graph.Nodes())
 	for i := range r.nodes {
@@ -349,6 +357,9 @@ func (r *Rack) Stop() {
 // Drops returns packets lost to full port queues.
 func (r *Rack) Drops() uint64 { return r.drops.Load() }
 
+// MbufStats returns a snapshot of the rack's packet-buffer pool.
+func (r *Rack) MbufStats() MbufPoolStats { return r.pool.stats() }
+
 // MaxQueueBytes returns the maximum queue occupancy observed per port.
 func (r *Rack) MaxQueueBytes() []int64 {
 	out := make([]int64, len(r.ports))
@@ -374,11 +385,12 @@ func (r *Rack) linkLoop(lid topology.LinkID) {
 		case <-r.ctx.Done():
 			return
 		case pkt := <-p.ch:
-			p.queued.Add(int64(-len(pkt)))
+			p.queued.Add(int64(-len(pkt.buf)))
 			if p.dead.Load() {
 				// Failed link: everything queued at failure time (or racing
 				// the enqueue-side dead check) is lost.
 				r.drops.Add(1)
+				r.release(pkt)
 				continue
 			}
 			// Token-bucket pacing with bounded catch-up: when the OS timer
@@ -389,7 +401,7 @@ func (r *Rack) linkLoop(lid topology.LinkID) {
 			if floor := now.Add(-maxBurst); next.Before(floor) {
 				next = floor
 			}
-			next = next.Add(time.Duration(len(pkt)) * perByte)
+			next = next.Add(time.Duration(len(pkt.buf)) * perByte)
 			// Batch small sleeps: exact pacing below the OS timer
 			// resolution is impossible, but long-run rates stay exact.
 			if wait := next.Sub(r.clk.now()); wait > 500*time.Microsecond {
@@ -399,8 +411,8 @@ func (r *Rack) linkLoop(lid topology.LinkID) {
 					return
 				}
 			}
-			p.sent.Add(uint64(len(pkt)))
-			r.receive(to, pkt)
+			p.sent.Add(uint64(len(pkt.buf)))
+			r.receive(to, pkt) // receive owns the packet's reference from here
 		}
 	}
 }
@@ -422,16 +434,19 @@ func (r *Rack) lossy(p *emuPort) bool {
 	return false
 }
 
-// enqueue drops the packet if the port queue is full, mirroring drop-tail.
-func (r *Rack) enqueue(lid topology.LinkID, pkt []byte) bool {
+// enqueue consumes one reference on pkt: the reference transfers to the
+// port channel on success and is released here on a drop (full queue, dead
+// link, lossy roll) — drop-tail semantics either way.
+func (r *Rack) enqueue(lid topology.LinkID, pkt emuPkt) bool {
 	p := r.ports[lid]
 	if r.lossy(p) {
 		r.drops.Add(1)
+		r.release(pkt)
 		return false
 	}
 	select {
 	case p.ch <- pkt:
-		q := p.queued.Add(int64(len(pkt)))
+		q := p.queued.Add(int64(len(pkt.buf)))
 		for {
 			max := p.maxSeen.Load()
 			if q <= max || p.maxSeen.CompareAndSwap(max, q) {
@@ -442,57 +457,71 @@ func (r *Rack) enqueue(lid topology.LinkID, pkt []byte) bool {
 		return true
 	default:
 		r.drops.Add(1)
+		r.release(pkt)
 		return false
 	}
 }
 
 // receive is the per-node forwarding layer (§3.5): zero-copy next-hop
-// lookup for transit packets, full decode only at the destination.
+// lookup for transit packets, full decode only at the destination. It
+// consumes the packet's reference: forwarding transfers it to the next
+// port's channel, every terminating path (delivery, corruption, flood end)
+// releases it.
 //
 //r2c2:hotpath
-func (r *Rack) receive(at topology.NodeID, pkt []byte) {
+func (r *Rack) receive(at topology.NodeID, pkt emuPkt) {
+	b := pkt.buf
 	switch {
-	case wire.PacketType(pkt[0]) == wire.TypeData:
-		dst := topology.NodeID(binary.BigEndian.Uint16(pkt[9:11]))
+	case wire.PacketType(b[0]) == wire.TypeData:
+		dst := topology.NodeID(binary.BigEndian.Uint16(b[9:11]))
 		if dst == at {
 			r.deliverData(at, pkt)
 			return
 		}
-		ridx := pkt[2]
-		if ridx >= pkt[1] {
+		ridx := b[2]
+		if ridx >= b[1] {
 			panic(fmt.Sprintf("emu: route exhausted at node %d for dst %d", at, dst))
 		}
 		bit := int(ridx) * 3
-		port := pkt[19+bit/8] >> (bit % 8)
+		port := b[19+bit/8] >> (bit % 8)
 		if bit%8 > 5 {
-			port |= pkt[19+bit/8+1] << (8 - bit%8)
+			port |= b[19+bit/8+1] << (8 - bit%8)
 		}
 		port &= 0x7
-		pkt[2] = ridx + 1
+		// In-place RIdx increment: data packets are single-reference end to
+		// end (only broadcasts fan out), so no other reader can see this.
+		b[2] = ridx + 1
 		out := r.cfg.Graph.Out(at)
 		if int(port) >= len(out) {
 			panic(fmt.Sprintf("emu: bad port %d at node %d", port, at))
 		}
 		r.enqueue(out[port], pkt)
-	case wire.PacketType(pkt[0]>>4) == wire.TypeBroadcast:
-		b, err := wire.DecodeBroadcast(pkt)
+	case wire.PacketType(b[0]>>4) == wire.TypeBroadcast:
+		bc, err := wire.DecodeBroadcast(b)
 		if err != nil {
 			r.drops.Add(1) // corrupted control packet
+			r.release(pkt)
 			return
 		}
-		if topology.NodeID(b.Src) != at {
+		if topology.NodeID(bc.Src) != at {
 			n := r.nodes[at]
 			n.mu.Lock()
-			_ = n.view.Apply(b)
+			_ = n.view.Apply(bc)
 			n.mu.Unlock()
 		}
-		r.forwardBroadcast(at, topology.NodeID(b.Src), b.Tree, pkt)
+		r.forwardBroadcast(at, topology.NodeID(bc.Src), bc.Tree, pkt)
+		r.release(pkt) // this hop's reference; children hold their own
 	default:
 		r.drops.Add(1)
+		r.release(pkt)
 	}
 }
 
-func (r *Rack) forwardBroadcast(at, src topology.NodeID, tree uint8, pkt []byte) {
+// forwardBroadcast fans pkt out to the broadcast tree's children at this
+// node: the same read-only segment is enqueued to every child port with
+// one retained reference each. The caller keeps (and must release) its own
+// reference.
+func (r *Rack) forwardBroadcast(at, src topology.NodeID, tree uint8, pkt emuPkt) {
 	st := r.fabric.Load()
 	hops, ok := st.fib.NextHops(src, tree, at)
 	if !ok {
@@ -504,8 +533,19 @@ func (r *Rack) forwardBroadcast(at, src topology.NodeID, tree uint8, pkt []byte)
 		return
 	}
 	for _, lid := range st.phys(hops) {
-		r.enqueue(lid, pkt) // same read-only buffer fans out to all children
+		pkt.retain()
+		r.enqueue(lid, pkt)
 	}
+}
+
+// newBcastPkt encodes a broadcast into a pooled segment (ref 1, owned by
+// the caller: forward it, then release).
+func (r *Rack) newBcastPkt(b *wire.Broadcast) emuPkt {
+	seg := r.pool.get()
+	enc := wire.EncodeBroadcast(b)
+	n := copy(seg.data[:], enc[:])
+	seg.n = n
+	return emuPkt{buf: seg.data[:n], seg: seg}
 }
 
 // deliverData terminates a data packet at its destination: header decode
@@ -514,9 +554,10 @@ func (r *Rack) forwardBroadcast(at, src topology.NodeID, tree uint8, pkt []byte)
 // completion.
 //
 //r2c2:hotpath
-func (r *Rack) deliverData(at topology.NodeID, pkt []byte) {
+func (r *Rack) deliverData(at topology.NodeID, pkt emuPkt) {
+	defer r.release(pkt) // payload is consumed before this frame returns
 	var h wire.DataHeader
-	payload, err := wire.DecodeDataInto(pkt, &h)
+	payload, err := wire.DecodeDataInto(pkt.buf, &h)
 	if err != nil {
 		r.drops.Add(1)
 		return
@@ -642,8 +683,9 @@ func (r *Rack) startFlow(src, dst topology.NodeID, size int64, weight, priority 
 	r.flows[id] = f
 	r.flowsMu.Unlock()
 
-	pkt := wire.EncodeBroadcast(info.StartBroadcast(tree))
-	r.forwardBroadcast(src, src, tree, pkt[:])
+	pkt := r.newBcastPkt(info.StartBroadcast(tree))
+	r.forwardBroadcast(src, src, tree, pkt)
+	r.release(pkt)
 
 	r.wg.Add(1)
 	go r.flowSender(n, f)
@@ -655,10 +697,10 @@ func (r *Rack) startFlow(src, dst topology.NodeID, size int64, weight, priority 
 // packet, and injects it into the first-hop port (blocking on a full NIC
 // queue, which is sender-side back-pressure, not network drop-tail).
 //
-// Steady state allocates one []byte per packet — the buffer whose
-// ownership transfers to the port channel — and nothing else: path
-// sampling, route encoding and the payload source all reuse per-sender
-// buffers.
+// Steady state allocates nothing: packet buffers come from the rack's
+// mbuf pool (released by whoever terminates the packet), and path
+// sampling, route encoding and the payload source all reuse per-sender or
+// shared buffers.
 //
 //r2c2:hotpath
 func (r *Rack) flowSender(n *emuNode, f *Flow) {
@@ -669,8 +711,6 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 	next := r.clk.now()
 
 	// Per-sender scratch, reused across packets.
-	//lint:ignore alloc-hotpath per-flow setup, amortised over every packet sent
-	zeros := make([]byte, 1500) // payload source: the emulated app sends zero bytes
 	var pathBuf []topology.LinkID
 	var portBuf wire.Route
 	var h wire.DataHeader
@@ -718,8 +758,9 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 						tree := n.nextTree
 						n.nextTree = (n.nextTree + 1) % uint8(r.cfg.TreesPerSource)
 						n.mu.Unlock()
-						pkt := wire.EncodeBroadcast(f.Info.DemandBroadcast(tree))
-						r.forwardBroadcast(f.Info.Src, f.Info.Src, tree, pkt[:])
+						pkt := r.newBcastPkt(f.Info.DemandBroadcast(tree))
+						r.forwardBroadcast(f.Info.Src, f.Info.Src, tree, pkt)
+						r.release(pkt)
 					} else {
 						n.mu.Unlock()
 					}
@@ -795,24 +836,26 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 			PLen:  uint16(payload),
 			Route: route,
 		}
-		// The packet buffer is the one deliberate per-packet allocation: its
-		// ownership transfers to the port channel and ultimately the
-		// receiver, so it cannot be pooled here without a free path back.
-		//lint:ignore alloc-hotpath buffer ownership transfers to the channel; no free path back to the sender
-		buf := make([]byte, 0, wire.DataHeaderSize+int(payload))
-		buf, err = wire.EncodeData(buf, &h, zeros[:payload])
+		// The packet buffer is an mbuf-pool segment: one MTU packet fits a
+		// single 2 KiB segment, so EncodeData appends into seg.data without
+		// growth, and whoever terminates the packet releases the segment.
+		seg := r.pool.get()
+		buf, err := wire.EncodeData(seg.data[:0], &h, zeroPayload[:payload])
 		if err != nil {
 			panic(err)
 		}
+		seg.n = len(buf)
+		pkt := emuPkt{buf: buf, seg: seg}
 		// Blocking send into the first-hop port: NIC back-pressure. A dead
 		// or lossy first hop consumes the packet without queueing it (the
 		// NIC "sent" it onto the failed cable), so pacing still advances.
 		p := r.ports[path[0]]
 		if r.lossy(p) {
 			r.drops.Add(1)
+			r.release(pkt)
 		} else {
 			select {
-			case p.ch <- buf:
+			case p.ch <- pkt:
 				q := p.queued.Add(int64(len(buf)))
 				for {
 					max := p.maxSeen.Load()
@@ -822,8 +865,10 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 				}
 				p.enqueued.Add(1)
 			case <-r.ctx.Done():
+				r.release(pkt)
 				return
 			case <-f.aborted:
+				r.release(pkt)
 				return
 			}
 		}
@@ -854,8 +899,9 @@ func (r *Rack) flowSender(n *emuNode, f *Flow) {
 	tree := n.nextTree
 	n.nextTree = (n.nextTree + 1) % uint8(r.cfg.TreesPerSource)
 	n.mu.Unlock()
-	pkt := wire.EncodeBroadcast(f.Info.FinishBroadcast(tree))
-	r.forwardBroadcast(f.Info.Src, f.Info.Src, tree, pkt[:])
+	pkt := r.newBcastPkt(f.Info.FinishBroadcast(tree))
+	r.forwardBroadcast(f.Info.Src, f.Info.Src, tree, pkt)
+	r.release(pkt)
 }
 
 // diverges reports whether a new demand estimate differs enough from the

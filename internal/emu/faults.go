@@ -288,8 +288,9 @@ func (r *Rack) swapFabric() {
 		n.mu.Unlock()
 	}
 	for _, a := range anns {
-		pkt := wire.EncodeBroadcast(a.b)
-		r.forwardBroadcast(a.src, a.src, a.tree, pkt[:])
+		pkt := r.newBcastPkt(a.b)
+		r.forwardBroadcast(a.src, a.src, a.tree, pkt)
+		r.release(pkt)
 	}
 }
 

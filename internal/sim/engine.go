@@ -52,20 +52,38 @@ type event struct {
 }
 
 // Engine is a deterministic discrete-event scheduler with a picosecond
-// clock. The zero value is ready to use. Events live in an in-package
-// value heap (no container/heap interface boxing); typed events dispatch
-// through receivers registered by NewNetwork / NewR2C2 / NewTCP.
+// clock. The zero value is ready to use and schedules through the
+// hierarchical timer wheel (wheel.go); UseLegacyHeap switches a fresh
+// engine back to the value min-heap, kept as the differential oracle for
+// the wheel (scheduler_oracle_test.go). Typed events dispatch through
+// receivers registered by NewNetwork / NewR2C2 / NewTCP.
 type Engine struct {
 	now    simtime.Time
 	nextID uint64
-	events []event // binary min-heap by (at, seq)
 	count  uint64
+
+	wheel timerWheel
+
+	legacyHeap bool
+	events     []event // legacy binary min-heap by (at, seq)
 
 	// Typed-event receivers, registered at construction time by the
 	// same-package wiring (one Network and at most one transport per run).
 	net *Network
 	r2  *R2C2
 	tcp *TCP
+}
+
+// UseLegacyHeap switches the engine to the value min-heap scheduler that
+// predates the timer wheel. The heap keeps superseded timers as
+// generation-guarded tombstones (cancelTimer becomes a no-op), so
+// Processed() counts their no-op fires; live-event dispatch order is
+// byte-identical to the wheel's. Must be called before any scheduling.
+func (e *Engine) UseLegacyHeap() {
+	if e.nextID != 0 {
+		panic("sim: UseLegacyHeap after events were scheduled")
+	}
+	e.legacyHeap = true
 }
 
 // Now returns the current simulated time.
@@ -80,25 +98,47 @@ func (e *Engine) Schedule(at simtime.Time, fn func()) {
 	e.schedule(at, event{kind: evFunc, fn: fn})
 }
 
-// After schedules fn delay from now.
+// After schedules fn delay from now. A delay that would overflow
+// simulated time panics explicitly (e.now+delay wraps negative, which
+// would otherwise surface as a misleading scheduled-in-the-past panic —
+// or, were the past-check ever relaxed, silently corrupt event order).
 func (e *Engine) After(delay simtime.Time, fn func()) {
-	e.Schedule(e.now+delay, fn)
+	e.after(delay, event{kind: evFunc, fn: fn})
 }
 
-// schedule pushes a typed event record at an absolute time.
-func (e *Engine) schedule(at simtime.Time, ev event) {
+// schedule files a typed event record at an absolute time and returns its
+// cancellation handle. Under the legacy heap the handle is inert:
+// cancelTimer no-ops and callers fall back to generation guards.
+func (e *Engine) schedule(at simtime.Time, ev event) timerHandle {
 	if at < e.now {
 		panic("sim: event scheduled in the past")
 	}
 	ev.at = at
 	ev.seq = e.nextID
 	e.nextID++
-	e.push(ev)
+	if e.legacyHeap {
+		e.push(ev)
+		return timerHandle{}
+	}
+	return e.wheel.schedule(ev)
 }
 
-// after pushes a typed event record delay from now.
-func (e *Engine) after(delay simtime.Time, ev event) {
-	e.schedule(e.now+delay, ev)
+// after files a typed event record delay from now.
+func (e *Engine) after(delay simtime.Time, ev event) timerHandle {
+	at := e.now + delay
+	if delay >= 0 && at < e.now {
+		panic("sim: delay overflows simulated time")
+	}
+	return e.schedule(at, ev)
+}
+
+// cancelTimer removes a scheduled event by handle. Stale or zero handles
+// (already fired, already cancelled, or issued by the legacy heap) are
+// ignored, so callers may cancel unconditionally.
+func (e *Engine) cancelTimer(h timerHandle) {
+	if h.idx != 0 && !e.legacyHeap {
+		e.wheel.cancel(h)
+	}
 }
 
 // less orders the heap by timestamp, then insertion sequence (FIFO among
@@ -164,6 +204,52 @@ func (e *Engine) pop() event {
 //
 //r2c2:hotpath
 func (e *Engine) Run(until simtime.Time) uint64 {
+	if e.legacyHeap {
+		return e.runHeap(until)
+	}
+	start := e.count
+	for {
+		idx := e.wheel.peek()
+		if idx == 0 || e.wheel.nodes[idx-1].ev.at > until {
+			break
+		}
+		ev := e.wheel.pop()
+		if invariantsEnabled {
+			//lint:ignore alloc-hotpath debug-only assertion args; invariantsEnabled is constant-false in release builds
+			assertInvariant(ev.at >= e.now, "stale event pop: event at %v behind clock %v (clock must never go backwards)", ev.at, e.now)
+		}
+		e.now = ev.at
+		e.count++
+		e.dispatch(ev)
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.count - start
+}
+
+// dispatch routes one popped event to its typed receiver.
+//
+//r2c2:hotpath
+func (e *Engine) dispatch(ev event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evTxDone:
+		e.net.transmitDone(ev.port, ev.pkt)
+	case evArrive:
+		e.net.arrive(ev.node, ev.pkt)
+	case evSend:
+		e.r2.sendNext(ev.rn, ev.sf)
+	case evRTO:
+		e.r2.onRTO(ev.rn, ev.sf, ev.u64)
+	case evTCPRTO:
+		e.tcp.onRTO(ev.ts, ev.u64)
+	}
+}
+
+// runHeap is Run under the legacy min-heap scheduler.
+func (e *Engine) runHeap(until simtime.Time) uint64 {
 	start := e.count
 	for len(e.events) > 0 {
 		if e.events[0].at > until {
@@ -176,20 +262,7 @@ func (e *Engine) Run(until simtime.Time) uint64 {
 		}
 		e.now = ev.at
 		e.count++
-		switch ev.kind {
-		case evFunc:
-			ev.fn()
-		case evTxDone:
-			e.net.transmitDone(ev.port, ev.pkt)
-		case evArrive:
-			e.net.arrive(ev.node, ev.pkt)
-		case evSend:
-			e.r2.sendNext(ev.rn, ev.sf)
-		case evRTO:
-			e.r2.onRTO(ev.rn, ev.sf, ev.u64)
-		case evTCPRTO:
-			e.tcp.onRTO(ev.ts, ev.u64)
-		}
+		e.dispatch(ev)
 	}
 	if e.now < until {
 		e.now = until
@@ -197,5 +270,23 @@ func (e *Engine) Run(until simtime.Time) uint64 {
 	return e.count - start
 }
 
-// Pending reports whether any events remain scheduled.
-func (e *Engine) Pending() bool { return len(e.events) > 0 }
+// Pending reports whether any events remain scheduled. Under the wheel,
+// cancelled timers do not count; under the legacy heap their tombstones do
+// (they still occupy the schedule until their no-op fire).
+func (e *Engine) Pending() bool {
+	if e.legacyHeap {
+		return len(e.events) > 0
+	}
+	return e.wheel.count > 0
+}
+
+// PendingEvents returns how many events are currently scheduled — live
+// events only under the wheel, tombstones included under the legacy heap.
+// The RTO-cancellation regression test uses this to assert the schedule
+// stays O(in-flight timers) rather than O(acks).
+func (e *Engine) PendingEvents() int {
+	if e.legacyHeap {
+		return len(e.events)
+	}
+	return e.wheel.count
+}

@@ -59,8 +59,12 @@ type Packet struct {
 	// interned per-flow routes set Path directly, leaving scratch parked so
 	// its capacity survives runs that mix sampled and interned routes.
 	scratch []topology.LinkID
+	// slab back-links the packet to the arena segment it was carved from
+	// (arena.go); slabIdx is its slot. Both survive freePacket's zeroing.
+	slab    *pktSlab
+	slabIdx uint8
 	// pooled is the use-after-free debug tag: true only while the packet
-	// sits in the free list. Hot-path touches assert it is false when
+	// sits free in its slab. Hot-path touches assert it is false when
 	// invariantsEnabled (-tags debug).
 	pooled bool
 }
@@ -130,7 +134,17 @@ type pktQueue struct {
 
 func (q *pktQueue) len() int { return len(q.pkts) - q.head }
 
-func (q *pktQueue) push(p *Packet) { q.pkts = append(q.pkts, p) }
+func (q *pktQueue) push(p *Packet) {
+	if q.pkts == nil {
+		// First use: size the backing array for a plausible burst up front.
+		// Queues keep their capacity across the head-compaction in pop, so
+		// this is the only allocation a queue that stays under 32 deep ever
+		// makes (versus ~6 doubling steps from nil).
+		//lint:ignore alloc-hotpath one-time per-queue backing allocation, amortised across the run
+		q.pkts = make([]*Packet, 0, 32)
+	}
+	q.pkts = append(q.pkts, p)
+}
 
 func (q *pktQueue) peek() *Packet { return q.pkts[q.head] }
 
@@ -178,10 +192,11 @@ type Network struct {
 	// traversals — the §3.2 / Figure 9 overhead metric.
 	BcastBytesOnWire uint64
 
-	// free is the per-run packet free list: delivered and dropped packets
-	// are recycled instead of garbage-collected, keeping the steady-state
-	// data path allocation-free.
-	free []*Packet
+	// arena carves packets from fixed-size slabs (arena.go): delivered and
+	// dropped packets recycle through their slab's free stack, keeping the
+	// steady-state data path allocation-free, while slabs that drain after
+	// a burst are released instead of pinning peak packet memory.
+	arena pktArena
 
 	// Random-loss state (fault injection): lossProb[lid] is the probability
 	// a packet enqueued on lid is dropped. nil until SetLinkDropProb is
@@ -190,38 +205,36 @@ type Network struct {
 	lossRng  *rand.Rand
 }
 
-// newPacket takes a zeroed packet from the free list (or allocates one).
-// A recycled packet keeps its private scratch buffer, truncated to length
-// zero, so route sampling reuses its capacity.
+// newPacket takes a zeroed packet slot from the arena. A recycled packet
+// keeps its private scratch buffer, truncated to length zero, so route
+// sampling reuses its capacity.
 func (n *Network) newPacket() *Packet {
-	if k := len(n.free) - 1; k >= 0 {
-		p := n.free[k]
-		n.free[k] = nil
-		n.free = n.free[:k]
-		if invariantsEnabled {
-			assertInvariant(p.pooled, "free-list entry not marked pooled")
-		}
-		p.pooled = false
-		return p
+	p := n.arena.alloc()
+	if invariantsEnabled {
+		assertInvariant(p.pooled, "arena slot not marked pooled")
 	}
-	//lint:ignore alloc-hotpath free-list miss: pool growth is amortised across the run
-	return &Packet{}
+	p.pooled = false
+	return p
 }
 
-// freePacket zeroes pkt and returns it to the free list. Path is detached
-// (shared interned routes must never be recycled); the scratch buffer stays
-// with the packet for the next sampling pass.
+// freePacket zeroes pkt and returns its slot to the arena. Path is detached
+// (shared interned routes must never be recycled); the scratch buffer and
+// slab back-link stay with the packet.
 func (n *Network) freePacket(p *Packet) {
 	if invariantsEnabled {
 		//lint:ignore alloc-hotpath debug-only assertion args; invariantsEnabled is constant-false in release builds
 		assertInvariant(!p.pooled, "packet double-free/use-after-free: kind %d flow %v seq %d", p.Kind, p.Flow, p.Seq)
 	}
-	scratch := p.scratch
+	scratch, slab, slabIdx := p.scratch, p.slab, p.slabIdx
 	*p = Packet{}
 	p.scratch = scratch[:0]
+	p.slab, p.slabIdx = slab, slabIdx
 	p.pooled = true
-	n.free = append(n.free, p)
+	n.arena.free(p)
 }
+
+// ArenaStats returns a snapshot of the packet arena's occupancy.
+func (n *Network) ArenaStats() ArenaStats { return n.arena.stats() }
 
 // NewNetwork builds the fabric simulator and registers it as the engine's
 // typed-event receiver (one Network per Engine).
@@ -233,8 +246,11 @@ func NewNetwork(g *topology.Graph, eng *Engine, cfg NetConfig) *Network {
 	}
 	eng.net = n
 	n.ports = make([]*port, g.NumLinks())
+	backing := make([]port, g.NumLinks()) // one slab for all port structs
 	for lid := 0; lid < g.NumLinks(); lid++ {
-		p := &port{id: topology.LinkID(lid), to: g.Link(topology.LinkID(lid)).To}
+		p := &backing[lid]
+		p.id = topology.LinkID(lid)
+		p.to = g.Link(topology.LinkID(lid)).To
 		if cfg.PerFlowQueues {
 			p.flowQ = make(map[wire.FlowID]*pktQueue)
 		}

@@ -132,8 +132,9 @@ type senderFlow struct {
 	totalPkts uint32
 	nextChunk uint32 // next chunk to transmit (pulled back on RTO)
 	cumAcked  uint32 // chunks acknowledged in order
-	rtoSeq    uint64 // invalidates stale RTO timers
+	rtoSeq    uint64      // invalidates stale RTO timers (legacy-heap guard)
 	rtoArmed  bool
+	rtoTimer  timerHandle // wheel handle: cancels the pending timer outright
 
 	// route is the flow's interned source route when its protocol is
 	// deterministic (DOR): computed once, shared by reference across all the
@@ -695,7 +696,17 @@ func (r *R2C2) armRTO(node *r2c2Node, sf *senderFlow) {
 	}
 	sf.rtoArmed = true
 	sf.rtoSeq++
-	r.Net.Eng.after(r.Cfg.RTO, event{kind: evRTO, rn: node, sf: sf, u64: sf.rtoSeq})
+	sf.rtoTimer = r.Net.Eng.after(r.Cfg.RTO, event{kind: evRTO, rn: node, sf: sf, u64: sf.rtoSeq})
+}
+
+// disarmRTO invalidates a pending retransmission timer. Under the wheel
+// the event leaves the schedule immediately; under the legacy heap the
+// handle is inert and the rtoSeq bump tombstones it until its no-op fire.
+func (r *R2C2) disarmRTO(sf *senderFlow) {
+	sf.rtoArmed = false
+	sf.rtoSeq++
+	r.Net.Eng.cancelTimer(sf.rtoTimer)
+	sf.rtoTimer = timerHandle{}
 }
 
 // onRTO pulls the send pointer back to the cumulative-ack point: go-back-N
@@ -725,8 +736,7 @@ func (r *R2C2) receiveAck(pkt *Packet) {
 		if sf.cumAcked > sf.nextChunk {
 			sf.nextChunk = sf.cumAcked
 		}
-		sf.rtoArmed = false
-		sf.rtoSeq++
+		r.disarmRTO(sf)
 		if sf.cumAcked >= sf.totalPkts {
 			r.finishSender(node, sf)
 			return

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+)
+
+// maxPendingDuringReliableRun drives one large reliable flow (every ack
+// disarms and re-arms the RTO) and samples the scheduler's pending-event
+// count every 20µs while the transfer is in progress.
+func maxPendingDuringReliableRun(t *testing.T, legacyHeap bool) int {
+	t.Helper()
+	g := torus(t, 4, 2)
+	eng := &Engine{}
+	if legacyHeap {
+		eng.UseLegacyHeap()
+	}
+	net := NewNetwork(g, eng, NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond})
+	r := NewR2C2(net, routing.NewTable(g), R2C2Config{
+		Headroom:  0.05,
+		Protocol:  routing.RPS,
+		Recompute: 100 * simtime.Microsecond,
+		Reliable:  true,
+		RTO:       200 * simtime.Microsecond,
+	})
+	id := r.StartFlow(0, 5, 4<<20, 1, 0)
+
+	maxPending := 0
+	var probe func()
+	probe = func() {
+		if rec := r.Ledger()[id]; rec != nil && rec.Done {
+			return
+		}
+		if p := eng.PendingEvents(); p > maxPending {
+			maxPending = p
+		}
+		eng.After(20*simtime.Microsecond, probe)
+	}
+	eng.Schedule(0, probe)
+	eng.Run(2 * simtime.Second)
+	if !r.Ledger()[id].Done {
+		t.Fatal("flow incomplete")
+	}
+	return maxPending
+}
+
+// Regression for the RTO-tombstone heap bloat: a superseded retransmission
+// timer must leave the schedule when it is cancelled, so the pending-event
+// count during an ack-heavy reliable run stays O(in-flight timers and
+// packets) — NOT O(acks within one RTO window). The legacy heap keeps one
+// generation-guarded tombstone per ack re-arm alive for a full RTO
+// (200µs ≈ 160 acks at 10 Gbps), so it fails the bound the wheel meets.
+func TestCancelledRTOsLeaveSchedule(t *testing.T) {
+	// Generous bound: in-flight data+ack packets on an 8-node path plus
+	// pacing/recompute events is a few dozen; one RTO window of ack
+	// tombstones is >100.
+	const bound = 60
+	wheelMax := maxPendingDuringReliableRun(t, false)
+	t.Logf("wheel max pending = %d", wheelMax)
+	if wheelMax > bound {
+		t.Fatalf("wheel scheduler pending events peaked at %d (> %d): cancelled RTO timers are not leaving the schedule", wheelMax, bound)
+	}
+	heapMax := maxPendingDuringReliableRun(t, true)
+	t.Logf("legacy heap max pending = %d", heapMax)
+	if heapMax <= bound {
+		t.Fatalf("legacy heap pending peaked at %d (<= %d): the regression scenario is no longer ack-heavy enough to distinguish tombstoning", heapMax, bound)
+	}
+}

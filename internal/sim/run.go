@@ -57,6 +57,12 @@ type RunConfig struct {
 	// MaxTime hard-stops the simulation; incomplete flows are reported as
 	// such. Zero means 100 ms after the last arrival.
 	MaxTime simtime.Time
+
+	// LegacyHeapScheduler runs the engine on the pre-wheel value min-heap
+	// instead of the hierarchical timer wheel. The two produce byte-identical
+	// Results apart from Events (the heap fires superseded RTO tombstones as
+	// no-ops and counts them); scheduler_oracle_test.go holds them equal.
+	LegacyHeapScheduler bool
 }
 
 // Results aggregates everything the §5 figures need from one run.
@@ -98,6 +104,9 @@ func Run(cfg RunConfig) *Results {
 		panic(fmt.Sprintf("sim: fault schedules require TransportR2C2, got %v", cfg.Transport))
 	}
 	eng := &Engine{}
+	if cfg.LegacyHeapScheduler {
+		eng.UseLegacyHeap()
+	}
 	net := NewNetwork(cfg.Graph, eng, cfg.Net)
 	tab := routing.NewTable(cfg.Graph)
 

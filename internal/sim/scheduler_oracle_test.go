@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"r2c2/internal/faults"
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/stats"
+	"r2c2/internal/topology"
+	"r2c2/internal/trafficgen"
+)
+
+// Differential oracle for the timer wheel: every workload below runs once
+// under the hierarchical wheel (the default) and once under the legacy value
+// min-heap it replaced, and the two Results must match byte for byte —
+// every flow record, every raw statistics sample, every counter.
+//
+// The one legitimate divergence is Results.Events: the heap keeps superseded
+// RTO timers as generation-guarded tombstones and counts their no-op fires
+// in Processed(), while the wheel removes them at cancel time and never
+// fires them. Events is therefore excluded from the equality check and
+// asserted wheel <= heap instead (strictly smaller whenever a workload
+// cancels timers at all).
+
+// oracleWorkloads returns one RunConfig per representative workload class:
+// plain R2C2/RPS, reliable R2C2 with RTOs racing acks (the path the wheel's
+// O(1) cancel exists for), the TCP and PFQ baselines, and the fault-soak
+// schedule from TestFaultSoakEightNodeRack (reroutes, retransmissions and
+// drops under link flaps plus a node crash).
+func oracleWorkloads(t *testing.T) map[string]RunConfig {
+	t.Helper()
+	small, err := topology.NewTorus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soakG, err := topology.NewTorus(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.Generate(soakG, faults.GenConfig{
+		Seed:    42,
+		Horizon: 20 * time.Millisecond,
+		Flaps:   2,
+		Crash:   true,
+		DownFor: 4 * time.Millisecond,
+		Detect:  200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson := func(g *topology.Graph, n int, seed int64, size int64) []trafficgen.Arrival {
+		return trafficgen.FixedSize(trafficgen.PoissonConfig{
+			Nodes:        g.Nodes(),
+			MeanInterval: 50 * simtime.Microsecond,
+			Count:        n,
+			Seed:         seed,
+		}, size)
+	}
+	net := NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond}
+	return map[string]RunConfig{
+		"r2c2-rps": {
+			Graph: small, Net: net, Transport: TransportR2C2,
+			R2C2: R2C2Config{
+				Headroom: 0.05, Protocol: routing.RPS,
+				Recompute: 100 * simtime.Microsecond,
+			},
+			Arrivals: poisson(small, 40, 11, 128<<10),
+		},
+		"r2c2-reliable": {
+			Graph: small, Net: net, Transport: TransportR2C2,
+			R2C2: R2C2Config{
+				Headroom: 0.05, Protocol: routing.RPS,
+				Recompute: 100 * simtime.Microsecond,
+				Reliable:  true, RTO: 200 * simtime.Microsecond,
+			},
+			Arrivals: poisson(small, 40, 13, 128<<10),
+		},
+		"tcp": {
+			Graph: small, Net: net, Transport: TransportTCP,
+			TCP:      TCPConfig{},
+			Arrivals: poisson(small, 30, 17, 128<<10),
+		},
+		"pfq": {
+			Graph: small, Net: net, Transport: TransportPFQ,
+			PFQSeed:  23,
+			Arrivals: poisson(small, 30, 19, 128<<10),
+		},
+		"fault-soak": {
+			Graph: soakG, Net: net, Transport: TransportR2C2,
+			R2C2: R2C2Config{
+				Headroom: 0.05, Protocol: routing.RPS,
+				Recompute: 100 * simtime.Microsecond,
+				Reliable:  true, RTO: 300 * simtime.Microsecond,
+			},
+			Arrivals: trafficgen.FixedSize(trafficgen.PoissonConfig{
+				Nodes:        soakG.Nodes(),
+				MeanInterval: 400 * simtime.Microsecond,
+				Count:        60,
+				Seed:         7,
+			}, 256<<10),
+			Faults:  sched,
+			MaxTime: 500 * simtime.Millisecond,
+		},
+	}
+}
+
+func sampleEqual(t *testing.T, name, field string, wheel, heap stats.Sample) {
+	t.Helper()
+	wv, hv := wheel.Values(), heap.Values()
+	if len(wv) != len(hv) {
+		t.Errorf("%s: %s sample length diverged: wheel %d, heap %d", name, field, len(wv), len(hv))
+		return
+	}
+	for i := range wv {
+		if wv[i] != hv[i] {
+			t.Errorf("%s: %s[%d] diverged: wheel %v, heap %v", name, field, i, wv[i], hv[i])
+			return
+		}
+	}
+}
+
+func TestSchedulerOracle(t *testing.T) {
+	for name, cfg := range oracleWorkloads(t) {
+		t.Run(name, func(t *testing.T) {
+			wheelCfg, heapCfg := cfg, cfg
+			heapCfg.LegacyHeapScheduler = true
+			wheel := Run(wheelCfg)
+			heap := Run(heapCfg)
+
+			if wheel.Completed != heap.Completed || wheel.Incomplete != heap.Incomplete {
+				t.Errorf("completion diverged: wheel %d/%d, heap %d/%d",
+					wheel.Completed, wheel.Incomplete, heap.Completed, heap.Incomplete)
+			}
+			if wheel.EndTime != heap.EndTime {
+				t.Errorf("EndTime diverged: wheel %v, heap %v", wheel.EndTime, heap.EndTime)
+			}
+			if len(wheel.Flows) != len(heap.Flows) {
+				t.Fatalf("flow count diverged: wheel %d, heap %d", len(wheel.Flows), len(heap.Flows))
+			}
+			for i := range wheel.Flows {
+				w, h := wheel.Flows[i], heap.Flows[i]
+				if *w != *h {
+					t.Errorf("flow %d diverged:\n  wheel %+v\n  heap  %+v", i, *w, *h)
+				}
+			}
+			sampleEqual(t, name, "ShortFCT", wheel.ShortFCT, heap.ShortFCT)
+			sampleEqual(t, name, "LongThroughput", wheel.LongThroughput, heap.LongThroughput)
+			sampleEqual(t, name, "AllFCT", wheel.AllFCT, heap.AllFCT)
+			sampleEqual(t, name, "MaxQueue", wheel.MaxQueue, heap.MaxQueue)
+			sampleEqual(t, name, "Reorder", wheel.Reorder, heap.Reorder)
+			if wheel.FailureReroutes != heap.FailureReroutes {
+				t.Errorf("FailureReroutes diverged: wheel %d, heap %d", wheel.FailureReroutes, heap.FailureReroutes)
+			}
+			if wheel.Drops != heap.Drops {
+				t.Errorf("Drops diverged: wheel %d, heap %d", wheel.Drops, heap.Drops)
+			}
+			if wheel.Retransmissions != heap.Retransmissions {
+				t.Errorf("Retransmissions diverged: wheel %d, heap %d", wheel.Retransmissions, heap.Retransmissions)
+			}
+			if wheel.BcastBytes != heap.BcastBytes {
+				t.Errorf("BcastBytes diverged: wheel %d, heap %d", wheel.BcastBytes, heap.BcastBytes)
+			}
+			if wheel.Recomputations != heap.Recomputations {
+				t.Errorf("Recomputations diverged: wheel %d, heap %d", wheel.Recomputations, heap.Recomputations)
+			}
+			if wheel.RecomputeRounds != heap.RecomputeRounds {
+				t.Errorf("RecomputeRounds diverged: wheel %d, heap %d", wheel.RecomputeRounds, heap.RecomputeRounds)
+			}
+			// Events is the documented divergence: the heap fires cancelled
+			// timers as generation-guarded no-ops, the wheel never does.
+			if wheel.Events > heap.Events {
+				t.Errorf("Events: wheel processed MORE than heap (%d > %d) — wheel fired something the heap never scheduled",
+					wheel.Events, heap.Events)
+			}
+			t.Logf("%s: events wheel=%d heap=%d (heap includes tombstone no-op fires)",
+				name, wheel.Events, heap.Events)
+		})
+	}
+}

@@ -64,7 +64,8 @@ type tcpSender struct {
 	srtt     simtime.Time
 	sent     map[uint32]simtime.Time // outstanding packet send times
 	rtoArmed bool
-	rtoSeq   uint64 // invalidates stale timeouts
+	rtoSeq   uint64      // invalidates stale timeouts (legacy-heap guard)
+	rtoTimer timerHandle // wheel handle: cancels the pending timeout outright
 	done     bool
 }
 
@@ -168,7 +169,17 @@ func (t *TCP) armRTO(s *tcpSender) {
 	if rto < t.Cfg.MinRTO {
 		rto = t.Cfg.MinRTO
 	}
-	t.Net.Eng.after(rto, event{kind: evTCPRTO, ts: s, u64: s.rtoSeq})
+	s.rtoTimer = t.Net.Eng.after(rto, event{kind: evTCPRTO, ts: s, u64: s.rtoSeq})
+}
+
+// disarmRTO invalidates a pending timeout: the wheel removes the event
+// outright; under the legacy heap the handle is inert and the rtoSeq bump
+// tombstones it until its no-op fire.
+func (t *TCP) disarmRTO(s *tcpSender) {
+	s.rtoArmed = false
+	s.rtoSeq++
+	t.Net.Eng.cancelTimer(s.rtoTimer)
+	s.rtoTimer = timerHandle{}
 }
 
 func (t *TCP) onRTO(s *tcpSender, seq uint64) {
@@ -258,8 +269,7 @@ func (t *TCP) receiveAck(pkt *Packet) {
 		} else {
 			s.cwnd += newlyAcked / s.cwnd // congestion avoidance
 		}
-		s.rtoArmed = false
-		s.rtoSeq++
+		t.disarmRTO(s)
 		if s.cumAcked >= s.totalPkts {
 			s.done = true
 			rec := t.ledger.get(pkt.Flow)

@@ -1,0 +1,384 @@
+package sim
+
+// Hierarchical timer wheel — the engine's default scheduler (DESIGN.md
+// §12). The value min-heap it replaces kept superseded timers as
+// generation-guarded tombstones: every R2C2/TCP ack re-arm pushed a fresh
+// RTO event while the dead one stayed in the heap until expiry, so
+// ack-heavy runs dragged one no-op record per ack through every sift. The
+// wheel gives every scheduled event an O(1) arm/cancel handle, so a
+// superseded timer leaves the schedule instead of being tombstoned.
+//
+// Determinism contract: dispatch order is byte-identical to the heap's —
+// ascending (at, seq), FIFO among equal timestamps. The wheel only buckets
+// events by time range; the events of the current level-0 slot are ordered
+// exactly by (at, seq) in a small staging heap before any of them fires.
+// seq assignment (one per schedule call) is unchanged, so the relative
+// order of live events matches the heap scheduler event for event; the
+// only observable difference is that cancelled timers never fire their
+// no-op, so Engine.Processed() is legitimately lower (see the differential
+// oracle in scheduler_oracle_test.go).
+//
+// Layout (trex-emu's timer framework uses the same shape to sustain
+// multi-MPPS event rates): wheelLevels levels of wheelSlots slots; a
+// level-l slot spans 2^(wheelShift+l·wheelBits) ps. An event is filed at
+// the lowest level whose slot still separates it from the cursor —
+// equivalently the level of the highest bit in which its slot number
+// differs from the cursor's, so a slot position never wraps past the
+// cursor within a level. Advancing cascades one higher-level slot down
+// whenever a level's aligned window is exhausted; each node cascades at
+// most wheelLevels-1 times over its life.
+
+import (
+	"math/bits"
+
+	"r2c2/internal/simtime"
+)
+
+const (
+	wheelBits  = 8
+	wheelSlots = 1 << wheelBits
+	wheelMask  = wheelSlots - 1
+	// wheelShift sets the level-0 slot width: 2^14 ps ≈ 16.4 ns, finer
+	// than any per-packet delay the fabric produces (propagation is
+	// 100 ns, MTU serialisation ≥ 120 ns at 100 Gbps), so same-slot
+	// staging stays tiny while level 0 still absorbs all near events.
+	wheelShift = 14
+	// wheelLevels covers the full simtime range: slot numbers are
+	// ≤ 2^49 (63-bit picoseconds >> 14), and 7 levels of 8 bits index
+	// 2^56 slots.
+	wheelLevels = 7
+)
+
+// Sentinel values for timerNode.level.
+const (
+	freeLevel   int8 = -1 // on the arena free list
+	stagedLevel int8 = -2 // in the staging heap of the current slot
+)
+
+// evDead marks a staged node whose timer was cancelled after staging: it
+// cannot be unlinked from the middle of the staging heap in O(1), so it is
+// tombstoned (kept only for its (at, seq) heap position) and freed when it
+// surfaces. Unlike the legacy heap's tombstones this is transient — a node
+// is only ever staged within one level-0 slot of firing.
+const evDead eventKind = 0xff
+
+// timerNode is one scheduled event in the wheel's node arena. Slot
+// membership is an intrusive doubly-linked list (1-based indices, 0 = nil)
+// so cancellation unlinks in O(1) without shifting neighbours.
+type timerNode struct {
+	ev         event
+	next, prev int32 // 1-based arena links; 0 terminates
+	level      int8  // wheel level, or freeLevel / stagedLevel
+	slot       int16 // slot index while level >= 0
+}
+
+// timerHandle identifies one armed timer for O(1) cancellation. seq is the
+// event's globally unique schedule sequence: a stale handle (the timer
+// already fired, was cancelled, or its node was recycled) fails the seq
+// check and cancel becomes a no-op, so holders never need to race their
+// own expiry. The zero handle (and any heap-scheduler handle) is inert.
+type timerHandle struct {
+	idx int32 // 1-based arena index; 0 = no timer
+	seq uint64
+}
+
+// timerWheel is the hierarchical wheel. The zero value is ready to use:
+// slot heads are only read when the matching occupancy bit is set, and all
+// arena links are 1-based so zeroed memory reads as nil.
+type timerWheel struct {
+	nodes    []timerNode
+	freeHead int32 // 1-based free-list head
+	count    int   // live scheduled events (cancelled excluded)
+
+	// cur is the level-0 slot number dispatch has reached: every event in
+	// slots <= cur sits in the staging heap, every filed event is ahead.
+	cur int64
+
+	head [wheelLevels][wheelSlots]uint32
+	occ  [wheelLevels][wheelSlots / 64]uint64
+
+	// staged is a binary min-heap of 1-based node indices ordered by
+	// (at, seq): the events of the current level-0 slot, dispatched in
+	// exact heap order.
+	staged []int32
+}
+
+// alloc takes a node off the free list or grows the arena.
+func (w *timerWheel) alloc() int32 {
+	if w.freeHead != 0 {
+		idx := w.freeHead
+		w.freeHead = w.nodes[idx-1].next
+		return idx
+	}
+	//lint:ignore alloc-hotpath arena growth is amortised: nodes recycle through the free list for the rest of the run
+	w.nodes = append(w.nodes, timerNode{})
+	return int32(len(w.nodes))
+}
+
+// free zeroes a node (dropping packet/closure references, like the heap's
+// pop did) and returns it to the free list.
+func (w *timerWheel) free(idx int32) {
+	n := &w.nodes[idx-1]
+	*n = timerNode{next: w.freeHead, level: freeLevel}
+	w.freeHead = idx
+}
+
+// schedule files an event (at and seq already assigned) and returns its
+// cancellation handle.
+func (w *timerWheel) schedule(ev event) timerHandle {
+	idx := w.alloc()
+	n := &w.nodes[idx-1]
+	n.ev = ev
+	w.place(idx, n)
+	w.count++
+	return timerHandle{idx: idx, seq: ev.seq}
+}
+
+// place files a node relative to the current cursor: into staging when its
+// slot has already been reached, else at the lowest wheel level whose slot
+// number still differs from the cursor's.
+func (w *timerWheel) place(idx int32, n *timerNode) {
+	s0 := int64(n.ev.at) >> wheelShift
+	if s0 <= w.cur {
+		n.level = stagedLevel
+		w.stagePush(idx)
+		return
+	}
+	// Highest differing bit picks the level, so the slot position is
+	// always strictly ahead of the cursor's position at that level and
+	// never wraps — the invariant advance() relies on.
+	l := (bits.Len64(uint64(s0^w.cur)) - 1) / wheelBits
+	slot := int16((s0 >> (uint(l) * wheelBits)) & wheelMask)
+	n.level, n.slot = int8(l), slot
+	n.prev = 0
+	word, bit := int(slot)>>6, uint(slot)&63
+	if w.occ[l][word]&(1<<bit) != 0 {
+		old := int32(w.head[l][slot])
+		n.next = old
+		w.nodes[old-1].prev = idx
+	} else {
+		n.next = 0
+		w.occ[l][word] |= 1 << bit
+	}
+	w.head[l][slot] = uint32(idx)
+}
+
+// unlink removes a filed node from its slot list in O(1).
+func (w *timerWheel) unlink(idx int32, n *timerNode) {
+	if n.prev != 0 {
+		w.nodes[n.prev-1].next = n.next
+	} else {
+		w.head[n.level][n.slot] = uint32(n.next)
+		if n.next == 0 {
+			w.occ[n.level][int(n.slot)>>6] &^= 1 << (uint(n.slot) & 63)
+		}
+	}
+	if n.next != 0 {
+		w.nodes[n.next-1].prev = n.prev
+	}
+}
+
+// cancel removes a scheduled event. Stale handles (fired, already
+// cancelled, or recycled nodes) are detected by the seq check and ignored.
+// Returns whether a live timer was removed.
+func (w *timerWheel) cancel(h timerHandle) bool {
+	if h.idx <= 0 || int(h.idx) > len(w.nodes) {
+		return false
+	}
+	n := &w.nodes[h.idx-1]
+	if n.level == freeLevel || n.ev.seq != h.seq || n.ev.kind == evDead {
+		return false
+	}
+	w.count--
+	if n.level == stagedLevel {
+		// Mid-heap removal is not O(1); tombstone the node in place. Only
+		// the ordering keys survive — references are dropped immediately.
+		at, seq := n.ev.at, n.ev.seq
+		n.ev = event{at: at, seq: seq, kind: evDead}
+		return true
+	}
+	w.unlink(h.idx, n)
+	w.free(h.idx)
+	return true
+}
+
+// stageLess orders the staging heap by (at, seq) — the heap scheduler's
+// exact comparator.
+func (w *timerWheel) stageLess(a, b int32) bool {
+	na, nb := &w.nodes[a-1], &w.nodes[b-1]
+	if na.ev.at != nb.ev.at {
+		return na.ev.at < nb.ev.at
+	}
+	return na.ev.seq < nb.ev.seq
+}
+
+func (w *timerWheel) stagePush(idx int32) {
+	w.staged = append(w.staged, idx)
+	i := len(w.staged) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !w.stageLess(w.staged[i], w.staged[parent]) {
+			break
+		}
+		w.staged[i], w.staged[parent] = w.staged[parent], w.staged[i]
+		i = parent
+	}
+}
+
+func (w *timerWheel) stagePop() int32 {
+	top := w.staged[0]
+	n := len(w.staged) - 1
+	w.staged[0] = w.staged[n]
+	w.staged = w.staged[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && w.stageLess(w.staged[l], w.staged[min]) {
+			min = l
+		}
+		if r < n && w.stageLess(w.staged[r], w.staged[min]) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		w.staged[i], w.staged[min] = w.staged[min], w.staged[i]
+		i = min
+	}
+}
+
+// dropDeadStaged frees cancelled tombstones off the top of the staging
+// heap so peek always surfaces a live event.
+func (w *timerWheel) dropDeadStaged() {
+	for len(w.staged) > 0 {
+		top := w.staged[0]
+		if w.nodes[top-1].ev.kind != evDead {
+			return
+		}
+		w.stagePop()
+		w.free(top)
+	}
+}
+
+// scanAbove returns the first occupied slot position strictly after pos at
+// the given level (within the 256-slot array; positions after the cursor's
+// never wrap by construction).
+func (w *timerWheel) scanAbove(level, pos int) (int, bool) {
+	word := (pos + 1) >> 6
+	if word >= wheelSlots/64 {
+		return 0, false
+	}
+	// Mask off positions <= pos in the first word.
+	m := w.occ[level][word] &^ ((1 << (uint(pos+1) & 63)) - 1)
+	if (pos+1)&63 == 0 {
+		m = w.occ[level][word]
+	}
+	for {
+		if m != 0 {
+			return word<<6 + bits.TrailingZeros64(m), true
+		}
+		word++
+		if word >= wheelSlots/64 {
+			return 0, false
+		}
+		m = w.occ[level][word]
+	}
+}
+
+// advance moves the cursor to the next slot holding events and loads it
+// into staging. It returns false when the wheel holds nothing at all.
+// Events at a level's current position were cascaded when the cursor got
+// there, so only positions strictly ahead need scanning; when a level's
+// aligned window is exhausted the next occupied higher-level slot is
+// cascaded down and the scan restarts from level 0.
+func (w *timerWheel) advance() bool {
+	for {
+		// Level 0: stage the next occupied slot of the current window.
+		pos := int(w.cur & wheelMask)
+		if p, ok := w.scanAbove(0, pos); ok {
+			w.cur = (w.cur &^ wheelMask) | int64(p)
+			idx := int32(w.head[0][p])
+			w.head[0][p] = 0
+			w.occ[0][p>>6] &^= 1 << (uint(p) & 63)
+			for idx != 0 {
+				n := &w.nodes[idx-1]
+				next := n.next
+				n.level = stagedLevel
+				w.stagePush(idx)
+				idx = next
+			}
+			return true
+		}
+		// Window exhausted: cascade the next occupied slot of the lowest
+		// level that still has one ahead.
+		cascaded := false
+		for l := 1; l < wheelLevels; l++ {
+			posl := int((w.cur >> (uint(l) * wheelBits)) & wheelMask)
+			p, ok := w.scanAbove(l, posl)
+			if !ok {
+				continue
+			}
+			shift := uint(l) * wheelBits
+			base := (w.cur >> shift) &^ wheelMask
+			// Jump the cursor to the start of the cascaded slot: every
+			// lower level ahead of the old cursor was empty, and all other
+			// events at level >= l live in later slots.
+			w.cur = (base | int64(p)) << shift
+			idx := int32(w.head[l][p])
+			w.head[l][p] = 0
+			w.occ[l][p>>6] &^= 1 << (uint(p) & 63)
+			for idx != 0 {
+				n := &w.nodes[idx-1]
+				next := n.next
+				w.place(idx, n)
+				idx = next
+			}
+			cascaded = true
+			break
+		}
+		if !cascaded {
+			return false
+		}
+		if len(w.staged) > 0 {
+			// Cascading landed events directly in the cursor's own slot.
+			return true
+		}
+	}
+}
+
+// peek returns the next event's node index without dispatching it, loading
+// the next slot into staging if needed. Returns 0 when the wheel is empty.
+func (w *timerWheel) peek() int32 {
+	for {
+		w.dropDeadStaged()
+		if len(w.staged) > 0 {
+			return w.staged[0]
+		}
+		if !w.advance() {
+			return 0
+		}
+	}
+}
+
+// pop removes and returns the next event (the wheel must be non-empty).
+// The node is freed before the event is returned, exactly like the heap's
+// pop zeroed its vacated slot.
+func (w *timerWheel) pop() event {
+	w.peek() // idempotent: ensures the next live event is staged
+	idx := w.stagePop()
+	ev := w.nodes[idx-1].ev
+	w.free(idx)
+	w.count--
+	return ev
+}
+
+// peekAt returns the timestamp of the next live event (and whether one
+// exists) — the wheel's replacement for reading the heap's root.
+func (w *timerWheel) peekAt() (simtime.Time, bool) {
+	idx := w.peek()
+	if idx == 0 {
+		return 0, false
+	}
+	return w.nodes[idx-1].ev.at, true
+}

@@ -222,19 +222,27 @@ func (g *Graph) computeDistances() {
 // some shortest path from v to dst. succ[dst] is empty. Random packet
 // spraying picks uniformly among these at every hop (§2.2.1).
 func (g *Graph) MinimalSuccessors(dst NodeID) [][]LinkID {
+	// The per-vertex lists are carved out of one backing array: a directed
+	// link qualifies for at most one (v, dst) list, so len(g.links) bounds
+	// the total and append below never reallocates (the full-capacity slice
+	// expressions keep the windows disjoint).
 	//lint:ignore alloc-hotpath computed once per destination and cached by routing.Table.successors
 	succ := make([][]LinkID, g.total)
+	//lint:ignore alloc-hotpath single backing array per destination, cached as above
+	flat := make([]LinkID, 0, len(g.links))
 	for v := 0; v < g.total; v++ {
 		dv := g.dist[v][dst]
 		if dv <= 0 {
 			continue
 		}
+		start := len(flat)
 		for _, lid := range g.out[v] {
 			u := g.links[lid].To
 			if g.dist[u][dst] == dv-1 {
-				succ[v] = append(succ[v], lid)
+				flat = append(flat, lid)
 			}
 		}
+		succ[v] = flat[start:len(flat):len(flat)]
 	}
 	return succ
 }

@@ -24,7 +24,6 @@ package waterfill
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"r2c2/internal/topology"
 )
@@ -83,7 +82,8 @@ type Incremental struct {
 	live  int
 
 	rounds map[uint8]*incRound
-	prios  []uint8 // live priorities, descending
+	prios  []uint8  // live priorities, descending
+	spare  *incRound // last emptied round, reused by roundOf (class churn is common)
 
 	linkFlows [][]Handle // per link: live flows crossing it, all classes
 
@@ -576,6 +576,7 @@ func (inc *Incremental) unregister(h Handle) {
 			r.load[i] = 0
 		}
 		delete(inc.rounds, f.Priority)
+		inc.spare = r
 		for i, p := range inc.prios {
 			if p == f.Priority {
 				inc.prios = append(inc.prios[:i], inc.prios[i+1:]...)
@@ -602,13 +603,24 @@ func (inc *Incremental) uncommit(h Handle) {
 }
 
 // roundOf returns (creating if needed) the state of one priority class.
+// Emptied rounds are recycled through `spare`: a class draining and refilling
+// (e.g. the last default-priority flow finishing before the next arrives)
+// would otherwise reallocate the per-link load vector every cycle.
 func (inc *Incremental) roundOf(p uint8) *incRound {
 	r := inc.rounds[p]
 	if r == nil {
-		r = &incRound{load: make([]float64, inc.cfg.NumLinks)}
+		if inc.spare != nil {
+			r, inc.spare = inc.spare, nil // load already zeroed by unregister
+		} else {
+			r = &incRound{load: make([]float64, inc.cfg.NumLinks)}
+		}
 		inc.rounds[p] = r
+		// Insert p keeping prios descending (classes are few; a bubble pass
+		// beats sort.Slice's closure allocation).
 		inc.prios = append(inc.prios, p)
-		sort.Slice(inc.prios, func(i, j int) bool { return inc.prios[i] > inc.prios[j] })
+		for i := len(inc.prios) - 1; i > 0 && inc.prios[i] > inc.prios[i-1]; i-- {
+			inc.prios[i], inc.prios[i-1] = inc.prios[i-1], inc.prios[i]
+		}
 	}
 	return r
 }
