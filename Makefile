@@ -1,6 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 LINT_REPORT ?= r2c2-lint.json
+OWNERSHIP_REPORT ?= shard_ownership.json
 BENCH_REPORT ?= BENCH_sim.json
 # The hot-path micro-benchmark suite recorded in $(BENCH_REPORT); the
 # figure-harness benchmarks are excluded because they measure whole
@@ -12,7 +13,7 @@ EMU_BENCH_REPORT ?= BENCH_emu.json
 ALLOC_BUDGET ?= alloc_budget.json
 ALLOC_DRIFT ?= alloc_drift.json
 
-.PHONY: build test race race-short debug lint fuzz vet bench-smoke bench-json faults-smoke alloccheck alloccheck-update verify
+.PHONY: build test race race-short debug lint fuzz fuzz-directives vet bench-smoke bench-json faults-smoke alloccheck alloccheck-update verify
 
 build:
 	$(GO) build ./...
@@ -38,16 +39,23 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own static-analysis rules; see DESIGN.md "Determinism &
-# concurrency invariants" and `go run ./cmd/r2c2-lint -rules`. The JSON
-# report is always written (CI uploads it as a build artifact); any
-# surviving finding fails the build.
+# concurrency invariants" (§13 for the ownership model) and
+# `go run ./cmd/r2c2-lint -list`. Two reports are always written and CI
+# uploads both: $(LINT_REPORT) is {analyzer_version, rules, findings};
+# $(OWNERSHIP_REPORT) records the declared //r2c2:shardowned types and
+# //r2c2:boundary functions. Any surviving finding fails the build.
 lint:
-	@$(GO) run ./cmd/r2c2-lint -json ./... > $(LINT_REPORT) \
+	@$(GO) run ./cmd/r2c2-lint -json -ownership $(OWNERSHIP_REPORT) ./... > $(LINT_REPORT) \
 		|| { cat $(LINT_REPORT); echo "lint: findings (report: $(LINT_REPORT))"; exit 1; }
-	@echo "lint: clean (report: $(LINT_REPORT))"
+	@echo "lint: clean (reports: $(LINT_REPORT), $(OWNERSHIP_REPORT))"
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME) ./internal/wire/
+
+# Lint directive parser robustness: malformed //lint: / //r2c2: comments
+# must produce a deterministic error, never a silently skipped rule.
+fuzz-directives:
+	$(GO) test -run=^$$ -fuzz FuzzParseDirective -fuzztime $(FUZZTIME) ./internal/analysis/
 
 # One iteration of every benchmark: catches bitrot in the benchmark
 # harnesses (they cover each figure of the paper) without paying for a

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	r2c2-lint ./...                        # lint the whole module
-//	r2c2-lint -json ./...                  # machine-readable findings
+//	r2c2-lint -json ./...                  # machine-readable report
 //	r2c2-lint -rules alloc-hotpath ./...   # run only the named rules
 //	r2c2-lint -list                        # list the rules and their scope
+//	r2c2-lint -ownership out.json ./...    # also write the ownership report
+//
+// -json emits an object {analyzer_version, rules, findings}: the version
+// and the rule set pin down what a clean report actually attests to.
+// -ownership writes a second report (shard_ownership.json in CI) listing
+// the //r2c2:shardowned types, the //r2c2:boundary functions and any
+// surviving shard-ownership findings.
 //
 // //lint:ignore directives are always validated against the full rule
 // set, even under -rules, so a filtered run never misreports a directive
@@ -23,6 +30,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"r2c2/internal/analysis"
@@ -44,9 +52,10 @@ func (e errFindings) Error() string { return fmt.Sprintf("%d finding(s)", int(e)
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("r2c2-lint", flag.ContinueOnError)
 	fs.SetOutput(stdout)
-	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	jsonOut := fs.Bool("json", false, "emit a JSON report {analyzer_version, rules, findings}")
 	listRules := fs.Bool("list", false, "list the rules and exit")
 	ruleFilter := fs.String("rules", "", "comma-separated rule names to run (default: every rule)")
+	ownershipOut := fs.String("ownership", "", "write the shard-ownership report (owned types, boundary funcs, findings) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,13 +113,39 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *ownershipOut != "" {
+		rep, err := analysis.BuildOwnershipReport(root, known)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*ownershipOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	if *jsonOut {
 		if diags == nil {
-			diags = []analysis.Diagnostic{} // a clean run encodes as [], not null
+			diags = []analysis.Diagnostic{} // a clean run encodes findings as [], not null
 		}
+		ran := make([]string, 0, len(rules)+len(moduleRules))
+		for _, a := range rules {
+			ran = append(ran, a.Name())
+		}
+		for _, a := range moduleRules {
+			ran = append(ran, a.Name())
+		}
+		sort.Strings(ran)
+		rep := struct {
+			AnalyzerVersion int                   `json:"analyzer_version"`
+			Rules           []string              `json:"rules"`
+			Findings        []analysis.Diagnostic `json:"findings"`
+		}{analysis.Version, ran, diags}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			return err
 		}
 	} else {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,8 @@ func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}, &out); err != nil {
 		t.Fatalf("run -list: %v", err)
 	}
-	for _, rule := range []string{"no-wallclock", "no-global-rand", "mutex-by-value", "goroutine-leak", "unit-suffix", "alloc-hotpath"} {
+	for _, rule := range []string{"no-wallclock", "no-global-rand", "mutex-by-value", "goroutine-leak", "unit-suffix",
+		"alloc-hotpath", "det-map-iter", "shard-ownership", "atomic-plain-mix"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Fatalf("rule listing missing %q:\n%s", rule, out.String())
 		}
@@ -38,10 +40,12 @@ func writeTree(t *testing.T, files map[string]string) string {
 	return root
 }
 
-// multiPkgFixture trips several rules across two packages: a wall-clock
+// multiPkgFixture trips several rules across three packages: a wall-clock
 // read and hot-path allocations in internal/sim, global rand in
-// internal/routing. The ignore directive names a rule outside any -rules
-// filter, exercising full-set directive validation.
+// internal/routing, and — for the module-wide rules — an order-sensitive
+// map iteration in internal/sim plus an owned-state escape and an
+// atomic/plain mix in internal/emu. The ignore directive names a rule
+// outside any -rules filter, exercising full-set directive validation.
 func multiPkgFixture(t *testing.T) string {
 	return writeTree(t, map[string]string{
 		"internal/sim/clock.go": `package sim
@@ -54,6 +58,31 @@ func now() int64 { return time.Now().UnixNano() }
 func dispatch(n int) []int {
 	xs := make([]int, n)
 	return xs
+}
+`,
+		"internal/sim/flows.go": `package sim
+
+type flow struct{ rate float64 }
+
+func emit(flows map[uint32]*flow, ch chan float64) {
+	for _, f := range flows {
+		ch <- f.rate
+	}
+}
+`,
+		"internal/emu/state.go": `package emu
+
+import "sync/atomic"
+
+//r2c2:shardowned — fixture engine state
+type Node struct{ seq uint64 }
+
+func (n *Node) advance() { atomic.AddUint64(&n.seq, 1) }
+
+func (n *Node) peek() uint64 { return n.seq }
+
+func spawn(n *Node) {
+	go func() { n.advance() }()
 }
 `,
 		"internal/routing/rand.go": `package routing
@@ -111,6 +140,103 @@ func TestRunRuleFilter(t *testing.T) {
 	if err := run([]string{"-rules", "no-such-rule", root + "/..."}, &out); err == nil ||
 		!strings.Contains(err.Error(), "unknown rule") {
 		t.Errorf("bogus -rules name should error, got %v", err)
+	}
+}
+
+// TestRunNewRules: the three type-aware rules run together under -rules
+// and each finds its fixture violation.
+func TestRunNewRules(t *testing.T) {
+	root := multiPkgFixture(t)
+	var out bytes.Buffer
+	err := run([]string{"-rules", "det-map-iter,shard-ownership,atomic-plain-mix", root + "/..."}, &out)
+	if _, ok := err.(errFindings); !ok {
+		t.Fatalf("want errFindings, got %T: %v", err, err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"det-map-iter", "channel send",
+		"shard-ownership", "captures shard-owned",
+		"atomic-plain-mix", "mixes plain and sync/atomic",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("combined run missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunJSONSchema: -json emits {analyzer_version, rules, findings} and
+// the rules field records exactly what ran, so a clean report is
+// attributable to a specific rule set and analyzer generation.
+func TestRunJSONSchema(t *testing.T) {
+	root := multiPkgFixture(t)
+	var out bytes.Buffer
+	err := run([]string{"-json", "-rules", "det-map-iter", root + "/..."}, &out)
+	if _, ok := err.(errFindings); !ok {
+		t.Fatalf("want errFindings, got %T: %v", err, err)
+	}
+	var rep struct {
+		AnalyzerVersion int `json:"analyzer_version"`
+		Rules           []string
+		Findings        []struct{ Rule string }
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("decode report: %v\n%s", err, out.String())
+	}
+	if rep.AnalyzerVersion < 2 {
+		t.Errorf("analyzer_version = %d, want >= 2", rep.AnalyzerVersion)
+	}
+	if len(rep.Rules) != 1 || rep.Rules[0] != "det-map-iter" {
+		t.Errorf("rules = %v, want [det-map-iter]", rep.Rules)
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("findings should be non-empty for the fixture")
+	}
+	for _, f := range rep.Findings {
+		if f.Rule != "det-map-iter" && f.Rule != "lint-directive" {
+			t.Errorf("unexpected rule %q under filter", f.Rule)
+		}
+	}
+}
+
+// TestRunOwnershipReport: -ownership writes the declared ownership model
+// (owned types, boundary funcs, surviving findings) as a JSON artifact,
+// byte-identical across runs.
+func TestRunOwnershipReport(t *testing.T) {
+	root := multiPkgFixture(t)
+	repPath := filepath.Join(t.TempDir(), "shard_ownership.json")
+	var out bytes.Buffer
+	run([]string{"-ownership", repPath, root + "/..."}, &out)
+	data, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatalf("ownership report not written: %v", err)
+	}
+	var rep struct {
+		AnalyzerVersion int      `json:"analyzer_version"`
+		OwnedTypes      []string `json:"owned_types"`
+		BoundaryFuncs   []string `json:"boundary_funcs"`
+		Findings        []struct{ Rule string }
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decode ownership report: %v\n%s", err, data)
+	}
+	if len(rep.OwnedTypes) != 1 || !strings.HasSuffix(rep.OwnedTypes[0], "internal/emu.Node") {
+		t.Errorf("owned_types = %v, want the fixture's emu.Node", rep.OwnedTypes)
+	}
+	if rep.BoundaryFuncs == nil || rep.Findings == nil {
+		t.Error("empty report slices must encode as [], not null")
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Rule != "shard-ownership" {
+		t.Errorf("findings = %+v, want the one go-capture escape", rep.Findings)
+	}
+
+	var again bytes.Buffer
+	run([]string{"-ownership", repPath, root + "/..."}, &again)
+	data2, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("ownership report not byte-identical across runs:\n--- 1 ---\n%s\n--- 2 ---\n%s", data, data2)
 	}
 }
 

@@ -91,15 +91,7 @@ func (a *allocHotpath) Collect(pass *TypedPass) any {
 // isHotpath reports whether a function's doc comment carries the
 // //r2c2:hotpath directive (trailing explanation text allowed).
 func isHotpath(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if c.Text == HotpathDirective || strings.HasPrefix(c.Text, HotpathDirective+" ") {
-			return true
-		}
-	}
-	return false
+	return hasDirective(fd.Doc, KindHotpath)
 }
 
 // ahWalker inspects one function body, classifying allocation sites and

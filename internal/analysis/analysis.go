@@ -21,6 +21,16 @@ import (
 	"strings"
 )
 
+// Version is the analyzer generation stamped into machine-readable
+// reports (r2c2-lint.json, shard_ownership.json). Bump it when a rule is
+// added, removed, or changes meaning, so a stale CI artifact can never be
+// mistaken for a current clean bill.
+//
+// 1: syntactic rules + alloc-hotpath. 2: adds det-map-iter,
+// shard-ownership and atomic-plain-mix; reports become objects carrying
+// the rule set.
+const Version = 2
+
 // Diagnostic is one finding: a rule violation at a position.
 type Diagnostic struct {
 	Rule    string         `json:"rule"`

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// atomicPlainMix flags struct fields accessed both through sync/atomic
+// address functions (atomic.LoadUint64(&s.f), atomic.AddInt64(&s.f, 1))
+// and through plain loads or stores, anywhere in the module. The mix is
+// the bug: a plain write racing an atomic read is still a data race, and
+// it defeats exactly the guarantee the atomic sites were written for.
+// The emulator's epoch counters and rate cells went through this shape
+// once already (faultSeq/coveredSeq); the sharded engine will add more.
+//
+// Fields typed as sync/atomic values (atomic.Uint64, atomic.Pointer) are
+// exempt: their API makes plain access a copy, which `go vet`'s
+// copylocks check already rejects. Composite-literal initialisation
+// does not count as plain access — construction happens-before
+// publication.
+//
+// The pass is module-wide: an exported field written atomically in its
+// home package and poked plainly from a test helper two packages away is
+// still one finding. Diagnostics land on each plain site (so a
+// //lint:ignore can justify a provably pre-publication write) and name
+// one atomic site as the counterpart.
+type atomicPlainMix struct{ pkgScope }
+
+// NewAtomicPlainMix builds the rule scoped to the given package path
+// suffixes (empty = all packages).
+func NewAtomicPlainMix(pkgs ...string) ModuleAnalyzer { return &atomicPlainMix{pkgScope{pkgs}} }
+
+func (*atomicPlainMix) Name() string { return "atomic-plain-mix" }
+func (*atomicPlainMix) Doc() string {
+	return "flag struct fields accessed both via sync/atomic and via plain load/store"
+}
+
+// apAccess is one access to a field.
+type apAccess struct {
+	pos  token.Position
+	disp string // display name, e.g. "emu.nodeState.faultSeq"
+}
+
+// apFacts maps field keys (owner full name + "." + field) to the
+// package's atomic and plain access sites.
+type apFacts struct {
+	atomic map[string][]apAccess
+	plain  map[string][]apAccess
+}
+
+func (a *atomicPlainMix) Collect(pass *TypedPass) any {
+	facts := &apFacts{atomic: map[string][]apAccess{}, plain: map[string][]apAccess{}}
+	for _, f := range pass.Files {
+		// consumed holds field selectors already claimed by a sync/atomic
+		// call, so the second walk does not double-count them as plain.
+		consumed := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if key, disp, ok := a.fieldOf(pass, sel); ok {
+					consumed[sel] = true
+					facts.atomic[key] = append(facts.atomic[key],
+						apAccess{pos: pass.Fset.Position(un.Pos()), disp: disp})
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			if key, disp, ok := a.fieldOf(pass, sel); ok {
+				facts.plain[key] = append(facts.plain[key],
+					apAccess{pos: pass.Fset.Position(sel.Pos()), disp: disp})
+			}
+			return true
+		})
+	}
+	if len(facts.atomic) == 0 && len(facts.plain) == 0 {
+		return nil
+	}
+	return facts
+}
+
+// fieldOf resolves a selector to a struct field and returns its module-wide
+// key and display name. Fields typed as sync/atomic values are skipped —
+// their method set is the only access path, enforced by vet's copylocks.
+func (a *atomicPlainMix) fieldOf(pass *TypedPass, sel *ast.SelectorExpr) (key, disp string, ok bool) {
+	s, found := pass.Info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	fld, _ := s.Obj().(*types.Var)
+	if fld == nil || !fld.IsField() {
+		return "", "", false
+	}
+	if atomicTyped(fld.Type()) {
+		return "", "", false
+	}
+	recv := s.Recv()
+	for {
+		p, isPtr := recv.Underlying().(*types.Pointer)
+		if !isPtr {
+			break
+		}
+		recv = p.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	key = named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fld.Name()
+	return key, shortTypeName(named) + "." + fld.Name(), true
+}
+
+// atomicTyped reports whether a field's type is (a pointer to) one of
+// sync/atomic's value types.
+func atomicTyped(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// Resolve joins accesses by field key and flags every plain site of a
+// field that also has atomic sites anywhere in the module.
+func (a *atomicPlainMix) Resolve(facts []PackageFacts) []Diagnostic {
+	atomicAll := map[string][]apAccess{}
+	plainAll := map[string][]apAccess{}
+	for _, pf := range facts {
+		f := pf.Facts.(*apFacts)
+		for k, v := range f.atomic {
+			atomicAll[k] = append(atomicAll[k], v...)
+		}
+		for k, v := range f.plain {
+			plainAll[k] = append(plainAll[k], v...)
+		}
+	}
+	var diags []Diagnostic
+	for key, plains := range plainAll {
+		atomics := atomicAll[key]
+		if len(atomics) == 0 {
+			continue
+		}
+		sort.Slice(atomics, func(i, j int) bool { return posLess(atomics[i].pos, atomics[j].pos) })
+		first := atomics[0]
+		more := ""
+		if len(atomics) > 1 {
+			more = fmt.Sprintf(" and %d more site(s)", len(atomics)-1)
+		}
+		for _, p := range plains {
+			diags = append(diags, Diagnostic{Rule: a.Name(), Pos: p.pos,
+				Message: fmt.Sprintf("field %s mixes plain and sync/atomic access: plain here, atomic at %s%s",
+					p.disp, shortPos(first.pos), more)})
+		}
+	}
+	return diags
+}
+
+// posLess orders positions by file, line, column.
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// shortPos renders a position as base-directory file:line for messages.
+func shortPos(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		if j := strings.LastIndex(name[:i], "/"); j >= 0 {
+			name = name[j+1:]
+		}
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomicPlainMix(t *testing.T) {
+	a := NewAtomicPlainMix()
+	cases := []struct {
+		name string
+		src  string
+		want int
+		msg  string
+	}{
+		{"mixed-read", `package p
+import "sync/atomic"
+type counter struct{ n uint64 }
+func (c *counter) bump() { atomic.AddUint64(&c.n, 1) }
+func (c *counter) peek() uint64 { return c.n }`, 1, "mixes plain and sync/atomic"},
+		{"mixed-write", `package p
+import "sync/atomic"
+type counter struct{ n uint64 }
+func (c *counter) bump() { atomic.AddUint64(&c.n, 1) }
+func (c *counter) reset() { c.n = 0 }`, 1, "plain here"},
+		{"all-atomic-ok", `package p
+import "sync/atomic"
+type counter struct{ n uint64 }
+func (c *counter) bump() { atomic.AddUint64(&c.n, 1) }
+func (c *counter) peek() uint64 { return atomic.LoadUint64(&c.n) }`, 0, ""},
+		{"all-plain-ok", `package p
+type counter struct{ n uint64 }
+func (c *counter) bump() { c.n++ }
+func (c *counter) peek() uint64 { return c.n }`, 0, ""},
+		{"atomic-typed-field-ok", `package p
+import "sync/atomic"
+type counter struct{ n atomic.Uint64 }
+func (c *counter) bump() { c.n.Add(1) }
+func (c *counter) peek() uint64 { return c.n.Load() }`, 0, ""},
+		{"composite-literal-init-ok", `package p
+import "sync/atomic"
+type counter struct{ n uint64 }
+func newCounter() *counter { return &counter{n: 0} }
+func (c *counter) bump() { atomic.AddUint64(&c.n, 1) }`, 0, ""},
+		{"distinct-fields-ok", `package p
+import "sync/atomic"
+type pair struct{ hot, cold uint64 }
+func (p *pair) bump() { atomic.AddUint64(&p.hot, 1) }
+func (p *pair) slow() { p.cold++ }`, 0, ""},
+		{"cas-mixed", `package p
+import "sync/atomic"
+type gate struct{ state uint32 }
+func (g *gate) open() bool { return atomic.CompareAndSwapUint32(&g.state, 0, 1) }
+func (g *gate) force() { g.state = 1 }`, 1, "atomic at"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := checkModule(t, onePkg("m/p", tc.src), a)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d findings, want %d: %v", len(diags), tc.want, diags)
+			}
+			if tc.want > 0 && !strings.Contains(diags[0].Message, tc.msg) {
+				t.Errorf("message %q does not mention %q", diags[0].Message, tc.msg)
+			}
+		})
+	}
+}
+
+// TestAtomicPlainMixCrossPackage: the atomic site and the plain site live
+// in different packages; only the module-wide join sees both.
+func TestAtomicPlainMixCrossPackage(t *testing.T) {
+	a := NewAtomicPlainMix()
+	pkgs := map[string]map[string]string{
+		"m/internal/emu": {"state.go": `package emu
+import "sync/atomic"
+type Node struct{ Seq uint64 }
+func (n *Node) Advance() { atomic.AddUint64(&n.Seq, 1) }`},
+		"m/internal/experiments": {"probe.go": `package experiments
+import "m/internal/emu"
+func probe(n *emu.Node) uint64 { return n.Seq }`},
+	}
+	diags := checkModule(t, pkgs, a)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "emu.Node.Seq") {
+		t.Fatalf("want one cross-package finding naming emu.Node.Seq, got %v", diags)
+	}
+}
+
+// TestAtomicPlainMixIgnore: a justified plain site (pre-publication
+// write) can be suppressed without silencing the rule elsewhere.
+func TestAtomicPlainMixIgnore(t *testing.T) {
+	a := NewAtomicPlainMix()
+	src := `package p
+import "sync/atomic"
+type counter struct{ n uint64 }
+func (c *counter) bump() { atomic.AddUint64(&c.n, 1) }
+func (c *counter) reset() {
+	//lint:ignore atomic-plain-mix fixture: called before any goroutine starts
+	c.n = 0
+}`
+	diags := checkModule(t, onePkg("m/p", src), a)
+	if len(diags) != 0 {
+		t.Fatalf("ignored finding should be suppressed, got %v", diags)
+	}
+}

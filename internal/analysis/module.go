@@ -58,6 +58,20 @@ func DefaultModule() []ModuleAnalyzer {
 		// The zero-alloc roadmap item is only landable if the annotated
 		// hot paths stay allocation-free between perf PRs.
 		NewAllocHotpath(),
+		// The sharded engine (ROADMAP) preserves byte-identical output
+		// only if no observable effect is ordered by Go's randomised map
+		// iteration. Scoped to the deterministic packages plus emu (the
+		// sim/emu parity tests compare aggregate behaviour across runs).
+		NewDetMapIter("internal/sim", "internal/core", "internal/waterfill",
+			"internal/routing", "internal/topology", "internal/experiments", "internal/emu"),
+		// Annotated engine/network/per-node state must stay reachable only
+		// from its owning goroutine — the invariant the sharded engine
+		// will rely on instead of locks. Module-wide: a type owned in
+		// internal/sim is protected in internal/experiments too.
+		NewShardOwnership(),
+		// A plain write racing an atomic read is still a data race; mixing
+		// the two styles on one field defeats what the atomic sites bought.
+		NewAtomicPlainMix(),
 	}
 }
 

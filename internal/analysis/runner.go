@@ -159,30 +159,30 @@ func (s ignoreSet) covers(d Diagnostic) bool {
 	return false
 }
 
-// collectIgnores parses `//lint:ignore rule[,rule...] reason` directives.
-// Directives missing a rule or a reason are themselves reported under the
-// lint-directive rule, and — when a known-rule set is given — so is any
-// directive addressing a rule name outside it: a typo in a rule name must
-// surface as an error, never as a suppression that silently does nothing
-// (or worse, one that springs back to life when the rule is renamed).
+// collectIgnores parses every comment directive through ParseDirective
+// (directives.go). `//lint:ignore rule[,rule...] reason` populates the
+// ignore set; any directive that fails to parse — a missing reason, an
+// unknown //r2c2: marker, a //lint: verb typo — is itself reported under
+// the lint-directive rule, and, when a known-rule set is given, so is an
+// ignore addressing a rule name outside it: a typo in a directive must
+// surface as an error, never as a suppression (or an annotation) that
+// silently does nothing.
 func collectIgnores(pass *Pass, known map[string]bool) (ignoreSet, []Diagnostic) {
 	set := ignoreSet{}
 	var diags []Diagnostic
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
-				if !ok {
+				d, err := ParseDirective(c.Text)
+				if err != nil {
+					diags = append(diags, pass.Diag("lint-directive", c, "%s", err.Error()))
 					continue
 				}
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					diags = append(diags, pass.Diag("lint-directive", c,
-						"malformed //lint:ignore: want \"//lint:ignore rule reason\""))
+				if d == nil || d.Kind != KindIgnore {
 					continue
 				}
 				pos := pass.Fset.Position(c.Pos())
-				for _, rule := range strings.Split(fields[0], ",") {
+				for _, rule := range d.Rules {
 					if known != nil && !known[rule] {
 						diags = append(diags, pass.Diag("lint-directive", c,
 							"//lint:ignore names unknown rule %q", rule))

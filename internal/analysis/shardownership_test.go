@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+const soEngineSrc = `package sim
+
+//r2c2:shardowned — one engine per shard goroutine
+type Engine struct{ now int64 }
+
+func (e *Engine) Tick() { e.now++ }
+`
+
+func TestShardOwnershipGoCapture(t *testing.T) {
+	a := NewShardOwnership()
+	src := soEngineSrc + `
+func run(e *Engine) {
+	go func() {
+		e.Tick()
+	}()
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "captures shard-owned") {
+		t.Fatalf("want one go-capture finding, got %v", diags)
+	}
+}
+
+func TestShardOwnershipGoArg(t *testing.T) {
+	a := NewShardOwnership()
+	src := soEngineSrc + `
+func drive(e *Engine) { e.Tick() }
+func run(e *Engine) {
+	go drive(e)
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "receives shard-owned") {
+		t.Fatalf("want one go-arg finding, got %v", diags)
+	}
+}
+
+func TestShardOwnershipGoMethodReceiver(t *testing.T) {
+	a := NewShardOwnership()
+	src := soEngineSrc + `
+func run(e *Engine) {
+	go e.Tick()
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "receives shard-owned") {
+		t.Fatalf("want one bound-receiver finding, got %v", diags)
+	}
+}
+
+func TestShardOwnershipChanSend(t *testing.T) {
+	a := NewShardOwnership()
+	src := soEngineSrc + `
+func hand(e *Engine, ch chan *Engine) {
+	ch <- e
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "channel send of shard-owned") {
+		t.Fatalf("want one chan-send finding, got %v", diags)
+	}
+}
+
+// TestShardOwnershipSendPlainData: sends of unannotated types stay legal —
+// messages cross goroutines, ownership does not.
+func TestShardOwnershipSendPlainData(t *testing.T) {
+	a := NewShardOwnership()
+	src := soEngineSrc + `
+type report struct{ now int64 }
+func hand(e *Engine, ch chan report) {
+	ch <- report{now: e.now}
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 0 {
+		t.Fatalf("plain-data send should pass, got %v", diags)
+	}
+}
+
+// TestShardOwnershipCrossPackage: a type owned in one package is protected
+// in another — the join happens module-wide in Resolve.
+func TestShardOwnershipCrossPackage(t *testing.T) {
+	a := NewShardOwnership()
+	pkgs := map[string]map[string]string{
+		"m/internal/sim": {"eng.go": soEngineSrc},
+		"m/internal/experiments": {"run.go": `package experiments
+import "m/internal/sim"
+func run(e *sim.Engine) {
+	go func() { e.Tick() }()
+}`},
+	}
+	diags := checkModule(t, pkgs, a)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "sim.Engine") {
+		t.Fatalf("want one cross-package finding naming sim.Engine, got %v", diags)
+	}
+}
+
+// TestShardOwnershipBoundaryLeak: passing an owned pointer to a declared
+// boundary function is flagged at the call and at the declaration.
+func TestShardOwnershipBoundaryLeak(t *testing.T) {
+	a := NewShardOwnership()
+	src := soEngineSrc + `
+//r2c2:boundary — runs on the collector goroutine
+func Publish(e *Engine) { _ = e.now }
+
+func flush(e *Engine) {
+	Publish(e)
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 2 {
+		t.Fatalf("want declaration + call-site findings, got %v", diags)
+	}
+	var decl, call bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "declares shard-owned parameter") {
+			decl = true
+		}
+		if strings.Contains(d.Message, "leaks across boundary function") {
+			call = true
+		}
+	}
+	if !decl || !call {
+		t.Fatalf("want both declaration and call findings, got %v", diags)
+	}
+}
+
+// TestShardOwnershipBoundaryPlainData: a boundary function taking values
+// (not owned pointers) is the sanctioned crossing shape.
+func TestShardOwnershipBoundaryPlainData(t *testing.T) {
+	a := NewShardOwnership()
+	src := soEngineSrc + `
+//r2c2:boundary — runs on the collector goroutine
+func Publish(now int64) { _ = now }
+
+func flush(e *Engine) {
+	Publish(e.now)
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 0 {
+		t.Fatalf("value-passing boundary should pass, got %v", diags)
+	}
+}
+
+// TestShardOwnershipWorkerOwnsEngine: the sanctioned parallel-experiment
+// shape — each worker goroutine constructs its own engine — stays legal
+// because the captured state is declared inside the literal.
+func TestShardOwnershipWorkerOwnsEngine(t *testing.T) {
+	a := NewShardOwnership()
+	src := soEngineSrc + `
+func runAll(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			e := &Engine{}
+			e.Tick()
+		}()
+	}
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 0 {
+		t.Fatalf("worker-owns-engine should pass, got %v", diags)
+	}
+}
+
+func TestShardOwnershipMisplacedDirectives(t *testing.T) {
+	a := NewShardOwnership()
+	src := `package sim
+
+//r2c2:shardowned
+func oops() {}
+
+//r2c2:boundary
+type Wrong struct{}
+`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 2 {
+		t.Fatalf("want two misplacement findings, got %v", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "marks types") && !strings.Contains(d.Message, "marks functions") {
+			t.Errorf("unexpected message %q", d.Message)
+		}
+	}
+}
+
+func TestShardOwnershipIgnore(t *testing.T) {
+	a := NewShardOwnership()
+	src := soEngineSrc + `
+func run(e *Engine) {
+	//lint:ignore shard-ownership fixture: the owning goroutine blocks until this one exits
+	go func() { e.Tick() }()
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 0 {
+		t.Fatalf("ignored finding should be suppressed, got %v", diags)
+	}
+}

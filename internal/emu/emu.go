@@ -610,6 +610,7 @@ func (r *Rack) recomputeLoop(n *emuNode) {
 			n.mu.Lock()
 			if len(n.flows) > 0 {
 				alloc := n.rc.Compute(n.view)
+				//lint:ignore det-map-iter order-free: independent per-flow atomic stores; each flowSender reads only its own rate, and all rates come from the same allocator run
 				for id, f := range n.flows {
 					f.rate.Store(uint64(alloc.Rate(id)))
 				}

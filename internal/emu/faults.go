@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"time"
 
 	"r2c2/internal/core"
@@ -110,6 +111,7 @@ func (r *Rack) FailNode(dead topology.NodeID, detect time.Duration) error {
 	// detection delay elapses (they have not noticed yet).
 	n := r.nodes[dead]
 	n.mu.Lock()
+	//lint:ignore det-map-iter order-free: each abort closes only that flow's own aborted channel; no goroutine observes two flows' aborts in a guaranteed order
 	for id, f := range n.flows {
 		f.abort()
 		delete(n.flows, id)
@@ -240,6 +242,7 @@ func (r *Rack) swapFabric() {
 	// unreachable endpoint and no view may keep their bandwidth reserved.
 	if len(st.dead) > 0 {
 		r.flowsMu.Lock()
+		//lint:ignore det-map-iter order-free: each abort closes only that flow's own aborted channel; waiters select on their own flow, never on cross-flow abort order
 		for _, f := range r.flows {
 			if st.dead[f.Info.Src] || st.dead[f.Info.Dst] {
 				f.abort()
@@ -280,10 +283,18 @@ func (r *Rack) swapFabric() {
 			continue
 		}
 		n.mu.Lock()
-		for _, f := range n.flows {
+		// Sorted iteration: the flow→tree pairing rotates nextTree per
+		// flow, so walking the map in random order would hand the same
+		// flow a different broadcast tree on every run (det-map-iter).
+		ids := make([]wire.FlowID, 0, len(n.flows))
+		for id := range n.flows {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		for _, id := range ids {
 			tree := n.nextTree
 			n.nextTree = (n.nextTree + 1) % uint8(r.cfg.TreesPerSource)
-			anns = append(anns, announce{src: n.id, tree: tree, b: f.Info.StartBroadcast(tree)})
+			anns = append(anns, announce{src: n.id, tree: tree, b: n.flows[id].Info.StartBroadcast(tree)})
 		}
 		n.mu.Unlock()
 	}

@@ -56,7 +56,11 @@ type event struct {
 // hierarchical timer wheel (wheel.go); UseLegacyHeap switches a fresh
 // engine back to the value min-heap, kept as the differential oracle for
 // the wheel (scheduler_oracle_test.go). Typed events dispatch through
-// receivers registered by NewNetwork / NewR2C2 / NewTCP.
+// receivers registered by NewNetwork / NewR2C2 / NewTCP. One engine per
+// simulation goroutine: the sharded engine (ROADMAP) depends on no other
+// goroutine reaching it.
+//
+//r2c2:shardowned — created and driven by one goroutine
 type Engine struct {
 	now    simtime.Time
 	nextID uint64

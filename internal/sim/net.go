@@ -162,6 +162,8 @@ func (q *pktQueue) pop() *Packet {
 
 // Network simulates the fabric: forwarding, queueing and link timing.
 // Transports plug in via the Deliver callback and inject via Inject.
+//
+//r2c2:shardowned — fabric state belongs to the engine's goroutine.
 type Network struct {
 	G   *topology.Graph
 	Eng *Engine

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"r2c2/internal/core"
 	"r2c2/internal/routing"
@@ -103,8 +104,33 @@ type R2C2 struct {
 	// round. It persists across ticks (cleared, not reallocated) so the
 	// periodic recomputation stays off the per-tick allocation budget.
 	tickCache map[uint64]*core.Allocation
+
+	// flowIDScratch is the reusable key buffer for sorted iteration over a
+	// node's flow map: recomputeTick and rerouteNow schedule events per
+	// flow, and scheduling order assigns the (at,seq) FIFO tie-break, so
+	// walking the map in Go's randomised order would make two identically
+	// seeded runs diverge (det-map-iter). Persisting the buffer keeps the
+	// per-tick sort off the allocation budget.
+	flowIDScratch []wire.FlowID
 }
 
+// sortedFlowIDs fills the scratch buffer with the map's keys in ascending
+// order, giving every per-flow side effect a canonical sequence.
+func (r *R2C2) sortedFlowIDs(flows map[wire.FlowID]*senderFlow) []wire.FlowID {
+	ids := r.flowIDScratch[:0]
+	for id := range flows {
+		//lint:ignore alloc-hotpath scratch growth is amortised: the buffer persists across ticks and reroutes
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	r.flowIDScratch = ids
+	return ids
+}
+
+// r2c2Node is one node's protocol state: its flow table, tree cursor and
+// receive bookkeeping.
+//
+//r2c2:shardowned — per-node state is mutated only by the engine goroutine.
 type r2c2Node struct {
 	id       topology.NodeID
 	view     *core.View
@@ -132,7 +158,7 @@ type senderFlow struct {
 	totalPkts uint32
 	nextChunk uint32 // next chunk to transmit (pulled back on RTO)
 	cumAcked  uint32 // chunks acknowledged in order
-	rtoSeq    uint64      // invalidates stale RTO timers (legacy-heap guard)
+	rtoSeq    uint64 // invalidates stale RTO timers (legacy-heap guard)
 	rtoArmed  bool
 	rtoTimer  timerHandle // wheel handle: cancels the pending timer outright
 
@@ -357,11 +383,10 @@ func (r *R2C2) FailNode(dead topology.NodeID, detection simtime.Time) error {
 		r.Net.FailLink(lid)
 	}
 	// The dead node stops sending instantly: drop its sender state so
-	// armed pacing events become no-ops.
+	// armed pacing events become no-ops. (Audited for det-map-iter: the
+	// range-and-delete shape is order-free, but clear() says it directly.)
 	node := r.nodes[dead]
-	for id := range node.flows {
-		delete(node.flows, id)
-	}
+	clear(node.flows)
 	r.failSeq++
 	r.Net.Eng.After(detection, r.rerouteNow)
 	return nil
@@ -441,7 +466,10 @@ func (r *R2C2) reroute(sub *topology.Graph, mapping []topology.LinkID) {
 		if r.deadNodes[node.id] {
 			continue
 		}
-		for _, sf := range node.flows {
+		// Sorted iteration: each re-announce broadcast schedules events,
+		// and scheduling order is the FIFO tie-break (det-map-iter).
+		for _, id := range r.sortedFlowIDs(node.flows) {
+			sf := node.flows[id]
 			r.broadcast(node, sf.info.StartBroadcast(r.pickTree(node)))
 		}
 	}
@@ -865,7 +893,10 @@ func (r *R2C2) recomputeTick() {
 			r.tickCache[h] = alloc
 			r.Recomputations++
 		}
-		for id, sf := range node.flows {
+		// Sorted iteration: armSender schedules the pacing events, and
+		// scheduling order assigns their sequence numbers (det-map-iter).
+		for _, id := range r.sortedFlowIDs(node.flows) {
+			sf := node.flows[id]
 			sf.rate = alloc.Rate(id)
 			if invariantsEnabled {
 				// A multipath flow may exceed one link's rate (its φ sums
