@@ -7,6 +7,7 @@ package r2c2
 // 512-node scale.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -511,6 +512,72 @@ func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
 }
 
+// Sharded-engine scaling (DESIGN.md §14): one multi-rack workload executed
+// at worker counts 1/2/4/8. The logical partition is fixed (per rack), so
+// every sub-benchmark performs identical simulation work and produces
+// byte-identical Results — the ns/op ratio between sub-benchmarks is pure
+// parallel speedup of the conservative-lookahead epoch loop. workers=1 is
+// the serial engine (the sharded engine's differential oracle), so the
+// workers=2 ratio also exposes the sharding overhead itself: epoch
+// barriers, boundary drains and the replicated control events.
+func BenchmarkShardedEventThroughput(b *testing.B) {
+	const racks = 8
+	subs := make([]*topology.Graph, racks)
+	for i := range subs {
+		g, err := topology.NewTorus(4, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = g
+	}
+	var bridges []topology.Bridge
+	for i := 0; i < racks; i++ {
+		j := (i + 1) % racks
+		bridges = append(bridges,
+			topology.Bridge{RackA: i, RackB: j, NodeA: 0, NodeB: 7},
+			topology.Bridge{RackA: i, RackB: j, NodeA: 11, NodeB: 4},
+		)
+	}
+	g, err := topology.ConnectRacks(subs, bridges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrivals := trafficgen.FixedSize(trafficgen.PoissonConfig{
+		Nodes: g.Nodes(), MeanInterval: 50 * simtime.Microsecond, Count: 300, Seed: 5,
+	}, 128<<10)
+	cfg := sim.RunConfig{
+		Graph:     g,
+		Net:       sim.NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond},
+		Transport: sim.TransportR2C2,
+		R2C2: sim.R2C2Config{
+			Headroom: 0.05, Protocol: routing.RPS,
+			Recompute: 100 * simtime.Microsecond,
+			Reliable:  true, RTO: 300 * simtime.Microsecond,
+			Seed: 11,
+		},
+		Arrivals: arrivals,
+		MaxTime:  50 * simtime.Millisecond,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			run := cfg
+			run.Shards = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			events, handoffs := uint64(0), uint64(0)
+			for i := 0; i < b.N; i++ {
+				res := sim.Run(run)
+				events += res.Events
+				for _, st := range res.ShardStats {
+					handoffs += st.Handoffs
+				}
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+			b.ReportMetric(float64(handoffs)/float64(b.N), "handoffs/run")
+		})
+	}
+}
+
 // --- Benchmarks of the operational extensions ---
 
 // One §3.4 selection round over a 64-flow view (GA with the paper's
@@ -629,38 +696,35 @@ func BenchmarkEmuDataPath(b *testing.B) {
 }
 
 // Raw scheduler throughput: a ladder of self-rearming timers with spread
-// periods drains ~100k events through the hierarchical timer wheel — no
-// network, no transport, just schedule/advance/dispatch (DESIGN.md §12).
-// The per-timer callbacks are reused func values, so steady state measures
-// the wheel, not closure construction.
+// periods drains 100k events per op through the hierarchical timer wheel —
+// no network, no transport, just schedule/advance/dispatch (DESIGN.md §12).
+// The engine, its node arena and the reused per-timer callbacks are built
+// once outside the timed region, so allocs/op measures the wheel's steady
+// state — which must be allocation-free: every fire recycles its node
+// through the arena free list and the staging heap keeps its capacity.
 func BenchmarkTimerWheel(b *testing.B) {
 	const (
 		timers = 64
 		fires  = 100_000
 	)
+	eng := &sim.Engine{}
+	for j := 0; j < timers; j++ {
+		// Periods span level 0 through level 2 of the wheel so the
+		// benchmark exercises placement and cascading, not one slot.
+		period := simtime.Time(j+1) * 37 * simtime.Nanosecond
+		var fn func()
+		fn = func() { eng.After(period, fn) }
+		eng.After(period, fn)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng := &sim.Engine{}
-		left := fires
-		for j := 0; j < timers; j++ {
-			// Periods span level 0 through level 2 of the wheel so the
-			// benchmark exercises placement and cascading, not one slot.
-			period := simtime.Time(j+1) * 37 * simtime.Nanosecond
-			var fn func()
-			fn = func() {
-				if left > 0 {
-					left--
-					eng.After(period, fn)
-				}
-			}
-			eng.After(period, fn)
-		}
-		for eng.Pending() {
+		target := eng.Processed() + fires
+		for eng.Processed() < target {
 			eng.Run(eng.Now() + simtime.Millisecond)
 		}
 	}
-	b.ReportMetric(float64(fires+timers), "events/op")
+	b.ReportMetric(float64(fires), "events/op")
 }
 
 // Mbuf-pool churn on the emulated rack: 2 KB flows are dominated by the

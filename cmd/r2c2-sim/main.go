@@ -10,6 +10,12 @@
 //	r2c2-sim -fig17
 //	r2c2-sim -faults gen:7                      # seeded fault schedule
 //	r2c2-sim -faults 'down@10ms:0-1/2ms;crash@40ms:5/2ms'
+//
+// The -interrack mode runs the DESIGN.md §14 intra- vs inter-rack traffic
+// sweep on the sharded engine instead of the figures:
+//
+//	r2c2-sim -interrack -racks 4 -k 3 -shards 4
+//	r2c2-sim -interrack -racks 40 -k 16 -shards 0 -flows 4000 -horizon 5ms -csv
 package main
 
 import (
@@ -17,6 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"r2c2/internal/experiments"
@@ -47,12 +56,26 @@ func run(args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker count for independent sweep runs (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 		csv      = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		faultArg = fs.String("faults", "", "fault schedule: gen:<seed>, DSL (down@10ms:0-1/2ms;...) or JSON; runs the fault sweep on a 2D torus instead of the figures")
+
+		interrack = fs.Bool("interrack", false, "run the intra- vs inter-rack traffic sweep on the sharded engine instead of the figures (uses -k as the per-rack torus radix)")
+		racks     = fs.Int("racks", 4, "interrack: racks in the ring")
+		bridges   = fs.Int("bridges", 2, "interrack: boundary cables between adjacent racks")
+		shards    = fs.Int("shards", 0, "interrack: sharded-engine worker cap (0 = NumCPU, 1 = the serial oracle; the mix results are identical at any setting)")
+		mixes     = fs.String("mixes", "0,0.25,0.5,1", "interrack: comma-separated inter-rack flow fractions")
+		horizon   = fs.Duration("horizon", 50*time.Millisecond, "interrack: simulated-time horizon per run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *faultArg != "" {
 		return runFaults(stdout, *faultArg, *k, *seed, *csv)
+	}
+	if *interrack {
+		return runInterRack(stdout, interRackArgs{
+			racks: *racks, k: *k, bridges: *bridges, shards: *shards,
+			flows: *flows, tauUs: *tauUs, seed: *seed, reliable: *reliable,
+			mixes: *mixes, horizon: *horizon, csv: *csv,
+		})
 	}
 	if !*fig10 && !*fig12 && !*fig17 {
 		*fig10, *fig12, *fig17 = true, true, true
@@ -117,6 +140,47 @@ func runFaults(stdout io.Writer, arg string, k int, seed int64, csv bool) error 
 		return err
 	}
 	render(stdout, st.SimTable(sched), csv)
+	return nil
+}
+
+type interRackArgs struct {
+	racks, k, bridges, shards, flows int
+	tauUs                            float64
+	seed                             int64
+	reliable                         bool
+	mixes                            string
+	horizon                          time.Duration
+	csv                              bool
+}
+
+// runInterRack drives the intra- vs inter-rack traffic-mix sweep on the
+// sharded engine (DESIGN.md §14) and prints the mix table plus the
+// per-shard utilisation table — the CI shards-smoke artifact.
+func runInterRack(stdout io.Writer, a interRackArgs) error {
+	cfg := experiments.DefaultInterRack()
+	cfg.Racks, cfg.K, cfg.Bridges = a.racks, a.k, a.bridges
+	cfg.Flows, cfg.Seed, cfg.Reliable = a.flows, a.seed, a.reliable
+	cfg.Tau = simtime.FromSeconds(a.tauUs * 1e-6)
+	cfg.Horizon = simtime.FromSeconds(a.horizon.Seconds())
+	cfg.Shards = a.shards
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.NumCPU()
+		if cfg.Shards < 2 {
+			cfg.Shards = 2 // stay on the sharded engine even on one CPU
+		}
+	}
+	cfg.Mixes = cfg.Mixes[:0]
+	for _, f := range strings.Split(a.mixes, ",") {
+		mix, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || mix < 0 || mix > 1 {
+			return fmt.Errorf("-mixes: bad fraction %q", f)
+		}
+		cfg.Mixes = append(cfg.Mixes, mix)
+	}
+	fmt.Fprintf(stdout, "interrack sweep: %v, horizon=%v\n\n", cfg, a.horizon)
+	res := experiments.InterRack(cfg)
+	render(stdout, res.MixTable(), a.csv)
+	render(stdout, res.ShardUtilTable(), a.csv)
 	return nil
 }
 

@@ -163,6 +163,84 @@ func runAll(n int) {
 	}
 }
 
+// TestShardOwnershipCrossShardHandoff models the sharded engine's real
+// crossing point (internal/sim/shard.go): per-shard Engines hand packets to
+// a neighbour shard through a boundary queue. The sanctioned shape copies
+// plain handoff fields into the queue; pushing the source shard's own
+// *Packet pointer across — aliasing arena memory both shards would then
+// mutate — must be caught at the push call and at the boundary declaration.
+func TestShardOwnershipCrossShardHandoff(t *testing.T) {
+	a := NewShardOwnership()
+	src := `package sim
+
+//r2c2:shardowned
+type Engine struct{ now int64 }
+
+//r2c2:shardowned
+type Packet struct{ seq uint64 }
+
+// handoff is plain data: everything a packet needs to be rebuilt on the
+// destination shard, with no pointers into the source shard's arenas.
+type handoff struct {
+	at  int64
+	seq uint64
+}
+
+type queue struct{ slots []handoff }
+
+//r2c2:boundary
+func (q *queue) push(h handoff) { q.slots = append(q.slots, h) }
+
+//r2c2:boundary
+func (q *queue) pushPkt(p *Packet) {}
+
+func emit(q *queue, e *Engine, p *Packet) {
+	q.push(handoff{at: e.now, seq: p.seq}) // sanctioned: plain data crosses
+	q.pushPkt(p)                           // leak: arena pointer crosses shards
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 2 {
+		t.Fatalf("want boundary-decl + call-site findings, got %v", diags)
+	}
+	var decl, call bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "declares shard-owned parameter *sim.Packet") {
+			decl = true
+		}
+		if strings.Contains(d.Message, "shard-owned *sim.Packet leaks across boundary function") {
+			call = true
+		}
+	}
+	if !decl || !call {
+		t.Fatalf("want both declaration and call findings naming *sim.Packet, got %v", diags)
+	}
+}
+
+// TestShardOwnershipWorkerHandoffDrain: the sharded engine's drain step
+// runs on the orchestrator goroutine, which hands each queued handoff to
+// the destination shard — spawning a worker that captures another shard's
+// Engine to do the ingest is exactly the escape the rule exists for.
+func TestShardOwnershipWorkerHandoffDrain(t *testing.T) {
+	a := NewShardOwnership()
+	src := `package sim
+
+//r2c2:shardowned
+type Engine struct{ now int64 }
+
+func (e *Engine) ingest(at int64) { e.now = at }
+
+func drain(dst *Engine, ats []int64) {
+	for _, at := range ats {
+		at := at
+		go func() { dst.ingest(at) }()
+	}
+}`
+	diags := checkModule(t, onePkg("m/internal/sim", src), a)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "captures shard-owned") {
+		t.Fatalf("want one go-capture finding for the drained Engine, got %v", diags)
+	}
+}
+
 func TestShardOwnershipMisplacedDirectives(t *testing.T) {
 	a := NewShardOwnership()
 	src := `package sim

@@ -174,13 +174,23 @@ func TestFig10to14SmallScale(t *testing.T) {
 	_ = r.ShortFCTTable().String()
 	_ = r.LongThroughputTable().String()
 
-	sweep := Fig12to14(s, []simtime.Time{4 * simtime.Microsecond, 40 * simtime.Microsecond})
-	if len(sweep.FCT99) != 2 || len(sweep.QueueP99) != 2 {
+	sweep := Fig12to14(s, []simtime.Time{100 * simtime.Nanosecond, 4 * simtime.Microsecond, 40 * simtime.Microsecond})
+	if len(sweep.FCT99) != 3 || len(sweep.QueueP99) != 3 {
 		t.Fatal("sweep shape wrong")
 	}
-	// Figure 14: queues shrink as load drops.
-	if sweep.QueueP99[1] > sweep.QueueP99[0] {
-		t.Errorf("queues grew as load dropped: %v", sweep.QueueP99)
+	// Figure 14 headline: queues stay near-empty at moderate load — the
+	// hottest port's maximum is a handful of MTUs — and only build at the
+	// extreme load point. (The p99 of per-port *run maxima* is not monotone
+	// in load between moderate points: lower load means a longer run, which
+	// gives every port more chances to record a transient burst, so the
+	// assertion contrasts extreme vs moderate instead of moderate vs light.)
+	for _, i := range []int{1, 2} {
+		if sweep.QueueP99[i] > 64e3 {
+			t.Errorf("tau=%v: moderate-load queues not near-empty: %v bytes", sweep.Taus[i], sweep.QueueP99[i])
+		}
+		if sweep.QueueP99[0] < 2*sweep.QueueP99[i] {
+			t.Errorf("extreme load should at least double the p99 max queue: %v", sweep.QueueP99)
+		}
 	}
 	_ = sweep.Fig12Table().String()
 	_ = sweep.Fig13Table().String()

@@ -145,6 +145,20 @@ func (e *Engine) cancelTimer(h timerHandle) {
 	}
 }
 
+// NextEventAt returns the timestamp of the earliest scheduled event, or
+// ok=false when the schedule is empty. The sharded engine's epoch loop uses
+// it to jump idle shards across event-free stretches instead of stepping
+// fixed lookahead windows through them.
+func (e *Engine) NextEventAt() (simtime.Time, bool) {
+	if e.legacyHeap {
+		if len(e.events) == 0 {
+			return 0, false
+		}
+		return e.events[0].at, true
+	}
+	return e.wheel.peekAt()
+}
+
 // less orders the heap by timestamp, then insertion sequence (FIFO among
 // equal-timestamp events: determinism).
 func (e *Engine) less(i, j int) bool {

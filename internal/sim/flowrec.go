@@ -56,3 +56,14 @@ func (l *flowLedger) open(id wire.FlowID, src, dst topology.NodeID, size int64, 
 }
 
 func (l *flowLedger) get(id wire.FlowID) *FlowRecord { return l.records[id] }
+
+// openRecv creates a receive-side record for a flow whose authoritative
+// record lives in another shard's ledger (the source shard opened it). It
+// is indexed for lookups but deliberately kept OUT of order: the merge
+// (shard.go) folds its delivery fields into the source-shard record, which
+// alone represents the flow in Results.
+func (l *flowLedger) openRecv(id wire.FlowID, src, dst topology.NodeID, size int64, at simtime.Time) *FlowRecord {
+	r := &FlowRecord{ID: id, Src: src, Dst: dst, SizeBytes: size, Started: at}
+	l.records[id] = r
+	return r
+}

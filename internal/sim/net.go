@@ -54,6 +54,13 @@ type Packet struct {
 	// retransmits).
 	Retries uint8
 
+	// flowSize/flowStart mirror the flow's ledger entry on data packets of
+	// sharded runs: the receiving shard opens its receive-side flow record
+	// lazily from the first data packet (the start event lives in the
+	// source's shard), so the metadata must travel with the data.
+	flowSize  int64
+	flowStart simtime.Time
+
 	// scratch is the packet's private route-sampling buffer, recycled with
 	// the packet. Randomised protocols sample into it and point Path at it;
 	// interned per-flow routes set Path directly, leaving scratch parked so
@@ -79,10 +86,19 @@ type NetConfig struct {
 	// with PFQBufferPackets per flow per node (§5.2's upper-bound baseline).
 	PerFlowQueues    bool
 	PFQBufferPackets int
-	// LossSeed seeds the random-drop RNG used by SetLinkDropProb, keeping
-	// lossy-link runs reproducible. The RNG is only created when a drop
-	// probability is installed, so loss-free runs stay untouched.
+	// LossSeed seeds the random-drop RNGs used by SetLinkDropProb, keeping
+	// lossy-link runs reproducible. Each lossy link draws from its own
+	// stream (created on first use, so loss-free runs stay untouched):
+	// per-link streams make a link's drop sequence independent of global
+	// event interleaving, which is what lets the sharded engine reproduce
+	// the serial engine's drops exactly.
 	LossSeed int64
+	// InterRackPropDelay, when non-zero, is the propagation latency of
+	// inter-rack links (ConnectRacks bridge cables, Clos leaf-spine
+	// uplinks) — physically longer runs than the in-rack backplane. Zero
+	// applies PropDelay fabric-wide. It also bounds the sharded engine's
+	// conservative lookahead: a larger inter-rack delay buys larger epochs.
+	InterRackPropDelay simtime.Time
 }
 
 func (c *NetConfig) defaults() {
@@ -201,10 +217,17 @@ type Network struct {
 	arena pktArena
 
 	// Random-loss state (fault injection): lossProb[lid] is the probability
-	// a packet enqueued on lid is dropped. nil until SetLinkDropProb is
-	// first called, so intact runs pay nothing.
+	// a packet enqueued on lid is dropped, rolled against the link's own
+	// RNG stream. nil until SetLinkDropProb is first called, so intact
+	// runs pay nothing.
 	lossProb []float64
-	lossRng  *rand.Rand
+	lossRng  []*rand.Rand
+
+	// sh is the shard context when this Network is one shard of a sharded
+	// run (shard.go): packets whose next hop belongs to another shard are
+	// exported through its boundary queues instead of being scheduled
+	// locally. nil in serial runs.
+	sh *shardCtx
 }
 
 // newPacket takes a zeroed packet slot from the arena. A recycled packet
@@ -403,7 +426,10 @@ func (n *Network) SetLinkDropProb(lid topology.LinkID, p float64) {
 			return
 		}
 		n.lossProb = make([]float64, len(n.ports))
-		n.lossRng = rand.New(rand.NewSource(n.Cfg.LossSeed))
+		n.lossRng = make([]*rand.Rand, len(n.ports))
+	}
+	if p > 0 && n.lossRng[lid] == nil {
+		n.lossRng[lid] = newLinkRng(n.Cfg.LossSeed, lid)
 	}
 	n.lossProb[lid] = p
 }
@@ -424,7 +450,7 @@ func (n *Network) enqueue(at topology.NodeID, lid topology.LinkID, pkt *Packet) 
 		n.freePacket(pkt)
 		return false
 	}
-	if n.lossProb != nil && n.lossProb[lid] > 0 && n.lossRng.Float64() < n.lossProb[lid] {
+	if n.lossProb != nil && n.lossProb[lid] > 0 && n.lossRng[lid].Float64() < n.lossProb[lid] {
 		// Random loss on a lossy cable (fault injection). The PFQ charge
 		// taken at injection/reservation is released with the packet.
 		if n.buf != nil {
@@ -502,9 +528,23 @@ func (n *Network) transmit(p *port) {
 	n.Eng.after(txTime, event{kind: evTxDone, port: p, pkt: pkt})
 }
 
+// propDelay returns the propagation latency of a directed link: the
+// inter-rack delay on bridge links when one is configured, the fabric-wide
+// delay otherwise.
+func (n *Network) propDelay(lid topology.LinkID) simtime.Time {
+	if n.Cfg.InterRackPropDelay != 0 && n.G.IsInterRack(lid) {
+		return n.Cfg.InterRackPropDelay
+	}
+	return n.Cfg.PropDelay
+}
+
 // transmitDone fires when a port finishes serialising pkt: the packet goes
 // onto the wire (arrival after propagation delay) and the port picks its
-// next packet.
+// next packet. In a sharded run a packet bound for another shard's node is
+// exported through the boundary queue instead of being scheduled locally —
+// its arrival time is at least one epoch ahead (the lookahead window is the
+// minimum boundary-link propagation delay), so the destination shard files
+// it before its epoch begins.
 func (n *Network) transmitDone(p *port, pkt *Packet) {
 	p.stats.SentBytes += uint64(pkt.SizeBytes)
 	if p.flowQ != nil {
@@ -516,8 +556,62 @@ func (n *Network) transmitDone(p *port, pkt *Packet) {
 		}
 		n.kickUpstream(from, pkt.Flow)
 	}
-	n.Eng.after(n.Cfg.PropDelay, event{kind: evArrive, node: p.to, pkt: pkt})
+	prop := n.propDelay(p.id)
+	if n.sh != nil && n.sh.shardOf[p.to] != n.sh.self {
+		n.exportPacket(n.sh.shardOf[p.to], n.Eng.now+prop, p.to, pkt)
+	} else {
+		n.Eng.after(prop, event{kind: evArrive, node: p.to, pkt: pkt})
+	}
 	n.transmit(p)
+}
+
+// exportPacket hands a packet crossing a shard boundary to the destination
+// shard's inbox: its fields and remaining route are copied into a recycled
+// handoff slot (plain data — broadcast payloads are shared by pointer, but
+// they are immutable and the epoch barrier orders the accesses) and the
+// packet itself returns to this shard's arena.
+//
+//r2c2:boundary
+func (n *Network) exportPacket(dst int32, at simtime.Time, to topology.NodeID, pkt *Packet) {
+	h := n.sh.out[dst].push()
+	h.at = at
+	h.node = to
+	h.kind = pkt.Kind
+	h.size = pkt.SizeBytes
+	h.flow = pkt.Flow
+	h.src = pkt.Src
+	h.dst = pkt.Dst
+	h.seq = pkt.Seq
+	h.payload = pkt.Payload
+	h.retx = pkt.Retx
+	h.retries = pkt.Retries
+	h.flowSize = pkt.flowSize
+	h.flowStart = pkt.flowStart
+	if pkt.Kind == KindBroadcast {
+		h.bcast = pkt.Bcast
+	} else {
+		//lint:ignore alloc-hotpath handoff path buffers recycle with their slots; growth is amortised across epochs
+		h.path = append(h.path, pkt.Path[pkt.Hop:]...)
+	}
+	n.sh.handoffs++
+	n.freePacket(pkt)
+}
+
+// exportReflood hands a §3.2 broadcast-retransmission request to the
+// origin's shard as a control handoff: the origin's tree cursor lives with
+// its node state, so the retransmission must execute over there. The
+// broadcast payload crosses by pointer (immutable; the epoch barrier orders
+// the accesses).
+//
+//r2c2:boundary
+func (n *Network) exportReflood(dst int32, at simtime.Time, origin topology.NodeID, b *wire.Broadcast, retries uint8) {
+	h := n.sh.out[dst].push()
+	h.at = at
+	h.node = origin
+	h.ctrl = true
+	h.bcast = b
+	h.retries = retries
+	n.sh.handoffs++
 }
 
 // pfqPick selects the next flow in round-robin order whose head packet can

@@ -57,9 +57,14 @@ type R2C2 struct {
 	Cfg R2C2Config
 
 	rc     *core.RateComputer
-	rng    *rand.Rand
 	nodes  []*r2c2Node
 	ledger *flowLedger
+
+	// sh is the shard context when this R2C2 instance drives one shard of
+	// a sharded run (shard.go): nil in serial runs. Replicated control
+	// events (recomputation ticks, fault injections, reroutes) tick its
+	// counter so the merged Results can subtract the duplicates.
+	sh *shardCtx
 
 	// gen is the route generation: interned per-flow routes and ack paths
 	// tagged with an older generation are recomputed (a reroute swapped in a
@@ -138,6 +143,11 @@ type r2c2Node struct {
 	nextSeq  uint16
 	nextTree uint8
 	recv     map[wire.FlowID]*reorderState
+	// rng is the node's private route-sampling stream (rng.go), created on
+	// the node's first sourced flow. Per-node streams keep route sampling
+	// independent of global event interleaving, so the sharded engine draws
+	// the same routes as the serial one.
+	rng *rand.Rand
 	// tombstones remembers finish events so that a §3.2-retransmitted
 	// start broadcast arriving after the finish cannot resurrect a dead
 	// flow in this node's view.
@@ -151,6 +161,10 @@ type senderFlow struct {
 	demand    float64 // bits/s host-side cap; <= 0 means unlimited
 	armed     bool    // a send event is scheduled
 	seq       uint32
+
+	// started is the flow's ledger start time, stamped onto data packets
+	// in sharded runs so the receiving shard can open its record lazily.
+	started simtime.Time
 
 	// Reliability state (Cfg.Reliable only). Chunk i carries the byte
 	// range [i·MaxPayload, min(size, (i+1)·MaxPayload)).
@@ -212,11 +226,14 @@ func NewR2C2(net *Network, tab *routing.Table, cfg R2C2Config) *R2C2 {
 		Fib:    topology.NewBroadcastFIB(net.G, cfg.TreesPerSource, cfg.Seed),
 		Cfg:    cfg,
 		rc:     core.NewRateComputer(tab, net.Cfg.LinkGbps*1e9, cfg.Headroom),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		ledger: newFlowLedger(),
+		sh:     net.sh,
 	}
 	r.nodes = make([]*r2c2Node, net.G.Nodes())
 	for i := range r.nodes {
+		if r.sh != nil && r.sh.shardOf[i] != r.sh.self {
+			continue // another shard owns this node's state
+		}
 		r.nodes[i] = &r2c2Node{
 			id:         topology.NodeID(i),
 			view:       core.NewView(),
@@ -263,19 +280,31 @@ func (r *R2C2) onDrop(pkt *Packet, at topology.LinkID) {
 	notify := simtime.Time(r.Net.G.Diameter()) *
 		(r.Net.Cfg.PropDelay + simtime.TransmitTime(MTU, r.Net.Cfg.LinkGbps)) *
 		simtime.Time(1<<retries)
-	r.Net.Eng.After(notify, func() {
-		node := r.nodes[origin]
-		nb := b
-		nb.Tree = r.pickTree(node)
-		cp := r.Net.newPacket()
-		cp.Kind = KindBroadcast
-		cp.SizeBytes = BroadcastBytes
-		cp.Flow = nb.Flow()
-		cp.Src = origin
-		cp.Bcast = &nb
-		cp.Retries = retries
-		r.Net.InjectBroadcast(origin, cp)
-	})
+	if r.sh != nil && r.sh.shardOf[origin] != r.sh.self {
+		// The drop happened on a link this shard owns but the origin lives
+		// elsewhere: hand the retransmission request across the boundary.
+		// notify ≥ 2·Diameter·(prop+transmit) ≥ the lookahead window, so the
+		// control handoff is always inside the conservative-sync horizon.
+		r.Net.exportReflood(r.sh.shardOf[origin], r.Net.Eng.now+notify, origin, &b, retries)
+		return
+	}
+	r.Net.Eng.After(notify, func() { r.reflood(origin, &b, retries) })
+}
+
+// reflood retransmits a dropped broadcast from its origin on the origin's
+// next tree (§3.2 loss recovery). Runs in the origin's shard.
+func (r *R2C2) reflood(origin topology.NodeID, b *wire.Broadcast, retries uint8) {
+	node := r.nodes[origin]
+	nb := *b
+	nb.Tree = r.pickTree(node)
+	cp := r.Net.newPacket()
+	cp.Kind = KindBroadcast
+	cp.SizeBytes = BroadcastBytes
+	cp.Flow = nb.Flow()
+	cp.Src = origin
+	cp.Bcast = &nb
+	cp.Retries = retries
+	r.Net.InjectBroadcast(origin, cp)
 }
 
 // phys translates a path expressed in the current fabric's link IDs to
@@ -385,8 +414,10 @@ func (r *R2C2) FailNode(dead topology.NodeID, detection simtime.Time) error {
 	// The dead node stops sending instantly: drop its sender state so
 	// armed pacing events become no-ops. (Audited for det-map-iter: the
 	// range-and-delete shape is order-free, but clear() says it directly.)
-	node := r.nodes[dead]
-	clear(node.flows)
+	// In a sharded run only the dead node's owner shard holds its state.
+	if node := r.nodes[dead]; node != nil {
+		clear(node.flows)
+	}
 	r.failSeq++
 	r.Net.Eng.After(detection, r.rerouteNow)
 	return nil
@@ -426,6 +457,9 @@ func (r *R2C2) RepairLink(a, b topology.NodeID, detection simtime.Time) error {
 // state and swaps it in. The epoch guard makes callbacks whose injections
 // were already covered by a later-injected, earlier-firing reroute no-op.
 func (r *R2C2) rerouteNow() {
+	if r.sh != nil {
+		r.sh.ctrl++ // replicated control event: fires once in every shard
+	}
 	if r.reroutedSeq >= r.failSeq {
 		return // a newer reroute already covers this injection
 	}
@@ -448,6 +482,9 @@ func (r *R2C2) reroute(sub *topology.Graph, mapping []topology.LinkID) {
 	// view keeps bandwidth reserved for a crashed node's flows.
 	if len(r.deadNodes) > 0 {
 		for _, n := range r.nodes {
+			if n == nil {
+				continue // owned by another shard
+			}
 			for _, info := range n.view.Flows() {
 				if r.deadNodes[info.Src] || r.deadNodes[info.Dst] {
 					n.view.RemoveFlow(info.ID)
@@ -463,7 +500,7 @@ func (r *R2C2) reroute(sub *topology.Graph, mapping []topology.LinkID) {
 	// "Upon detecting a failure, nodes broadcast information about all
 	// their ongoing flows" (§3.2).
 	for _, node := range r.nodes {
-		if r.deadNodes[node.id] {
+		if node == nil || r.deadNodes[node.id] {
 			continue
 		}
 		// Sorted iteration: each re-announce broadcast schedules events,
@@ -503,6 +540,9 @@ func (r *R2C2) StartHostLimitedFlow(src, dst topology.NodeID, sizeBytes int64, w
 		weight = 1
 	}
 	node := r.nodes[src]
+	if node.rng == nil {
+		node.rng = newNodeRng(r.Cfg.Seed, src) // private route-sampling stream
+	}
 	id := wire.MakeFlowID(uint16(src), node.nextSeq)
 	node.nextSeq++
 	if r.deadNodes[src] || r.deadNodes[dst] {
@@ -529,6 +569,7 @@ func (r *R2C2) StartHostLimitedFlow(src, dst topology.NodeID, sizeBytes int64, w
 	sf := &senderFlow{
 		info: info, remaining: sizeBytes, rate: initial, demand: demandBits,
 		size:      sizeBytes,
+		started:   r.Net.Eng.Now(),
 		totalPkts: uint32((sizeBytes + MaxPayload - 1) / MaxPayload),
 	}
 	node.flows[id] = sf
@@ -628,17 +669,17 @@ func (r *R2C2) armSender(node *r2c2Node, sf *senderFlow) {
 // physical ports. Deterministic protocols (DOR) intern the route on the
 // flow and share it by reference; randomised ones sample per packet into
 // the packet's recycled scratch buffer.
-func (r *R2C2) fillPath(pkt *Packet, sf *senderFlow) {
+func (r *R2C2) fillPath(node *r2c2Node, pkt *Packet, sf *senderFlow) {
 	if sf.info.Protocol == routing.DOR {
 		if sf.route == nil || sf.routeGen != r.gen {
-			sf.route = r.Tab.AppendPath(nil, routing.DOR, sf.info.Src, sf.info.Dst, r.rng)
+			sf.route = r.Tab.AppendPath(nil, routing.DOR, sf.info.Src, sf.info.Dst, node.rng)
 			r.physInPlace(sf.route)
 			sf.routeGen = r.gen
 		}
 		pkt.Path = sf.route
 		return
 	}
-	pkt.scratch = r.Tab.AppendPath(pkt.scratch[:0], sf.info.Protocol, sf.info.Src, sf.info.Dst, r.rng)
+	pkt.scratch = r.Tab.AppendPath(pkt.scratch[:0], sf.info.Protocol, sf.info.Src, sf.info.Dst, node.rng)
 	r.physInPlace(pkt.scratch)
 	pkt.Path = pkt.scratch
 }
@@ -687,7 +728,11 @@ func (r *R2C2) sendNext(node *r2c2Node, sf *senderFlow) {
 	pkt.Dst = sf.info.Dst
 	pkt.Seq = seq
 	pkt.Payload = int(payload)
-	r.fillPath(pkt, sf)
+	// Carried so a receiving shard can open the flow's delivery record
+	// lazily (receiveData); inert in serial runs.
+	pkt.flowSize = sf.size
+	pkt.flowStart = sf.started
+	r.fillPath(node, pkt, sf)
 	r.Net.Inject(pkt)
 
 	if r.Cfg.Reliable {
@@ -816,8 +861,16 @@ func (r *R2C2) deliver(at topology.NodeID, pkt *Packet) {
 }
 
 func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
-	if r.ledger.get(pkt.Flow) == nil {
-		return // not a flow of this stack (stray traffic)
+	rec := r.ledger.get(pkt.Flow)
+	if rec == nil {
+		if r.sh == nil || pkt.flowSize <= 0 {
+			return // not a flow of this stack (stray traffic)
+		}
+		// Cross-shard flow: the source shard opened the authoritative
+		// record; this shard opens a receive-side record from the
+		// packet-carried metadata. The merge (shard.go) folds its
+		// delivery fields back into the source record.
+		rec = r.ledger.openRecv(pkt.Flow, pkt.Src, pkt.Dst, pkt.flowSize, pkt.flowStart)
 	}
 	node := r.nodes[at]
 	rs, ok := node.recv[pkt.Flow]
@@ -837,13 +890,15 @@ func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
 	}
 	r.Reorder.Add(float64(len(rs.oob)))
 
-	rec := r.ledger.get(pkt.Flow)
 	if isNew {
 		rec.BytesRcvd += int64(pkt.Payload)
 	}
 	if !rec.Done && rec.BytesRcvd >= rec.SizeBytes {
 		rec.Done = true
 		rec.Finished = r.Net.Eng.Now()
+		if r.sh != nil {
+			r.sh.doneFlows++ // each flow completes in exactly one shard
+		}
 		if !r.Cfg.Reliable {
 			delete(node.recv, pkt.Flow)
 		}
@@ -878,12 +933,18 @@ func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
 // share a single allocator run, keyed by the view hash.
 func (r *R2C2) recomputeTick() {
 	r.RecomputeRounds++
+	if r.sh != nil {
+		r.sh.ctrl++ // replicated control event: ticks fire in every shard
+		// Log this tick's distinct view hashes so the merge can reproduce
+		// the serial Recomputations count (per-tick union across shards).
+		r.sh.tickHashes = append(r.sh.tickHashes, nil)
+	}
 	if r.tickCache == nil {
 		r.tickCache = make(map[uint64]*core.Allocation)
 	}
 	clear(r.tickCache) // reuse the buckets across ticks
 	for _, node := range r.nodes {
-		if len(node.flows) == 0 {
+		if node == nil || len(node.flows) == 0 {
 			continue
 		}
 		h := node.view.Hash()
@@ -892,6 +953,10 @@ func (r *R2C2) recomputeTick() {
 			alloc = r.rc.Compute(node.view)
 			r.tickCache[h] = alloc
 			r.Recomputations++
+			if r.sh != nil {
+				last := len(r.sh.tickHashes) - 1
+				r.sh.tickHashes[last] = append(r.sh.tickHashes[last], h)
+			}
 		}
 		// Sorted iteration: armSender schedules the pacing events, and
 		// scheduling order assigns their sequence numbers (det-map-iter).

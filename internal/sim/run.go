@@ -63,6 +63,17 @@ type RunConfig struct {
 	// Results apart from Events (the heap fires superseded RTO tombstones as
 	// no-ops and counts them); scheduler_oracle_test.go holds them equal.
 	LegacyHeapScheduler bool
+
+	// Shards > 1 runs the experiment on the sharded engine (shard.go): the
+	// fabric is partitioned by rack, each rack shard drives its own engine,
+	// and up to Shards worker goroutines execute the shards in parallel
+	// under a conservative-lookahead epoch barrier. The logical partition is
+	// always the rack partition — Shards only caps the worker count — so
+	// Results are identical at every value. Requires TransportR2C2, the
+	// timer-wheel scheduler, and a rack-structured graph (ConnectRacks or
+	// NewFoldedClos). 0 or 1 selects the serial engine, the sharded
+	// engine's differential oracle.
+	Shards int
 }
 
 // Results aggregates everything the §5 figures need from one run.
@@ -86,6 +97,33 @@ type Results struct {
 	RecomputeRounds uint64
 	Events          uint64
 	EndTime         simtime.Time
+
+	// ShardStats reports per-shard execution statistics of a sharded run
+	// (RunConfig.Shards > 1); nil for serial runs. Deliberately excluded
+	// from byte-identity comparisons: wall-clock fields vary run to run.
+	ShardStats []ShardStat
+}
+
+// addFlows folds a creation-ordered flow-record list into the results —
+// the aggregation shared by the serial and sharded engines (order included:
+// FCT sample order must be identical across runs of one configuration).
+func (res *Results) addFlows(order []*FlowRecord) {
+	for _, rec := range order {
+		res.Flows = append(res.Flows, rec)
+		if !rec.Done {
+			res.Incomplete++
+			continue
+		}
+		res.Completed++
+		fct := rec.FCT().Seconds()
+		res.AllFCT.Add(fct)
+		if rec.SizeBytes < ShortFlowMax {
+			res.ShortFCT.Add(fct)
+		}
+		if rec.SizeBytes > LongFlowMin {
+			res.LongThroughput.Add(rec.Throughput())
+		}
+	}
 }
 
 // Run executes one experiment: it replays the arrival list over the chosen
@@ -102,6 +140,9 @@ func Run(cfg RunConfig) *Results {
 	}
 	if cfg.Faults.Len() > 0 && cfg.Transport != TransportR2C2 {
 		panic(fmt.Sprintf("sim: fault schedules require TransportR2C2, got %v", cfg.Transport))
+	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
 	}
 	eng := &Engine{}
 	if cfg.LegacyHeapScheduler {
@@ -178,25 +219,8 @@ func Run(cfg RunConfig) *Results {
 		}
 	}
 
-	// Iterate in flow-creation order: Results (FCT sample order included)
-	// must be identical across runs of the same configuration.
 	res := &Results{Transport: cfg.Transport, EndTime: eng.Now(), Events: eng.Processed()}
-	for _, rec := range ledger.order {
-		res.Flows = append(res.Flows, rec)
-		if !rec.Done {
-			res.Incomplete++
-			continue
-		}
-		res.Completed++
-		fct := rec.FCT().Seconds()
-		res.AllFCT.Add(fct)
-		if rec.SizeBytes < ShortFlowMax {
-			res.ShortFCT.Add(fct)
-		}
-		if rec.SizeBytes > LongFlowMin {
-			res.LongThroughput.Add(rec.Throughput())
-		}
-	}
+	res.addFlows(ledger.order)
 	res.MaxQueue.AddAll(net.MaxQueueSample())
 	res.Drops = net.TotalDrops()
 	res.BcastBytes = net.BcastBytesOnWire

@@ -1,0 +1,541 @@
+package sim
+
+// Sharded simulation engine (DESIGN.md §14): the fabric is partitioned by
+// rack (topology.NewPartition), every rack shard runs its own Engine,
+// Network and R2C2 instance over the full graph but owns only its rack's
+// node/port state, and the shards execute in parallel under a conservative-
+// lookahead epoch barrier. Intra-rack events never leave their shard;
+// packets whose next hop belongs to another shard cross through per-pair
+// boundary queues that the orchestrator drains serially at every epoch
+// boundary, in deterministic (at, source shard, emission index) order.
+//
+// The lookahead window Δ is the minimum latency any cross-shard interaction
+// can have: the smallest boundary-link propagation delay, additionally
+// clamped by the fastest §3.2 drop-notification round trip (the only other
+// cross-shard effect). An event executing at time t > E can therefore only
+// produce cross-shard work at t' ≥ t+Δ > E+Δ, so running every shard
+// independently through (E, E+Δ] and exchanging handoffs at the barrier
+// preserves exact causality. Results are byte-identical to the serial
+// engine (RunConfig.Shards ≤ 1), which is kept as the differential oracle —
+// the same role UseLegacyHeap plays for the timer wheel.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/wire"
+)
+
+// handoff is one cross-shard interaction, flattened to plain data: either a
+// packet crossing a boundary link (scheduled as an evArrive in the
+// destination shard) or a §3.2 broadcast-retransmission request routed to
+// the origin's shard (ctrl). Broadcast payloads are shared by pointer; they
+// are immutable after publication and the epoch barrier orders the accesses.
+type handoff struct {
+	at   simtime.Time
+	node topology.NodeID // arrival node / reflood origin
+	ctrl bool            // reflood request rather than a packet
+
+	kind      PacketKind
+	size      int
+	flow      wire.FlowID
+	src, dst  topology.NodeID
+	seq       uint32
+	payload   int
+	retx      bool
+	retries   uint8
+	bcast     *wire.Broadcast
+	flowSize  int64
+	flowStart simtime.Time
+	path      []topology.LinkID // remaining source route (data/ack)
+}
+
+// boundaryQueue is one directed src-shard→dst-shard mailbox. The source
+// shard appends during its run phase; the orchestrator drains it serially
+// between phases, so it is never accessed concurrently. Slots (and their
+// path buffers) recycle across epochs, keeping the steady state
+// allocation-free.
+type boundaryQueue struct {
+	slots []handoff
+	n     int
+}
+
+// push returns the next zeroed slot, retaining its recycled path buffer.
+//
+//r2c2:boundary
+func (q *boundaryQueue) push() *handoff {
+	if q.n == len(q.slots) {
+		//lint:ignore alloc-hotpath slot growth is amortised: the queue retains capacity across epochs
+		q.slots = append(q.slots, handoff{})
+	}
+	h := &q.slots[q.n]
+	q.n++
+	path := h.path[:0]
+	*h = handoff{path: path}
+	return h
+}
+
+// reset empties the queue, keeping the slots for reuse.
+//
+//r2c2:boundary
+func (q *boundaryQueue) reset() { q.n = 0 }
+
+// shardCtx is one shard's boundary interface, referenced by its Network and
+// R2C2 so the hot path can test ownership and export handoffs without
+// reaching back into the orchestrator. It is written only by the shard's
+// goroutine during run phases; the orchestrator reads it between phases,
+// ordered by the epoch barrier.
+//
+//r2c2:shardowned
+type shardCtx struct {
+	self    int32
+	shardOf []int32          // partition assignment, shared read-only
+	out     []*boundaryQueue // out[d]: handoffs bound for shard d (out[self] nil)
+
+	// ctrl counts replicated control events (recompute ticks, fault
+	// injections, reroute firings) that run once in EVERY shard but once
+	// total in a serial run: the merge subtracts the S-1 duplicates from
+	// the event total and asserts the count is identical across shards.
+	ctrl uint64
+	// doneFlows counts Done transitions observed by this shard's receiver
+	// logic; every flow completes in exactly one shard, so the sum across
+	// shards matches the serial engine's completed-flow count.
+	doneFlows int
+	// handoffs counts exported boundary crossings (per-shard utilisation
+	// statistic).
+	handoffs uint64
+	// tickHashes logs, per recomputation tick, the distinct view hashes
+	// this shard ran the allocator for; the merge unions them per tick
+	// across shards to reproduce the serial Recomputations count.
+	tickHashes [][]uint64
+}
+
+// shardState bundles one shard's engine stack. It is driven by exactly one
+// worker goroutine per phase (the work-stealing counter hands a shard to a
+// single worker; the WaitGroup barrier orders phases).
+//
+//r2c2:shardowned
+type shardState struct {
+	ctx *shardCtx
+	eng *Engine
+	net *Network
+	r2  *R2C2
+
+	busyNs int64 // wall-clock time spent inside run phases
+}
+
+// run advances the shard's engine to `until`, accounting busy time.
+// The wall clock here is deliberate: busyNs measures real execution time
+// for the per-shard utilisation report (ShardStat.BusyNs), which is
+// documented as nondeterministic and excluded from byte-identity — no
+// simulation decision ever reads it.
+func (st *shardState) run(until simtime.Time) {
+	//lint:ignore no-wallclock utilisation accounting only; excluded from Results byte-identity
+	t0 := time.Now()
+	st.eng.Run(until)
+	//lint:ignore no-wallclock,unit-taint utilisation accounting in wall nanoseconds; excluded from Results byte-identity
+	st.busyNs += time.Since(t0).Nanoseconds()
+}
+
+// ingest files one drained handoff into this (destination) shard's engine.
+// The engine assigns a fresh sequence number at ingest, so drain order —
+// deterministic by construction — fixes the FIFO tie-break exactly like
+// serial scheduling order does.
+//
+//r2c2:boundary
+func (st *shardState) ingest(h *handoff) {
+	if h.ctrl {
+		origin, b, retries := h.node, h.bcast, h.retries
+		st.eng.schedule(h.at, event{kind: evFunc, fn: func() {
+			st.r2.reflood(origin, b, retries)
+		}})
+		return
+	}
+	pkt := st.net.newPacket()
+	pkt.Kind = h.kind
+	pkt.SizeBytes = h.size
+	pkt.Flow = h.flow
+	pkt.Src = h.src
+	pkt.Dst = h.dst
+	pkt.Seq = h.seq
+	pkt.Payload = h.payload
+	pkt.Retx = h.retx
+	pkt.Retries = h.retries
+	pkt.flowSize = h.flowSize
+	pkt.flowStart = h.flowStart
+	if h.kind == KindBroadcast {
+		pkt.Bcast = h.bcast
+	} else {
+		//lint:ignore alloc-hotpath scratch growth is amortised: packets recycle their route buffers through the arena
+		pkt.scratch = append(pkt.scratch[:0], h.path...)
+		pkt.Path = pkt.scratch
+	}
+	st.eng.schedule(h.at, event{kind: evArrive, node: h.node, pkt: pkt})
+}
+
+// ShardStat reports one shard's execution statistics (Results.ShardStats).
+type ShardStat struct {
+	Shard    int
+	Nodes    int    // vertices owned by the shard
+	Events   uint64 // events processed by the shard's engine
+	Handoffs uint64 // boundary handoffs exported to other shards
+	BusyNs   int64  // wall-clock nanoseconds inside run phases
+}
+
+// shardedRun is the orchestrator. It is deliberately NOT marked
+// //r2c2:shardowned: workers are spawned as methods on it (the documented
+// escape hatch for fan-out), and each shard's owned state is only ever
+// touched by the single worker that claimed it off the atomic counter.
+type shardedRun struct {
+	cfg     RunConfig
+	part    *topology.Partition
+	shards  []*shardState
+	delta   simtime.Time
+	workers int
+
+	next   atomic.Int32 // work-stealing shard cursor for the current phase
+	wg     sync.WaitGroup
+	gather []*handoff // drain scratch, reused across epochs
+}
+
+// lookahead computes the conservative window Δ: the minimum boundary-link
+// propagation delay, clamped by the fastest cross-shard drop notification
+// (onDrop schedules the reflood at ≥ 2·Diameter·(prop+transmit) from the
+// drop, since retries start at 1), and by ≥ 1 ps so epochs always advance.
+func lookahead(g *topology.Graph, netCfg NetConfig, part *topology.Partition) simtime.Time {
+	netCfg.defaults()
+	var minProp simtime.Time
+	for i, lid := range part.BoundaryLinks() {
+		d := netCfg.PropDelay
+		if netCfg.InterRackPropDelay != 0 && g.IsInterRack(lid) {
+			d = netCfg.InterRackPropDelay
+		}
+		if i == 0 || d < minProp {
+			minProp = d
+		}
+	}
+	notify := 2 * simtime.Time(g.Diameter()) *
+		(netCfg.PropDelay + simtime.TransmitTime(MTU, netCfg.LinkGbps))
+	if notify < minProp {
+		minProp = notify
+	}
+	if minProp < 1 {
+		minProp = 1
+	}
+	return minProp
+}
+
+// runSharded executes one experiment on the sharded engine. The logical
+// partition is always the rack partition — cfg.Shards only sets the worker
+// count — so Results are byte-identical at every worker count, and
+// identical to the serial engine up to exact-timestamp cross-shard ties
+// (see DESIGN.md §14).
+func runSharded(cfg RunConfig) *Results {
+	if cfg.Transport != TransportR2C2 {
+		panic(fmt.Sprintf("sim: sharded runs require TransportR2C2, got %v (the PFQ back-pressure fabric and TCP baseline are serial-only)", cfg.Transport))
+	}
+	if cfg.LegacyHeapScheduler {
+		panic("sim: sharded runs require the timer-wheel scheduler (LegacyHeapScheduler is the serial oracle's knob)")
+	}
+	if cfg.Net.PerFlowQueues {
+		panic("sim: per-flow-queue back-pressure cannot be sharded (hop-by-hop credits cross shards with zero lookahead)")
+	}
+	part, err := topology.NewPartition(cfg.Graph)
+	if err != nil {
+		panic(fmt.Sprintf("sim: sharded run needs a rack-partitioned fabric: %v", err))
+	}
+	S := part.Shards()
+	workers := cfg.Shards
+	if workers > S {
+		workers = S
+	}
+
+	maxTime := cfg.MaxTime
+	if maxTime == 0 {
+		maxTime = cfg.Arrivals[len(cfg.Arrivals)-1].At + 100*simtime.Millisecond
+	}
+
+	sr := &shardedRun{
+		cfg:     cfg,
+		part:    part,
+		delta:   lookahead(cfg.Graph, cfg.Net, part),
+		workers: workers,
+	}
+	assign := part.ShardAssignment()
+	for s := 0; s < S; s++ {
+		ctx := &shardCtx{self: int32(s), shardOf: assign, out: make([]*boundaryQueue, S)}
+		for d := 0; d < S; d++ {
+			if d != s {
+				ctx.out[d] = &boundaryQueue{}
+			}
+		}
+		eng := &Engine{}
+		net := NewNetwork(cfg.Graph, eng, cfg.Net)
+		net.sh = ctx // before NewR2C2: the transport mirrors it
+		r2 := NewR2C2(net, routing.NewTable(cfg.Graph), cfg.R2C2)
+		if cfg.Faults.Len() > 0 {
+			// The whole schedule is replicated into every shard: each must
+			// observe the same degraded fabric (ctrl subtracts duplicates).
+			r2.ApplyFaults(cfg.Faults)
+		}
+		for _, a := range cfg.Arrivals {
+			if assign[a.Src] != int32(s) {
+				continue // the source's owner starts the flow
+			}
+			arr := a
+			eng.Schedule(arr.At, func() {
+				r2.StartFlow(arr.Src, arr.Dst, arr.SizeBytes, arr.Weight, arr.Priority)
+			})
+		}
+		sr.shards = append(sr.shards, &shardState{ctx: ctx, eng: eng, net: net, r2: r2})
+	}
+
+	// Epoch loop, nested inside the serial engine's completion-check slices
+	// so early termination happens at the very same boundaries.
+	total := len(cfg.Arrivals)
+	slice := maxTime / 64
+	if slice < simtime.Microsecond {
+		slice = simtime.Microsecond
+	}
+	now := simtime.Time(0)
+	end := maxTime
+	for now < maxTime {
+		sliceEnd := now + slice
+		if sliceEnd > maxTime {
+			sliceEnd = maxTime
+		}
+		for now < sliceEnd {
+			// Idle jump: nothing can execute before the earliest pending
+			// event T*, and events at T* export handoffs at ≥ T*+Δ, so the
+			// epoch may end at max(now+Δ, T*) without losing causality.
+			tstar, any := sr.nextEventAt()
+			next := now + sr.delta
+			if any && tstar > next {
+				next = tstar
+			}
+			if !any || next > sliceEnd {
+				next = sliceEnd
+			}
+			if !any || tstar > next {
+				// No shard has work in this window: advance clocks inline
+				// instead of paying the fan-out barrier.
+				for _, st := range sr.shards {
+					st.eng.Run(next)
+				}
+			} else {
+				sr.runPhase(next)
+				sr.drain()
+			}
+			now = next
+		}
+		opened, done := 0, 0
+		for _, st := range sr.shards {
+			opened += len(st.r2.ledger.order)
+			done += st.ctx.doneFlows
+		}
+		if opened == total && done == total {
+			end = sliceEnd
+			break
+		}
+		pending := false
+		for _, st := range sr.shards {
+			if st.eng.Pending() {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			end = sliceEnd
+			break
+		}
+	}
+
+	return sr.merge(end)
+}
+
+// nextEventAt returns the earliest scheduled event across all shards.
+func (sr *shardedRun) nextEventAt() (simtime.Time, bool) {
+	var min simtime.Time
+	any := false
+	for _, st := range sr.shards {
+		if at, ok := st.eng.NextEventAt(); ok && (!any || at < min) {
+			min, any = at, true
+		}
+	}
+	return min, any
+}
+
+// runPhase executes one parallel epoch: every shard advances to `until`.
+// Workers claim shards off the atomic cursor, so each shard is driven by
+// exactly one goroutine; the WaitGroup is the epoch barrier (and the
+// happens-before edge for the orchestrator's serial drain).
+func (sr *shardedRun) runPhase(until simtime.Time) {
+	if sr.workers <= 1 {
+		for _, st := range sr.shards {
+			st.run(until)
+		}
+		return
+	}
+	sr.next.Store(0)
+	n := sr.workers
+	sr.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go sr.worker(until)
+	}
+	sr.wg.Wait()
+}
+
+func (sr *shardedRun) worker(until simtime.Time) {
+	defer sr.wg.Done()
+	for {
+		i := int(sr.next.Add(1)) - 1
+		if i >= len(sr.shards) {
+			return
+		}
+		sr.shards[i].run(until)
+	}
+}
+
+// drain moves every epoch's boundary handoffs into their destination
+// shards, serially and deterministically: per destination, handoffs are
+// gathered in source-shard order and stably sorted by timestamp, so the
+// ingest order — and with it the destination engine's FIFO tie-break — is
+// (at, source shard, emission index) regardless of worker count.
+//
+//r2c2:boundary
+func (sr *shardedRun) drain() {
+	for d := range sr.shards {
+		buf := sr.gather[:0]
+		for s := range sr.shards {
+			if s == d {
+				continue
+			}
+			q := sr.shards[s].ctx.out[d]
+			for i := 0; i < q.n; i++ {
+				buf = append(buf, &q.slots[i])
+			}
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return buf[i].at < buf[j].at })
+		for _, h := range buf {
+			sr.shards[d].ingest(h)
+		}
+		for s := range sr.shards {
+			if s != d {
+				sr.shards[s].ctx.out[d].reset()
+			}
+		}
+		sr.gather = buf[:0]
+	}
+}
+
+// merge assembles serial-identical Results from the shard set.
+func (sr *shardedRun) merge(end simtime.Time) *Results {
+	cfg, S := sr.cfg, len(sr.shards)
+
+	// Flow records, in the serial engine's creation order: arrivals sorted
+	// stably by time (Schedule's FIFO tie-break preserves list order), each
+	// pulled from its source shard's ledger via a per-shard cursor. Records
+	// of cross-shard flows get their delivery fields folded in from the
+	// receive-side record the destination shard opened lazily.
+	idx := make([]int, len(cfg.Arrivals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return cfg.Arrivals[idx[a]].At < cfg.Arrivals[idx[b]].At })
+	cursors := make([]int, S)
+	order := make([]*FlowRecord, 0, len(cfg.Arrivals))
+	for _, i := range idx {
+		s := sr.part.ShardOf(cfg.Arrivals[i].Src)
+		srcLedger := sr.shards[s].r2.ledger
+		if cursors[s] >= len(srcLedger.order) {
+			break // the run stopped before this arrival fired
+		}
+		rec := srcLedger.order[cursors[s]]
+		cursors[s]++
+		if d := sr.part.ShardOf(rec.Dst); d != s {
+			if rrec := sr.shards[d].r2.ledger.get(rec.ID); rrec != nil {
+				rec.BytesRcvd = rrec.BytesRcvd
+				rec.Done = rrec.Done
+				rec.Finished = rrec.Finished
+			}
+		}
+		order = append(order, rec)
+	}
+
+	res := &Results{Transport: cfg.Transport, EndTime: end}
+	res.addFlows(order)
+
+	// Replicated-control correction: every shard must have executed the
+	// identical control sequence; subtract the S-1 duplicates of each.
+	ctrl := sr.shards[0].ctx.ctrl
+	rounds := sr.shards[0].r2.RecomputeRounds
+	reroutes := sr.shards[0].r2.FailureReroutes
+	ticks := len(sr.shards[0].ctx.tickHashes)
+	for _, st := range sr.shards {
+		if st.ctx.ctrl != ctrl || st.r2.RecomputeRounds != rounds ||
+			st.r2.FailureReroutes != reroutes || len(st.ctx.tickHashes) != ticks {
+			panic(fmt.Sprintf("sim: shard control divergence: ctrl %d/%d rounds %d/%d reroutes %d/%d ticks %d/%d",
+				st.ctx.ctrl, ctrl, st.r2.RecomputeRounds, rounds,
+				st.r2.FailureReroutes, reroutes, len(st.ctx.tickHashes), ticks))
+		}
+	}
+	res.RecomputeRounds = rounds
+	res.FailureReroutes = reroutes
+	for _, st := range sr.shards {
+		res.Events += st.eng.Processed()
+		res.Drops += st.net.TotalDrops()
+		res.BcastBytes += st.net.BcastBytesOnWire
+		res.Reorder.AddAll(st.r2.Reorder.Values())
+	}
+	res.Events -= uint64(S-1) * ctrl
+
+	// Recomputations: the serial engine dedups allocator runs per tick by
+	// view hash across ALL nodes; the union of the shards' per-tick distinct
+	// hash sets reproduces that count exactly.
+	seen := make(map[uint64]bool)
+	for t := 0; t < ticks; t++ {
+		clear(seen)
+		for _, st := range sr.shards {
+			for _, h := range st.ctx.tickHashes[t] {
+				seen[h] = true
+			}
+		}
+		res.Recomputations += uint64(len(seen))
+	}
+
+	// Per-port peaks live with the port's transmitting shard (the owner of
+	// the link's From node); other shards never enqueue on that port.
+	maxq := make([]float64, cfg.Graph.NumLinks())
+	samples := make([][]float64, S)
+	for s, st := range sr.shards {
+		samples[s] = st.net.MaxQueueSample()
+	}
+	for lid := range maxq {
+		owner := sr.part.ShardOf(cfg.Graph.Link(topology.LinkID(lid)).From)
+		maxq[lid] = samples[owner][lid]
+	}
+	res.MaxQueue.AddAll(maxq)
+
+	for s, st := range sr.shards {
+		nodes := 0
+		for _, a := range sr.part.ShardAssignment() {
+			if a == int32(s) {
+				nodes++
+			}
+		}
+		res.ShardStats = append(res.ShardStats, ShardStat{
+			Shard:    s,
+			Nodes:    nodes,
+			Events:   st.eng.Processed(),
+			Handoffs: st.ctx.handoffs,
+			BusyNs:   st.busyNs,
+		})
+	}
+	return res
+}

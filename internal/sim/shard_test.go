@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"r2c2/internal/faults"
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/topology"
+	"r2c2/internal/trafficgen"
+)
+
+// multiRack builds `racks` (3,2)-torus racks bridged in a ring — the
+// smallest fabric with a non-trivial rack partition and multiple boundary
+// links per shard pair.
+func multiRack(t testing.TB, racks int) *topology.Graph {
+	t.Helper()
+	subs := make([]*topology.Graph, racks)
+	for i := range subs {
+		g, err := topology.NewTorus(3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = g
+	}
+	var bridges []topology.Bridge
+	for i := 0; i < racks; i++ {
+		j := (i + 1) % racks
+		bridges = append(bridges,
+			topology.Bridge{RackA: i, RackB: j, NodeA: 0, NodeB: 4},
+			topology.Bridge{RackA: i, RackB: j, NodeA: 5, NodeB: 1},
+		)
+	}
+	g, err := topology.ConnectRacks(subs, bridges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// shardWorkload is the reference multi-rack configuration the sharded
+// engine is validated against: randomised routing (per-node RNG streams),
+// reliable transfer (acks crossing boundaries in both directions), and a
+// mix of intra- and inter-rack flows.
+func shardWorkload(t testing.TB, shards int) RunConfig {
+	g := multiRack(t, 4)
+	return RunConfig{
+		Graph:     g,
+		Net:       NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond},
+		Transport: TransportR2C2,
+		R2C2: R2C2Config{
+			Headroom: 0.05, Protocol: routing.RPS,
+			Recompute: 100 * simtime.Microsecond,
+			Reliable:  true, RTO: 300 * simtime.Microsecond,
+			Seed: 11,
+		},
+		Arrivals: trafficgen.FixedSize(trafficgen.PoissonConfig{
+			Nodes:        g.Nodes(),
+			MeanInterval: 200 * simtime.Microsecond,
+			Count:        60,
+			Seed:         7,
+		}, 256<<10),
+		MaxTime: 100 * simtime.Millisecond,
+		Shards:  shards,
+	}
+}
+
+// TestShardedByteIdentical is the sharded engine's differential oracle: the
+// serial engine (Shards ≤ 1) and the sharded engine at several worker
+// counts must produce byte-identical Results dumps. The logical partition
+// is fixed (per rack), so the worker count must be invisible.
+func TestShardedByteIdentical(t *testing.T) {
+	serial := Run(shardWorkload(t, 1))
+	if serial.Completed == 0 {
+		t.Fatal("workload completed no flows; the comparison would be vacuous")
+	}
+	want := dumpResults(serial)
+	for _, workers := range []int{2, 4, 8} {
+		res := Run(shardWorkload(t, workers))
+		if len(res.ShardStats) != 4 {
+			t.Fatalf("workers=%d: ShardStats has %d entries, want 4 (one per rack)", workers, len(res.ShardStats))
+		}
+		handoffs := uint64(0)
+		for _, st := range res.ShardStats {
+			handoffs += st.Handoffs
+		}
+		if handoffs == 0 {
+			t.Fatalf("workers=%d: no boundary handoffs; the workload never crossed a shard", workers)
+		}
+		res.ShardStats = nil // wall-clock fields are legitimately nondeterministic
+		got := dumpResults(res)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d diverged from serial (first differing line %d)\n--- serial ---\n%s\n--- sharded ---\n%s",
+				workers, firstDiffLine(want, got), want, got)
+		}
+	}
+}
+
+func firstDiffLine(a, b []byte) int {
+	line := 1
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			break
+		}
+		if a[i] == '\n' {
+			line++
+		}
+	}
+	return line
+}
+
+// TestShardedFaultsByteIdentical drives a fault schedule that crosses shard
+// boundaries — a bridge-cable failure plus repair, a node crash next to a
+// bridge, and a lossy boundary cable — and requires the sharded engine to
+// match the serial one exactly: replicated fault injection, the degraded-
+// fabric reroute and §3.2 re-announce broadcasts must all stay in lockstep
+// across shards.
+func TestShardedFaultsByteIdentical(t *testing.T) {
+	sched := faults.Schedule{Events: []faults.Event{
+		// Rack 0's node 0 bridges to rack 1's node 4 (vertex 13): kill the
+		// boundary cable itself, then repair it.
+		{At: 2 * time.Millisecond, Kind: faults.LinkDown, A: 0, B: 13, Detect: 200 * time.Microsecond},
+		{At: 6 * time.Millisecond, Kind: faults.LinkRepair, A: 0, B: 13, Detect: 200 * time.Microsecond},
+		// Crash a bridge endpoint in rack 2 (vertex 23 = rack 2, node 5).
+		{At: 4 * time.Millisecond, Kind: faults.NodeDown, Node: 23, Detect: 300 * time.Microsecond},
+		// Lossy boundary cable: rack 1 node 5 (vertex 14) to rack 2 node 1
+		// (vertex 19) — drops roll per-link RNG streams on the owner shard.
+		{At: 1 * time.Millisecond, Kind: faults.LinkDrop, A: 14, B: 19, DropProb: 0.2},
+	}}
+	mk := func(shards int) RunConfig {
+		cfg := shardWorkload(t, shards)
+		if err := sched.Validate(cfg.Graph); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = sched
+		return cfg
+	}
+	serial := Run(mk(1))
+	if serial.FailureReroutes == 0 {
+		t.Fatal("fault schedule never triggered a reroute")
+	}
+	want := dumpResults(serial)
+	for _, workers := range []int{2, 8} {
+		res := Run(mk(workers))
+		res.ShardStats = nil
+		got := dumpResults(res)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d diverged from serial under faults (first differing line %d)\n--- serial ---\n%s\n--- sharded ---\n%s",
+				workers, firstDiffLine(want, got), want, got)
+		}
+	}
+}
+
+// TestShardedRejectsUnshardableConfigs pins the scope gate: the sharded
+// engine refuses transports and schedulers whose semantics cannot be
+// partitioned, and fabrics without a rack structure.
+func TestShardedRejectsUnshardableConfigs(t *testing.T) {
+	expectPanic := func(name string, cfg RunConfig) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Run did not panic", name)
+			}
+		}()
+		Run(cfg)
+	}
+
+	cfg := shardWorkload(t, 2)
+	cfg.Transport = TransportTCP
+	expectPanic("tcp", cfg)
+
+	cfg = shardWorkload(t, 2)
+	cfg.LegacyHeapScheduler = true
+	expectPanic("legacy-heap", cfg)
+
+	single := shardWorkload(t, 2)
+	g, err := topology.NewTorus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Graph = g
+	single.Arrivals = trafficgen.FixedSize(trafficgen.PoissonConfig{
+		Nodes: g.Nodes(), MeanInterval: 200 * simtime.Microsecond, Count: 10, Seed: 7,
+	}, 64<<10)
+	expectPanic("single-rack", single)
+}

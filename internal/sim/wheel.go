@@ -103,16 +103,33 @@ type timerWheel struct {
 	staged []int32
 }
 
-// alloc takes a node off the free list or grows the arena.
+// alloc takes a node off the free list, growing the arena by a chunk when
+// it runs dry.
 func (w *timerWheel) alloc() int32 {
-	if w.freeHead != 0 {
-		idx := w.freeHead
-		w.freeHead = w.nodes[idx-1].next
-		return idx
+	if w.freeHead == 0 {
+		w.grow()
 	}
-	//lint:ignore alloc-hotpath arena growth is amortised: nodes recycle through the free list for the rest of the run
-	w.nodes = append(w.nodes, timerNode{})
-	return int32(len(w.nodes))
+	idx := w.freeHead
+	w.freeHead = w.nodes[idx-1].next
+	return idx
+}
+
+// grow extends the arena by at least 64 nodes (doubling past that) and
+// threads the new tail onto the free list: arming the first N timers costs
+// O(log N) slice growths instead of one append per node, and a steady-state
+// schedule recycles nodes without ever growing again.
+func (w *timerWheel) grow() {
+	old := len(w.nodes)
+	n := old
+	if n < 64 {
+		n = 64
+	}
+	//lint:ignore alloc-hotpath arena growth is amortised: chunks recycle through the free list for the rest of the run
+	w.nodes = append(w.nodes, make([]timerNode, n)...)
+	for i := len(w.nodes); i > old; i-- {
+		w.nodes[i-1] = timerNode{next: w.freeHead, level: freeLevel}
+		w.freeHead = int32(i)
+	}
 }
 
 // free zeroes a node (dropping packet/closure references, like the heap's
@@ -213,6 +230,13 @@ func (w *timerWheel) stageLess(a, b int32) bool {
 }
 
 func (w *timerWheel) stagePush(idx int32) {
+	if w.staged == nil {
+		// Pre-size the staging heap once; it keeps its capacity across
+		// slots, so a wheel that never stages more than 64 same-slot events
+		// at a time performs exactly one staging allocation per run.
+		//lint:ignore alloc-hotpath one-time staging-heap backing allocation, reused across every slot
+		w.staged = make([]int32, 0, 64)
+	}
 	w.staged = append(w.staged, idx)
 	i := len(w.staged) - 1
 	for i > 0 {

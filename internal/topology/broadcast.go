@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // BroadcastTree is a shortest-path spanning tree rooted at Root, used to
@@ -53,14 +54,23 @@ func BuildBroadcastTrees(g *Graph, src NodeID, count int, rngSeed int64) []*Broa
 		panic(fmt.Sprintf("topology: broadcast tree count %d out of [1,255]", count))
 	}
 	rng := rand.New(rand.NewSource(rngSeed))
+	// The FIB builds a source's trees lazily on first lookup, which makes
+	// this function reachable from the emulator's data-path hotpath root —
+	// but only on the once-per-source miss path; the steady-state hit path
+	// never gets here, so the construction allocations below are amortised.
+	//lint:ignore alloc-hotpath once-per-source lazy tree construction; the FIB hit path is allocation-free
 	trees := make([]*BroadcastTree, count)
 	// Scratch shared by every tree of this source: per-vertex parent picks,
 	// per-parent child counts, and the candidate buffer. Building a FIB
 	// constructs sources × count trees, so per-vertex slice churn here
 	// dominated the simulator's setup allocations.
+	//lint:ignore alloc-hotpath once-per-source lazy tree construction; the FIB hit path is allocation-free
 	scratch := &treeScratch{
-		picks:      make([]LinkID, g.Vertices()),
-		counts:     make([]int, g.Vertices()),
+		//lint:ignore alloc-hotpath once-per-source lazy tree construction; the FIB hit path is allocation-free
+		picks: make([]LinkID, g.Vertices()),
+		//lint:ignore alloc-hotpath once-per-source lazy tree construction; the FIB hit path is allocation-free
+		counts: make([]int, g.Vertices()),
+		//lint:ignore alloc-hotpath once-per-source lazy tree construction; the FIB hit path is allocation-free
 		candidates: make([]LinkID, 0, 8),
 	}
 	for i := 0; i < count; i++ {
@@ -76,9 +86,11 @@ type treeScratch struct {
 }
 
 func buildOneTree(g *Graph, src NodeID, id uint8, rng *rand.Rand, sc *treeScratch) *BroadcastTree {
+	//lint:ignore alloc-hotpath once-per-source lazy tree construction; the FIB hit path is allocation-free
 	t := &BroadcastTree{
-		Root:     src,
-		ID:       id,
+		Root: src,
+		ID:   id,
+		//lint:ignore alloc-hotpath once-per-source lazy tree construction; the FIB hit path is allocation-free
 		Children: make([][]LinkID, g.Vertices()),
 	}
 	for v := range sc.picks {
@@ -119,6 +131,7 @@ func buildOneTree(g *Graph, src NodeID, id uint8, rng *rand.Rand, sc *treeScratc
 	// Bucket the picks into child lists carved out of one backing array
 	// instead of growing each parent's slice separately. Iterating vertices
 	// in ascending order preserves the original per-parent link order.
+	//lint:ignore alloc-hotpath once-per-source lazy tree construction; the FIB hit path is allocation-free
 	flat := make([]LinkID, 0, total)
 	off := 0
 	for p := 0; p < g.Vertices(); p++ {
@@ -143,9 +156,21 @@ func buildOneTree(g *Graph, src NodeID, id uint8, rng *rand.Rand, sc *treeScratc
 // lookup keyed by <src-address, tree-id> yielding the set of next-hop links
 // a broadcast packet must be forwarded on from a given node. One FIB is
 // shared by all nodes (each node consults only its own row).
+//
+// Trees are built lazily, one source at a time on first lookup: an eager
+// FIB is O(sources × trees × vertices) memory — prohibitive at the 10k-node
+// multi-rack scale where only the sources that actually broadcast need
+// trees. A source's trees are seeded by rngSeed+src independent of build
+// order, so a lazy FIB forwards byte-identically to the old eager one.
+// Lookups are guarded by an RWMutex (read-locked on the hit path) because
+// the emulator's node goroutines share one FIB; the simulator's per-shard
+// FIBs see only uncontended locks.
 type BroadcastFIB struct {
-	trees map[fibKey]*BroadcastTree
-	g     *Graph
+	mu             sync.RWMutex
+	trees          map[fibKey]*BroadcastTree
+	g              *Graph
+	treesPerSource int
+	rngSeed        int64
 }
 
 type fibKey struct {
@@ -153,23 +178,42 @@ type fibKey struct {
 	tree uint8
 }
 
-// NewBroadcastFIB precomputes treesPerSource broadcast trees for every
-// endpoint node and indexes them for forwarding lookups.
+// NewBroadcastFIB prepares a FIB serving treesPerSource broadcast trees for
+// every endpoint node; trees are built per source on first use.
 func NewBroadcastFIB(g *Graph, treesPerSource int, rngSeed int64) *BroadcastFIB {
-	fib := &BroadcastFIB{trees: make(map[fibKey]*BroadcastTree), g: g}
-	for s := 0; s < g.Nodes(); s++ {
-		for _, t := range BuildBroadcastTrees(g, NodeID(s), treesPerSource, rngSeed+int64(s)) {
-			fib.trees[fibKey{src: NodeID(s), tree: t.ID}] = t
+	return &BroadcastFIB{
+		trees:          make(map[fibKey]*BroadcastTree),
+		g:              g,
+		treesPerSource: treesPerSource,
+		rngSeed:        rngSeed,
+	}
+}
+
+// lookup returns the tree for <src, treeID>, building src's trees on first
+// access.
+func (f *BroadcastFIB) lookup(src NodeID, treeID uint8) (*BroadcastTree, bool) {
+	f.mu.RLock()
+	t, ok := f.trees[fibKey{src: src, tree: treeID}]
+	f.mu.RUnlock()
+	if ok || int(src) < 0 || int(src) >= f.g.Nodes() {
+		return t, ok
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t, ok = f.trees[fibKey{src: src, tree: 0}]; !ok {
+		for _, bt := range BuildBroadcastTrees(f.g, src, f.treesPerSource, f.rngSeed+int64(src)) {
+			f.trees[fibKey{src: src, tree: bt.ID}] = bt
 		}
 	}
-	return fib
+	t, ok = f.trees[fibKey{src: src, tree: treeID}]
+	return t, ok
 }
 
 // NextHops returns the links on which node `at` must forward a broadcast
 // packet originated by src on tree treeID. It returns nil (forward nowhere)
 // for leaves, and ok=false for an unknown <src, tree> pair.
 func (f *BroadcastFIB) NextHops(src NodeID, treeID uint8, at NodeID) ([]LinkID, bool) {
-	t, ok := f.trees[fibKey{src: src, tree: treeID}]
+	t, ok := f.lookup(src, treeID)
 	if !ok {
 		return nil, false
 	}
@@ -178,15 +222,14 @@ func (f *BroadcastFIB) NextHops(src NodeID, treeID uint8, at NodeID) ([]LinkID, 
 
 // Tree returns the broadcast tree for <src, treeID>.
 func (f *BroadcastFIB) Tree(src NodeID, treeID uint8) (*BroadcastTree, bool) {
-	t, ok := f.trees[fibKey{src: src, tree: treeID}]
-	return t, ok
+	return f.lookup(src, treeID)
 }
 
 // TreesPerSource reports how many trees exist for src.
 func (f *BroadcastFIB) TreesPerSource(src NodeID) int {
 	n := 0
 	for id := 0; id < 256; id++ {
-		if _, ok := f.trees[fibKey{src: src, tree: uint8(id)}]; !ok {
+		if _, ok := f.lookup(src, uint8(id)); !ok {
 			break
 		}
 		n++

@@ -66,6 +66,15 @@ func ConnectRacks(racks []*Graph, bridges []Bridge) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Record which rack every node came from: shard partitioning and
+	// inter-rack link timing key off this metadata.
+	g.rackOf = make([]int32, total)
+	for i := range racks {
+		for v := 0; v < racks[i].Nodes(); v++ {
+			g.rackOf[offsets[i]+v] = int32(i)
+		}
+	}
+	g.racks = len(racks)
 	// Verify the bridges actually connect everything.
 	for v := 1; v < total; v++ {
 		if g.Dist(0, NodeID(v)) < 0 {

@@ -1,0 +1,60 @@
+package topology
+
+import "fmt"
+
+// Partition assigns every vertex of a rack-structured fabric to a shard for
+// the sharded simulation engine: one shard per rack (ConnectRacks) or per
+// leaf group (folded Clos). The assignment is a pure function of the graph,
+// so every run of the same fabric — at any worker count — sees the same
+// logical shards, which is what keeps sharded Results independent of how
+// many OS threads execute them.
+type Partition struct {
+	shards   int
+	shardOf  []int32
+	boundary []LinkID
+}
+
+// NewPartition derives the per-rack shard assignment of g. Spine switches
+// (vertices in no rack group) are distributed round-robin across shards in
+// vertex order. It returns an error when the fabric has no rack structure
+// to shard by (single-rack tori/meshes run serially).
+func NewPartition(g *Graph) (*Partition, error) {
+	racks := g.Racks()
+	if racks < 2 {
+		return nil, fmt.Errorf("topology: fabric has no rack structure to shard by (%d rack groups)", racks)
+	}
+	p := &Partition{shards: racks, shardOf: make([]int32, g.Vertices())}
+	spine := 0
+	for v := 0; v < g.Vertices(); v++ {
+		if r := g.RackOf(NodeID(v)); r >= 0 {
+			p.shardOf[v] = int32(r)
+		} else {
+			p.shardOf[v] = int32(spine % racks)
+			spine++
+		}
+	}
+	for lid := 0; lid < g.NumLinks(); lid++ {
+		l := g.Link(LinkID(lid))
+		if p.shardOf[l.From] != p.shardOf[l.To] {
+			p.boundary = append(p.boundary, LinkID(lid))
+		}
+	}
+	if len(p.boundary) == 0 {
+		return nil, fmt.Errorf("topology: partition has no boundary links (racks are disconnected?)")
+	}
+	return p, nil
+}
+
+// Shards returns the number of shards (rack groups).
+func (p *Partition) Shards() int { return p.shards }
+
+// ShardOf returns the shard a vertex belongs to.
+func (p *Partition) ShardOf(v NodeID) int32 { return p.shardOf[v] }
+
+// ShardAssignment returns the per-vertex shard map. The slice is owned by
+// the Partition and must not be modified.
+func (p *Partition) ShardAssignment() []int32 { return p.shardOf }
+
+// BoundaryLinks returns the directed links whose endpoints lie in different
+// shards, in ascending link order. The slice is owned by the Partition.
+func (p *Partition) BoundaryLinks() []LinkID { return p.boundary }

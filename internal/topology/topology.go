@@ -74,6 +74,15 @@ type Graph struct {
 	degraded  bool // built by WithoutLinks: coordinate routing is unsafe
 
 	dist [][]int32 // all-pairs hop distance over all vertices
+
+	// Rack metadata, set by the constructors that know it (ConnectRacks,
+	// NewFoldedClos): rackOf[v] is the rack (or Clos leaf group) a vertex
+	// belongs to, -1 for vertices outside any rack (spine switches). nil
+	// when the fabric is a single rack. racks is the number of groups.
+	// Shard partitioning (partition.go) and inter-rack link timing
+	// (sim.NetConfig.InterRackPropDelay) both key off this.
+	rackOf []int32
+	racks  int
 }
 
 // NewGraph builds a graph from an explicit directed edge list over
@@ -134,6 +143,31 @@ func (g *Graph) Degraded() bool { return g.degraded }
 
 // Dims returns the dimension count for torus/mesh graphs, 0 otherwise.
 func (g *Graph) Dims() int { return g.dims }
+
+// Racks returns the number of rack groups the fabric was assembled from
+// (ConnectRacks racks, folded-Clos leaf groups), or 0 for a single-rack
+// fabric with no group structure.
+func (g *Graph) Racks() int { return g.racks }
+
+// RackOf returns the rack group of a vertex, or -1 when the vertex belongs
+// to no rack (a Clos spine switch) or the fabric has no rack structure.
+func (g *Graph) RackOf(v NodeID) int {
+	if g.rackOf == nil {
+		return -1
+	}
+	return int(g.rackOf[v])
+}
+
+// IsInterRack reports whether a directed link leaves its endpoint's rack
+// group: an inter-rack bridge cable or a Clos leaf-spine hop. Always false
+// on fabrics without rack structure.
+func (g *Graph) IsInterRack(lid LinkID) bool {
+	if g.rackOf == nil {
+		return false
+	}
+	l := g.links[lid]
+	return g.rackOf[l.From] != g.rackOf[l.To]
+}
 
 // Link returns the endpoints of a directed link.
 func (g *Graph) Link(id LinkID) Link { return g.links[id] }
@@ -299,6 +333,9 @@ func (g *Graph) WithoutLinksAndNodes(failed map[LinkID]bool, dead map[NodeID]boo
 		return nil, nil, err
 	}
 	sub.k, sub.dims = g.k, g.dims
+	// Vertex IDs are preserved, so the rack metadata carries over verbatim
+	// (the slice is immutable after construction and safe to share).
+	sub.rackOf, sub.racks = g.rackOf, g.racks
 	sub.degraded = g.degraded || len(gone) > 0
 	for a := 0; a < sub.n; a++ {
 		if dead[NodeID(a)] {

@@ -101,7 +101,24 @@ func NewFoldedClos(leaves, spines, hostsPerLeaf int) (*Graph, error) {
 			edges = append(edges, Link{From: leaf, To: spine}, Link{From: spine, To: leaf})
 		}
 	}
-	return NewGraph(KindClos, n, total, edges)
+	g, err := NewGraph(KindClos, n, total, edges)
+	if err != nil {
+		return nil, err
+	}
+	// Each leaf group (its hosts plus the leaf switch) is one "rack" for
+	// partitioning; spines belong to no rack and are marked -1.
+	g.rackOf = make([]int32, total)
+	for v := 0; v < n; v++ {
+		g.rackOf[v] = int32(v / hostsPerLeaf)
+	}
+	for l := 0; l < leaves; l++ {
+		g.rackOf[leafBase+l] = int32(l)
+	}
+	for s := 0; s < spines; s++ {
+		g.rackOf[spineBase+s] = -1
+	}
+	g.racks = leaves
+	return g, nil
 }
 
 // Coord returns the coordinate vector of a torus/mesh node. It panics for
