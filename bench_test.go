@@ -9,6 +9,7 @@ package r2c2
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -575,6 +576,110 @@ func BenchmarkShardedEventThroughput(b *testing.B) {
 			b.ReportMetric(float64(events)/float64(b.N), "events/run")
 			b.ReportMetric(float64(handoffs)/float64(b.N), "handoffs/run")
 		})
+	}
+}
+
+// Per-tick control-plane cost (DESIGN.md §15): one multi-rack workload run
+// with the replicated control plane (every shard recomputes the global
+// allocation each tick) versus the aggregated tree-reduced one (each shard
+// summarises only its sourced flows; one allocator run at the root), at
+// two live-flow populations. The workload is a persistent bulk population
+// (arrives in the first 0.5 ms, outlives the run) plus one long-lived flow
+// arriving 50 µs after every tick — far enough from the next tick that its
+// broadcast usually converges, so most ticks see a changed-but-agreed view
+// and the allocator must actually run. ctrl-ns/tick sums the shards'
+// control-plane time per recomputation round; root-ns/tick is shard 0's
+// slice (the reduction root), nonroot-ns/tick the busiest other shard's.
+// Replicated mode runs the allocator once per shard per tick, so every
+// shard's cost scales with the TOTAL population; aggregated mode runs it
+// once at the root, so nonroot-ns/tick stays flat as flows quadruple —
+// the acceptance comparison.
+func BenchmarkControlPlaneTick(b *testing.B) {
+	const racks = 4
+	const tick = simtime.Millisecond
+	for _, flows := range []int{100, 400} {
+		subs := make([]*topology.Graph, racks)
+		for i := range subs {
+			g, err := topology.NewTorus(3, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			subs[i] = g
+		}
+		var bridges []topology.Bridge
+		for i := 0; i < racks; i++ {
+			j := (i + 1) % racks
+			bridges = append(bridges,
+				topology.Bridge{RackA: i, RackB: j, NodeA: 0, NodeB: 4},
+				topology.Bridge{RackA: i, RackB: j, NodeA: 5, NodeB: 1},
+			)
+		}
+		g, err := topology.ConnectRacks(subs, bridges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arrivals := trafficgen.FixedSize(trafficgen.PoissonConfig{
+			Nodes: g.Nodes(), MeanInterval: 500 * simtime.Microsecond / simtime.Time(flows), Count: flows, Seed: 7,
+		}, 64<<20)
+		for k := 1; k < 20; k++ {
+			src := topology.NodeID(k % g.Nodes())
+			dst := topology.NodeID((k + g.Nodes()/2) % g.Nodes())
+			arrivals = append(arrivals, trafficgen.Arrival{
+				At: simtime.Time(k)*tick + 50*simtime.Microsecond,
+				Src: src, Dst: dst, SizeBytes: 64 << 20, Weight: 1,
+			})
+		}
+		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].At < arrivals[j].At })
+		cfg := sim.RunConfig{
+			Graph: g,
+			// Shallow ports (vs the 1 MB default) bound broadcast queueing so
+			// views converge well inside a tick; divergent views fall back to
+			// per-shard computes and would measure the oracle path instead.
+			Net:       sim.NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond, QueueBytes: 64 << 10},
+			Transport: sim.TransportR2C2,
+			R2C2: sim.R2C2Config{
+				Headroom: 0.05, Protocol: routing.RPS,
+				Recompute: tick,
+				Reliable:  true, RTO: 300 * simtime.Microsecond,
+				Seed: 11,
+			},
+			Arrivals: arrivals,
+			MaxTime:  20 * simtime.Millisecond,
+			Shards:   racks,
+		}
+		for _, replicated := range []bool{true, false} {
+			mode := "aggregated"
+			if replicated {
+				mode = "replicated"
+			}
+			b.Run(fmt.Sprintf("flows=%d/mode=%s", flows, mode), func(b *testing.B) {
+				run := cfg
+				run.ReplicatedControlPlane = replicated
+				b.ReportAllocs()
+				b.ResetTimer()
+				var ctrlNs, rootNs, nonRootNs int64
+				var rounds uint64
+				for i := 0; i < b.N; i++ {
+					res := sim.Run(run)
+					rounds += res.RecomputeRounds
+					iterMax := int64(0)
+					for _, st := range res.ShardStats {
+						ctrlNs += st.CtrlNs
+						if st.Shard == 0 {
+							rootNs += st.CtrlNs
+						} else if st.CtrlNs > iterMax {
+							iterMax = st.CtrlNs
+						}
+					}
+					nonRootNs += iterMax
+				}
+				if rounds > 0 {
+					b.ReportMetric(float64(ctrlNs)/float64(rounds), "ctrl-ns/tick")
+					b.ReportMetric(float64(rootNs)/float64(rounds), "root-ns/tick")
+					b.ReportMetric(float64(nonRootNs)/float64(rounds), "nonroot-ns/tick")
+				}
+			})
+		}
 	}
 }
 

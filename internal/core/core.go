@@ -209,6 +209,72 @@ func flowHash(f FlowInfo) uint64 {
 	return h
 }
 
+// DemandSummary is a mergeable plain-data projection of a View: the flow
+// entries sorted by flow ID plus the same order-independent digest a View
+// of that flow set would report. The sharded simulator's aggregated control
+// plane (DESIGN.md §15) builds one per shard from the flows the shard's
+// racks source and tree-reduces them into a single global summary per
+// recomputation tick; because flow IDs embed their source node, per-shard
+// sourced sets are disjoint and the reduction is an exact sorted merge.
+//
+// A DemandSummary is plain data with no pointers into simulator state, so
+// it can cross a shard barrier by value semantics (//r2c2:boundary in the
+// sim package). It is not safe for concurrent mutation.
+type DemandSummary struct {
+	Flows []FlowInfo // sorted by flow ID
+	Hash  uint64     // XOR of flowHash over Flows; equals View.Hash() of the same set
+
+	scratch []FlowInfo // merge buffer, reused across ticks
+}
+
+// Reset empties the summary, retaining capacity for the next tick.
+func (s *DemandSummary) Reset() {
+	s.Flows = s.Flows[:0]
+	s.Hash = 0
+}
+
+// Add appends one flow entry. Entries must arrive in strictly ascending
+// flow-ID order (the caller walks nodes ascending and each node's flows
+// sorted, which — with source-node-prefixed IDs — is exactly that order);
+// a violation means the aggregation invariant broke, so it panics rather
+// than silently producing a summary no View could hash to.
+func (s *DemandSummary) Add(f FlowInfo) {
+	if n := len(s.Flows); n > 0 && s.Flows[n-1].ID >= f.ID {
+		panic("core: DemandSummary.Add out of order — sourced flow sets must be disjoint and sorted")
+	}
+	s.Flows = append(s.Flows, f)
+	s.Hash ^= flowHash(f)
+}
+
+// Merge folds another summary into this one: a sorted merge of the flow
+// lists and an XOR of the digests. The two summaries must cover disjoint
+// flow sets (distinct source shards guarantee it); a shared flow ID panics.
+func (s *DemandSummary) Merge(o *DemandSummary) {
+	if len(o.Flows) == 0 {
+		return
+	}
+	merged := s.scratch[:0]
+	i, j := 0, 0
+	for i < len(s.Flows) && j < len(o.Flows) {
+		switch {
+		case s.Flows[i].ID < o.Flows[j].ID:
+			merged = append(merged, s.Flows[i])
+			i++
+		case o.Flows[j].ID < s.Flows[i].ID:
+			merged = append(merged, o.Flows[j])
+			j++
+		default:
+			panic("core: DemandSummary.Merge saw the same flow in two shards")
+		}
+	}
+	merged = append(merged, s.Flows[i:]...)
+	merged = append(merged, o.Flows[j:]...)
+	// Swap buffers so the next merge reuses the old flow slice as scratch.
+	s.scratch = s.Flows[:0]
+	s.Flows = merged
+	s.Hash ^= o.Hash
+}
+
 // Allocation is the result of one rate computation: rates in bits/s,
 // indexed by flow ID.
 type Allocation struct {
@@ -312,8 +378,28 @@ func (rc *RateComputer) Compute(v *View) *Allocation {
 		rc.CacheHits++
 		return rc.last
 	}
-	cur := v.Flows()
+	return rc.computeSorted(v.Flows(), v.Hash())
+}
 
+// ComputeSummary is Compute over a tree-reduced DemandSummary instead of a
+// View: the aggregated control plane's global rate computation. The summary
+// already holds the flows sorted by ID with the matching digest, so the two
+// paths produce bit-identical allocations for equal flow sets — which is
+// what lets the sharded oracle demand byte-identical Results. The flow
+// slice is cloned because the delta state retains it across calls while the
+// caller rebuilds the summary every tick.
+func (rc *RateComputer) ComputeSummary(s *DemandSummary) *Allocation {
+	if rc.last != nil && rc.last.ViewHash == s.Hash && len(rc.prev) == len(s.Flows) {
+		rc.CacheHits++
+		return rc.last
+	}
+	return rc.computeSorted(append([]FlowInfo(nil), s.Flows...), s.Hash)
+}
+
+// computeSorted is the shared delta-driven body of Compute and
+// ComputeSummary: cur must be sorted by flow ID, hash its order-independent
+// digest, and ownership of cur transfers to the computer.
+func (rc *RateComputer) computeSorted(cur []FlowInfo, hash uint64) *Allocation {
 	// Count the diff first: both slices are sorted by flow ID, so a
 	// two-pointer sweep enumerates adds, removes and updates
 	// deterministically (no map-iteration order anywhere on this path).
@@ -364,7 +450,7 @@ func (rc *RateComputer) Compute(v *View) *Allocation {
 	}
 	rc.prev = cur
 
-	out := &Allocation{Rates: make(map[wire.FlowID]float64, len(cur)), ViewHash: v.Hash()}
+	out := &Allocation{Rates: make(map[wire.FlowID]float64, len(cur)), ViewHash: hash}
 	for i := range cur {
 		out.Rates[cur[i].ID] = rc.inc.Rate(rc.handles[i])
 	}

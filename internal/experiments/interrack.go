@@ -198,23 +198,31 @@ func (r *InterRackResult) MixTable() *Table {
 }
 
 // ShardUtilTable reports per-shard execution statistics for every sharded
-// run of the sweep — the CI smoke's utilisation artifact. busy_ms and
-// busy_share are wall-clock measurements and legitimately vary run to run;
-// nodes, events and handoffs are deterministic.
+// run of the sweep — the CI smoke's utilisation artifact. busy_ms,
+// ctrl_ms and ctrl_us_tick are wall-clock measurements and legitimately
+// vary run to run; nodes, events and handoffs are deterministic. ctrl_ms
+// is each shard's total control-plane time (ticks, reduction merges and
+// the allocator run, attributed to the shard that executed them), and
+// ctrl_us_tick divides it across the run's recomputation rounds.
 func (r *InterRackResult) ShardUtilTable() *Table {
 	t := &Table{
 		Title:  "per-shard utilisation",
-		Header: []string{"mix", "shard", "nodes", "events", "handoffs", "busy_ms", "busy_share"},
+		Header: []string{"mix", "shard", "nodes", "events", "handoffs", "busy_ms", "busy_share", "ctrl_ms", "ctrl_us_tick"},
 	}
 	for _, run := range r.Runs {
 		total := int64(0)
 		for _, st := range run.Results.ShardStats {
 			total += st.BusyNs
 		}
+		rounds := run.Results.RecomputeRounds
 		for _, st := range run.Results.ShardStats {
 			share := 0.0
 			if total > 0 {
 				share = float64(st.BusyNs) / float64(total)
+			}
+			perTick := 0.0
+			if rounds > 0 {
+				perTick = float64(st.CtrlNs) / float64(rounds) / 1e3
 			}
 			t.AddRow(
 				f2(run.Mix),
@@ -224,6 +232,8 @@ func (r *InterRackResult) ShardUtilTable() *Table {
 				strconv.FormatUint(st.Handoffs, 10),
 				f3(float64(st.BusyNs)/1e6),
 				f3(share),
+				f3(float64(st.CtrlNs)/1e6),
+				g3(perTick),
 			)
 		}
 	}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"r2c2/internal/faults"
+	"r2c2/internal/routing"
+	"r2c2/internal/simtime"
+	"r2c2/internal/trafficgen"
+)
+
+// controlPlaneWorkload parameterises shardWorkload by rack count so the
+// control-plane oracle can sweep reduction-tree shapes (a 2-rack quotient
+// is a single edge; 4 racks give a depth-2 tree with an interior node).
+func controlPlaneWorkload(t testing.TB, racks, shards int) RunConfig {
+	g := multiRack(t, racks)
+	return RunConfig{
+		Graph:     g,
+		Net:       NetConfig{LinkGbps: 10, PropDelay: 100 * simtime.Nanosecond},
+		Transport: TransportR2C2,
+		R2C2: R2C2Config{
+			Headroom: 0.05, Protocol: routing.RPS,
+			Recompute: 100 * simtime.Microsecond,
+			Reliable:  true, RTO: 300 * simtime.Microsecond,
+			Seed: 11,
+		},
+		Arrivals: trafficgen.FixedSize(trafficgen.PoissonConfig{
+			Nodes:        g.Nodes(),
+			MeanInterval: 200 * simtime.Microsecond,
+			Count:        40,
+			Seed:         7,
+		}, 256<<10),
+		MaxTime: 80 * simtime.Millisecond,
+		Shards:  shards,
+	}
+}
+
+// controlPlaneFaults returns a boundary-crossing fault schedule for the
+// given rack count. The 4-rack schedule fails BOTH bridge cables between
+// racks 0 and 1 — the quotient edge the reduction tree routes rack 1's
+// summary over — so the tree keeps reducing while the physical path it
+// mirrors is dark (the tree is orchestration structure, not traffic;
+// reduction.go documents the independence this pins). The ring keeps the
+// fabric connected through racks 3 and 2.
+func controlPlaneFaults(racks int) faults.Schedule {
+	if racks == 4 {
+		return faults.Schedule{Events: []faults.Event{
+			{At: 2 * time.Millisecond, Kind: faults.LinkDown, A: 0, B: 13, Detect: 200 * time.Microsecond},
+			{At: 3 * time.Millisecond, Kind: faults.LinkDown, A: 5, B: 10, Detect: 200 * time.Microsecond},
+			{At: 8 * time.Millisecond, Kind: faults.LinkRepair, A: 0, B: 13, Detect: 200 * time.Microsecond},
+		}}
+	}
+	// 2 racks: four bridge cables join them; failing one leaves the
+	// quotient edge alive while still rerouting mid-run.
+	return faults.Schedule{Events: []faults.Event{
+		{At: 2 * time.Millisecond, Kind: faults.LinkDown, A: 0, B: 13, Detect: 200 * time.Microsecond},
+		{At: 8 * time.Millisecond, Kind: faults.LinkRepair, A: 0, B: 13, Detect: 200 * time.Microsecond},
+	}}
+}
+
+// TestShardedControlPlaneOracle is the aggregated control plane's
+// differential oracle: for each rack count and fault schedule, the serial
+// engine, the replicated-control sharded engine, and the aggregated
+// (tree-reduced) sharded engine must produce byte-identical Results at
+// every worker count. The aggregated path shares one global allocator run
+// per tick where the replicated path recomputes per shard, so any drift in
+// the reduction, the convergence fallback, or the tick pause/resume
+// sequencing shows up as a byte diff here.
+func TestShardedControlPlaneOracle(t *testing.T) {
+	for _, racks := range []int{2, 4} {
+		for _, withFaults := range []bool{false, true} {
+			name := fmt.Sprintf("racks=%d/faults=%v", racks, withFaults)
+			t.Run(name, func(t *testing.T) {
+				mk := func(shards int, replicated bool) RunConfig {
+					cfg := controlPlaneWorkload(t, racks, shards)
+					cfg.ReplicatedControlPlane = replicated
+					if withFaults {
+						sched := controlPlaneFaults(racks)
+						if err := sched.Validate(cfg.Graph); err != nil {
+							t.Fatal(err)
+						}
+						cfg.Faults = sched
+					}
+					return cfg
+				}
+				serial := Run(mk(1, false))
+				if serial.Completed == 0 {
+					t.Fatal("workload completed no flows; the comparison would be vacuous")
+				}
+				if withFaults && serial.FailureReroutes == 0 {
+					t.Fatal("fault schedule never triggered a reroute")
+				}
+				want := dumpResults(serial)
+				for _, workers := range []int{1, 2, 4, 8} {
+					for _, replicated := range []bool{false, true} {
+						mode := "aggregated"
+						if replicated {
+							mode = "replicated"
+						}
+						res := Run(mk(workers, replicated))
+						res.ShardStats = nil // wall-clock fields are legitimately nondeterministic
+						got := dumpResults(res)
+						if !bytes.Equal(want, got) {
+							t.Fatalf("workers=%d %s control plane diverged from serial (first differing line %d)\n--- serial ---\n%s\n--- sharded ---\n%s",
+								workers, mode, firstDiffLine(want, got), want, got)
+						}
+					}
+				}
+			})
+		}
+	}
+}

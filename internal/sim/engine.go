@@ -40,6 +40,18 @@ type event struct {
 	at  simtime.Time
 	seq uint64 // FIFO tie-break for equal timestamps: determinism
 
+	// emit is the simulated time the event was scheduled at — the engine
+	// clock when schedule() ran, or the source shard's clock for a
+	// cross-shard handoff (scheduleHandoff). The comparator orders equal
+	// timestamps by (emit, seq) instead of seq alone. For any one engine
+	// emit is monotone in seq (the clock never runs backwards between
+	// schedule calls), so serial dispatch order is unchanged; the stamp
+	// only matters for ingested handoffs, whose fresh ingest-time seq
+	// would otherwise misplace them among equal-timestamp local events —
+	// carrying the emission time restores the serial engine's global
+	// emission order on exact-picosecond cross-shard ties.
+	emit simtime.Time
+
 	kind eventKind
 	node topology.NodeID // evArrive: receiving node
 	u64  uint64          // evRTO/evTCPRTO: timer generation
@@ -67,6 +79,14 @@ type Engine struct {
 	count  uint64
 
 	wheel timerWheel
+
+	// stopReq pauses Run after the current event's dispatch returns, leaving
+	// the clock at that event's timestamp instead of advancing to until. The
+	// sharded engine's aggregated control plane sets it from inside the
+	// recomputation tick: the shard must not process any event past (or even
+	// at, with a later sequence than) the tick until the cross-shard
+	// reduction has published the global allocation back.
+	stopReq bool
 
 	legacyHeap bool
 	events     []event // legacy binary min-heap by (at, seq)
@@ -114,10 +134,20 @@ func (e *Engine) After(delay simtime.Time, fn func()) {
 // cancellation handle. Under the legacy heap the handle is inert:
 // cancelTimer no-ops and callers fall back to generation guards.
 func (e *Engine) schedule(at simtime.Time, ev event) timerHandle {
+	return e.scheduleHandoff(at, e.now, ev)
+}
+
+// scheduleHandoff is schedule with an explicit emission stamp: the sharded
+// engine's ingest path files boundary handoffs with the source shard's
+// emission time, so equal-timestamp ties against local events resolve by
+// global emission order exactly as they would have in a serial run. All
+// local scheduling goes through schedule(), which stamps the current clock.
+func (e *Engine) scheduleHandoff(at, emit simtime.Time, ev event) timerHandle {
 	if at < e.now {
 		panic("sim: event scheduled in the past")
 	}
 	ev.at = at
+	ev.emit = emit
 	ev.seq = e.nextID
 	e.nextID++
 	if e.legacyHeap {
@@ -159,12 +189,19 @@ func (e *Engine) NextEventAt() (simtime.Time, bool) {
 	return e.wheel.peekAt()
 }
 
-// less orders the heap by timestamp, then insertion sequence (FIFO among
-// equal-timestamp events: determinism).
+// less orders the heap by timestamp, then emission time, then insertion
+// sequence. Locally scheduled events have emit monotone in seq, so the
+// emission key is a no-op for serial runs (the order is exactly the old
+// (at, seq)); it only separates ingested cross-shard handoffs from local
+// events at the same picosecond — by the global emission order the serial
+// engine would have used.
 func (e *Engine) less(i, j int) bool {
 	a, b := &e.events[i], &e.events[j]
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.emit != b.emit {
+		return a.emit < b.emit
 	}
 	return a.seq < b.seq
 }
@@ -239,12 +276,21 @@ func (e *Engine) Run(until simtime.Time) uint64 {
 		e.now = ev.at
 		e.count++
 		e.dispatch(ev)
+		if e.stopReq {
+			e.stopReq = false
+			return e.count - start
+		}
 	}
 	if e.now < until {
 		e.now = until
 	}
 	return e.count - start
 }
+
+// requestStop makes the current Run call return once the event being
+// dispatched completes, without advancing the clock to its until bound.
+// Calling it outside a dispatch is meaningless and therefore a bug.
+func (e *Engine) requestStop() { e.stopReq = true }
 
 // dispatch routes one popped event to its typed receiver.
 //
@@ -281,6 +327,10 @@ func (e *Engine) runHeap(until simtime.Time) uint64 {
 		e.now = ev.at
 		e.count++
 		e.dispatch(ev)
+		if e.stopReq {
+			e.stopReq = false
+			return e.count - start
+		}
 	}
 	if e.now < until {
 		e.now = until

@@ -575,6 +575,7 @@ func (n *Network) transmitDone(p *port, pkt *Packet) {
 func (n *Network) exportPacket(dst int32, at simtime.Time, to topology.NodeID, pkt *Packet) {
 	h := n.sh.out[dst].push()
 	h.at = at
+	h.emit = n.Eng.now // serial runs would schedule the arrival right here
 	h.node = to
 	h.kind = pkt.Kind
 	h.size = pkt.SizeBytes
@@ -607,6 +608,7 @@ func (n *Network) exportPacket(dst int32, at simtime.Time, to topology.NodeID, p
 func (n *Network) exportReflood(dst int32, at simtime.Time, origin topology.NodeID, b *wire.Broadcast, retries uint8) {
 	h := n.sh.out[dst].push()
 	h.at = at
+	h.emit = n.Eng.now // the drop instant: serial runs arm the reflood timer here
 	h.node = origin
 	h.ctrl = true
 	h.bcast = b

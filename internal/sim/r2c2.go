@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"time"
 
 	"r2c2/internal/core"
 	"r2c2/internal/routing"
@@ -59,6 +60,18 @@ type R2C2 struct {
 	rc     *core.RateComputer
 	nodes  []*r2c2Node
 	ledger *flowLedger
+
+	// agg is the aggregated control plane's global rate computer, created
+	// lazily on the reduction-tree root shard's R2C2 only (computeGlobal).
+	// It is invalidated on reroute like rc: a degraded fabric changes the
+	// routing table the φ-vectors derive from.
+	agg *core.RateComputer
+
+	// nextTick is the absolute time of the next scheduled recomputation
+	// tick. The sharded orchestrator clamps its epochs to it in aggregated
+	// mode so every shard's engine pauses at the tick together (shard.go);
+	// unread in serial and replicated runs.
+	nextTick simtime.Time
 
 	// sh is the shard context when this R2C2 instance drives one shard of
 	// a sharded run (shard.go): nil in serial runs. Replicated control
@@ -252,6 +265,7 @@ func NewR2C2(net *Network, tab *routing.Table, cfg R2C2Config) *R2C2 {
 	}
 	net.Eng.r2 = r // typed-event receiver for evSend/evRTO
 	// Arm the periodic recomputation tick.
+	r.nextTick = net.Eng.Now() + cfg.Recompute
 	net.Eng.After(cfg.Recompute, r.recomputeTick)
 	return r
 }
@@ -497,6 +511,7 @@ func (r *R2C2) reroute(sub *topology.Graph, mapping []topology.LinkID) {
 	r.Fib = topology.NewBroadcastFIB(sub, r.Cfg.TreesPerSource, r.Cfg.Seed)
 	r.linkMap = mapping
 	r.rc = core.NewRateComputer(r.Tab, r.Net.Cfg.LinkGbps*1e9, r.Cfg.Headroom)
+	r.agg = nil // recreated lazily over the new Tab (computeGlobal)
 	// "Upon detecting a failure, nodes broadcast information about all
 	// their ongoing flows" (§3.2).
 	for _, node := range r.nodes {
@@ -927,11 +942,31 @@ func (r *R2C2) receiveData(at topology.NodeID, pkt *Packet) {
 	}
 }
 
-// recomputeTick is the periodic batch recomputation (§3.3.2): every node
-// recomputes the fair rates of the flows it sources from its own view.
-// Nodes whose views are identical (the common case once broadcasts settle)
-// share a single allocator run, keyed by the view hash.
+// recomputeTick is the periodic batch recomputation (§3.3.2). Serial runs
+// and replicated-control sharded runs recompute every node's rates from its
+// own view right here; aggregated sharded runs instead summarise the
+// shard's sourced flows and pause for the cross-shard tree reduction
+// (DESIGN.md §15) — the allocation comes back through applyAggregatedTick.
 func (r *R2C2) recomputeTick() {
+	if r.sh == nil {
+		r.replicatedTick()
+		return
+	}
+	//lint:ignore no-wallclock control-plane cost accounting only; excluded from Results byte-identity
+	t0 := time.Now()
+	if r.sh.replicated {
+		r.replicatedTick()
+	} else {
+		r.aggregateTick()
+	}
+	//lint:ignore no-wallclock,unit-taint control-plane cost accounting in wall nanoseconds; excluded from Results byte-identity
+	r.sh.ctrlNs += time.Since(t0).Nanoseconds()
+}
+
+// replicatedTick recomputes every local node's rates from its own view:
+// nodes whose views are identical (the common case once broadcasts settle)
+// share a single allocator run, keyed by the view hash.
+func (r *R2C2) replicatedTick() {
 	r.RecomputeRounds++
 	if r.sh != nil {
 		r.sh.ctrl++ // replicated control event: ticks fire in every shard
@@ -939,6 +974,67 @@ func (r *R2C2) recomputeTick() {
 		// the serial Recomputations count (per-tick union across shards).
 		r.sh.tickHashes = append(r.sh.tickHashes, nil)
 	}
+	r.rearmFromViews(nil)
+	r.nextTick = r.Net.Eng.Now() + r.Cfg.Recompute
+	r.Net.Eng.After(r.Cfg.Recompute, r.recomputeTick)
+}
+
+// aggregateTick is the local half of an aggregated-control tick: it
+// summarises the flows this shard's nodes source (ascending node order,
+// flows sorted by ID — with source-prefixed flow IDs that is exactly
+// ascending global flow order) and pauses the engine AT the tick. Events
+// at the tick timestamp with later sequence numbers must not run until the
+// reduction publishes the global allocation back: in a serial run they
+// would execute after the tick's own scheduling, which happens in
+// applyAggregatedTick here.
+func (r *R2C2) aggregateTick() {
+	r.RecomputeRounds++
+	r.sh.ctrl++ // the tick event itself still fires once in every shard
+	r.sh.tickHashes = append(r.sh.tickHashes, nil)
+	s := &r.sh.summary
+	s.Reset()
+	for _, node := range r.nodes {
+		if node == nil || len(node.flows) == 0 {
+			continue
+		}
+		for _, id := range r.sortedFlowIDs(node.flows) {
+			s.Add(node.flows[id].info)
+		}
+	}
+	r.nextTick = r.Net.Eng.Now() + r.Cfg.Recompute
+	r.sh.tickPending = true
+	r.Net.Eng.requestStop()
+}
+
+// computeGlobal turns the fully reduced demand summary into the tick's
+// global allocation. Called by the orchestrator on the reduction-tree
+// root's R2C2 only, between phases (the barrier orders the accesses).
+func (r *R2C2) computeGlobal(s *core.DemandSummary) *core.Allocation {
+	if r.agg == nil {
+		r.agg = core.NewRateComputer(r.Tab, r.Net.Cfg.LinkGbps*1e9, r.Cfg.Headroom)
+	}
+	return r.agg.ComputeSummary(s)
+}
+
+// applyAggregatedTick is the apply half of an aggregated-control tick: the
+// orchestrator has published the global allocation to r.sh, and this shard
+// re-arms its own senders from it. Nodes whose views converged to the
+// global flow set (hash match) share the global allocation outright; a
+// node whose view diverged (broadcasts still in flight) falls back to the
+// shard-local computer over its own view — exactly the replicated path,
+// so the fallback preserves the oracle's semantics. The tick re-arms HERE,
+// after the senders, so event sequence numbers are assigned in the same
+// relative order the serial tick assigns them.
+func (r *R2C2) applyAggregatedTick() {
+	r.rearmFromViews(r.sh.globalAlloc)
+	r.Net.Eng.After(r.Cfg.Recompute, r.recomputeTick)
+}
+
+// rearmFromViews re-arms every local sender from this tick's allocations,
+// deduplicating allocator runs by view hash. global is the aggregated
+// tick's reduced allocation (nil on the replicated/serial path): views
+// hashing to it adopt it without touching the shard-local computer.
+func (r *R2C2) rearmFromViews(global *core.Allocation) {
 	if r.tickCache == nil {
 		r.tickCache = make(map[uint64]*core.Allocation)
 	}
@@ -950,7 +1046,11 @@ func (r *R2C2) recomputeTick() {
 		h := node.view.Hash()
 		alloc, ok := r.tickCache[h]
 		if !ok {
-			alloc = r.rc.Compute(node.view)
+			if global != nil && h == global.ViewHash {
+				alloc = global
+			} else {
+				alloc = r.rc.Compute(node.view)
+			}
 			r.tickCache[h] = alloc
 			r.Recomputations++
 			if r.sh != nil {
@@ -974,5 +1074,4 @@ func (r *R2C2) recomputeTick() {
 			r.armSender(node, sf)
 		}
 	}
-	r.Net.Eng.After(r.Cfg.Recompute, r.recomputeTick)
 }

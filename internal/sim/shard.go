@@ -1,13 +1,19 @@
 package sim
 
-// Sharded simulation engine (DESIGN.md §14): the fabric is partitioned by
-// rack (topology.NewPartition), every rack shard runs its own Engine,
+// Sharded simulation engine (DESIGN.md §14–15): the fabric is partitioned
+// by rack (topology.NewPartition), every rack shard runs its own Engine,
 // Network and R2C2 instance over the full graph but owns only its rack's
 // node/port state, and the shards execute in parallel under a conservative-
 // lookahead epoch barrier. Intra-rack events never leave their shard;
 // packets whose next hop belongs to another shard cross through per-pair
 // boundary queues that the orchestrator drains serially at every epoch
-// boundary, in deterministic (at, source shard, emission index) order.
+// boundary, in deterministic (at, emission time, source shard, emission
+// index) order. The R2C2 control plane is aggregated by default: each ρ
+// tick, every shard summarises the flows its racks source, the summaries
+// tree-reduce into one global view (topology.ReductionTree), and the
+// resulting allocation distributes back — per-shard control work stops
+// scaling with the total flow count (RunConfig.ReplicatedControlPlane
+// restores the replicated oracle).
 //
 // The lookahead window Δ is the minimum latency any cross-shard interaction
 // can have: the smallest boundary-link propagation delay, additionally
@@ -26,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"r2c2/internal/core"
 	"r2c2/internal/routing"
 	"r2c2/internal/simtime"
 	"r2c2/internal/topology"
@@ -39,6 +46,7 @@ import (
 // are immutable after publication and the epoch barrier orders the accesses.
 type handoff struct {
 	at   simtime.Time
+	emit simtime.Time    // source shard's clock at export: global emission stamp
 	node topology.NodeID // arrival node / reflood origin
 	ctrl bool            // reflood request rather than a packet
 
@@ -111,9 +119,33 @@ type shardCtx struct {
 	// statistic).
 	handoffs uint64
 	// tickHashes logs, per recomputation tick, the distinct view hashes
-	// this shard ran the allocator for; the merge unions them per tick
-	// across shards to reproduce the serial Recomputations count.
+	// this shard ran the allocator for; foldTicks unions them per tick
+	// across shards at every barrier to reproduce the serial
+	// Recomputations count, then truncates them — the log never grows
+	// beyond the ticks of one epoch.
 	tickHashes [][]uint64
+
+	// Aggregated control plane (DESIGN.md §15). replicated mirrors
+	// RunConfig.ReplicatedControlPlane: when set, each shard recomputes
+	// from its own views every tick (the differential oracle) and the
+	// fields below stay idle.
+	replicated bool
+	// tickPending is set by aggregateTick when the shard's engine pauses
+	// at a recomputation tick; the orchestrator asserts every shard agrees
+	// and clears it during the reduction.
+	tickPending bool
+	// summary holds the shard's sourced-flow demand summary for the
+	// pending tick; the orchestrator tree-reduces the summaries bottom-up,
+	// merging children into parents (plain data crossing the barrier).
+	summary core.DemandSummary
+	// globalAlloc is the tick's reduced global allocation, published by the
+	// orchestrator before the apply phase. Immutable after publication.
+	globalAlloc *core.Allocation
+	// ctrlNs accumulates wall-clock nanoseconds spent in control-plane
+	// work (tick aggregation or replicated recompute, reduction merges,
+	// apply). Reported per shard (ShardStat.CtrlNs), excluded from
+	// byte-identity like BusyNs.
+	ctrlNs int64
 }
 
 // shardState bundles one shard's engine stack. It is driven by exactly one
@@ -143,16 +175,29 @@ func (st *shardState) run(until simtime.Time) {
 	st.busyNs += time.Since(t0).Nanoseconds()
 }
 
+// applyTick runs the apply half of an aggregated recomputation tick: the
+// shard re-arms its own senders from the published global allocation.
+// Control-plane time is accounted like run's busy time.
+func (st *shardState) applyTick() {
+	//lint:ignore no-wallclock control-plane cost accounting only; excluded from Results byte-identity
+	t0 := time.Now()
+	st.r2.applyAggregatedTick()
+	//lint:ignore no-wallclock,unit-taint control-plane cost accounting in wall nanoseconds; excluded from Results byte-identity
+	st.ctx.ctrlNs += time.Since(t0).Nanoseconds()
+}
+
 // ingest files one drained handoff into this (destination) shard's engine.
-// The engine assigns a fresh sequence number at ingest, so drain order —
-// deterministic by construction — fixes the FIFO tie-break exactly like
-// serial scheduling order does.
+// The engine assigns a fresh sequence number at ingest, but the handoff
+// carries its source shard's emission stamp into the event, so exact-
+// timestamp ties against local events (and other handoffs) resolve by
+// global emission order — the serial engine's tie-break — rather than by
+// ingest order.
 //
 //r2c2:boundary
 func (st *shardState) ingest(h *handoff) {
 	if h.ctrl {
 		origin, b, retries := h.node, h.bcast, h.retries
-		st.eng.schedule(h.at, event{kind: evFunc, fn: func() {
+		st.eng.scheduleHandoff(h.at, h.emit, event{kind: evFunc, fn: func() {
 			st.r2.reflood(origin, b, retries)
 		}})
 		return
@@ -176,7 +221,7 @@ func (st *shardState) ingest(h *handoff) {
 		pkt.scratch = append(pkt.scratch[:0], h.path...)
 		pkt.Path = pkt.scratch
 	}
-	st.eng.schedule(h.at, event{kind: evArrive, node: h.node, pkt: pkt})
+	st.eng.scheduleHandoff(h.at, h.emit, event{kind: evArrive, node: h.node, pkt: pkt})
 }
 
 // ShardStat reports one shard's execution statistics (Results.ShardStats).
@@ -186,7 +231,14 @@ type ShardStat struct {
 	Events   uint64 // events processed by the shard's engine
 	Handoffs uint64 // boundary handoffs exported to other shards
 	BusyNs   int64  // wall-clock nanoseconds inside run phases
+	CtrlNs   int64  // wall-clock nanoseconds in control-plane work (ticks, reduction, apply)
 }
+
+// Phase kinds the persistent workers execute (phaseKind).
+const (
+	phaseRun      = iota // advance each claimed shard's engine to phaseUntil
+	phaseApplyRun        // applyTick, then resume the engine to phaseUntil
+)
 
 // shardedRun is the orchestrator. It is deliberately NOT marked
 // //r2c2:shardowned: workers are spawned as methods on it (the documented
@@ -198,10 +250,30 @@ type shardedRun struct {
 	shards  []*shardState
 	delta   simtime.Time
 	workers int
+	tree    *topology.ReductionTree // nil when ReplicatedControlPlane is set
+
+	// Persistent worker pool: spawned once per run, parked on startCh
+	// between phases (spawning per epoch churned ~1.5M goroutines per
+	// benchmark run at 8 workers). The orchestrator writes phaseKind and
+	// phaseUntil, then sends one token per worker — the channel send is
+	// the happens-before edge publishing the phase parameters — and
+	// wg.Wait is the barrier closing the phase. Closing startCh retires
+	// the pool.
+	phaseKind  int
+	phaseUntil simtime.Time
+	startCh    chan struct{}
 
 	next   atomic.Int32 // work-stealing shard cursor for the current phase
 	wg     sync.WaitGroup
 	gather []*handoff // drain scratch, reused across epochs
+
+	// Folded Recomputations accounting: foldTicks unions each tick's
+	// distinct view hashes across shards at every barrier and accumulates
+	// the count here, so no shard's tickHashes log ever holds more than one
+	// epoch's ticks (the log was O(ticks) memory for the whole run before).
+	recomputations uint64
+	ticksFolded    uint64
+	seen           map[uint64]bool // fold scratch, reused
 }
 
 // lookahead computes the conservative window Δ: the minimum boundary-link
@@ -267,9 +339,17 @@ func runSharded(cfg RunConfig) *Results {
 		delta:   lookahead(cfg.Graph, cfg.Net, part),
 		workers: workers,
 	}
+	if !cfg.ReplicatedControlPlane {
+		tree, err := topology.NewReductionTree(cfg.Graph, part)
+		if err != nil {
+			panic(fmt.Sprintf("sim: aggregated control plane needs a connected rack quotient: %v", err))
+		}
+		sr.tree = tree
+	}
 	assign := part.ShardAssignment()
 	for s := 0; s < S; s++ {
-		ctx := &shardCtx{self: int32(s), shardOf: assign, out: make([]*boundaryQueue, S)}
+		ctx := &shardCtx{self: int32(s), shardOf: assign, out: make([]*boundaryQueue, S),
+			replicated: cfg.ReplicatedControlPlane}
 		for d := 0; d < S; d++ {
 			if d != s {
 				ctx.out[d] = &boundaryQueue{}
@@ -296,6 +376,16 @@ func runSharded(cfg RunConfig) *Results {
 		sr.shards = append(sr.shards, &shardState{ctx: ctx, eng: eng, net: net, r2: r2})
 	}
 
+	if workers > 1 {
+		// Persistent worker pool: spawned once, parked on startCh between
+		// phases, retired when the run returns.
+		sr.startCh = make(chan struct{})
+		for w := 0; w < workers; w++ {
+			go sr.workerLoop()
+		}
+		defer close(sr.startCh)
+	}
+
 	// Epoch loop, nested inside the serial engine's completion-check slices
 	// so early termination happens at the very same boundaries.
 	total := len(cfg.Arrivals)
@@ -319,6 +409,16 @@ func runSharded(cfg RunConfig) *Results {
 			if any && tstar > next {
 				next = tstar
 			}
+			if sr.tree != nil {
+				// Aggregated control: no epoch may span a recomputation
+				// tick, so every shard's engine pauses at the tick together
+				// and the reduction runs at the barrier. The tick is itself
+				// a pending event in every engine, so tstar ≤ tickAt and
+				// the clamp never starves the inline idle jump below.
+				if tickAt := sr.shards[0].r2.nextTick; next > tickAt {
+					next = tickAt
+				}
+			}
 			if !any || next > sliceEnd {
 				next = sliceEnd
 			}
@@ -330,6 +430,9 @@ func runSharded(cfg RunConfig) *Results {
 				}
 			} else {
 				sr.runPhase(next)
+				if sr.tree != nil && sr.shards[0].ctx.tickPending {
+					sr.reduceTick(next)
+				}
 				sr.drain()
 			}
 			now = next
@@ -376,9 +479,30 @@ func (sr *shardedRun) nextEventAt() (simtime.Time, bool) {
 // exactly one goroutine; the WaitGroup is the epoch barrier (and the
 // happens-before edge for the orchestrator's serial drain).
 func (sr *shardedRun) runPhase(until simtime.Time) {
+	sr.phaseKind = phaseRun
+	sr.phaseUntil = until
+	sr.barrier()
+}
+
+// applyRunPhase re-arms every shard's senders from the published global
+// allocation and resumes the interrupted run window, as one fused parallel
+// phase. Fusing is safe: the apply schedules only shard-local events, the
+// epoch clamp pins the tick to the window's end (until == tick time), so
+// the resume only processes the tick instant's remaining same-timestamp
+// events, whose cross-shard effects land ≥ Δ past the barrier anyway.
+func (sr *shardedRun) applyRunPhase(until simtime.Time) {
+	sr.phaseKind = phaseApplyRun
+	sr.phaseUntil = until
+	sr.barrier()
+}
+
+// barrier runs the current phase over all shards and waits for completion.
+// With one worker the phase runs inline; otherwise the parked pool is
+// woken with one token per worker.
+func (sr *shardedRun) barrier() {
 	if sr.workers <= 1 {
 		for _, st := range sr.shards {
-			st.run(until)
+			sr.phaseShard(st)
 		}
 		return
 	}
@@ -386,30 +510,123 @@ func (sr *shardedRun) runPhase(until simtime.Time) {
 	n := sr.workers
 	sr.wg.Add(n)
 	for w := 0; w < n; w++ {
-		go sr.worker(until)
+		sr.startCh <- struct{}{}
 	}
 	sr.wg.Wait()
 }
 
-func (sr *shardedRun) worker(until simtime.Time) {
-	defer sr.wg.Done()
-	for {
-		i := int(sr.next.Add(1)) - 1
-		if i >= len(sr.shards) {
-			return
+// phaseShard executes the current phase on one shard.
+func (sr *shardedRun) phaseShard(st *shardState) {
+	if sr.phaseKind == phaseApplyRun {
+		st.applyTick()
+	}
+	st.run(sr.phaseUntil)
+}
+
+// workerLoop is one persistent pool worker: it parks on startCh, and on
+// each wake-up claims shards off the atomic cursor until the phase is
+// exhausted. The loop exits when the orchestrator closes startCh at the
+// end of the run.
+func (sr *shardedRun) workerLoop() {
+	for range sr.startCh {
+		for {
+			i := int(sr.next.Add(1)) - 1
+			if i >= len(sr.shards) {
+				break
+			}
+			sr.phaseShard(sr.shards[i])
 		}
-		sr.shards[i].run(until)
+		sr.wg.Done()
+	}
+}
+
+// reduceTick runs the cross-shard half of an aggregated recomputation tick:
+// every shard's engine has paused at the tick with its sourced-flow summary
+// built; the summaries merge bottom-up along the reduction tree (children
+// into parents, reverse BFS order), the root turns the global summary into
+// the tick's allocation, the allocation is published to every shard, and a
+// single fused parallel phase re-arms the senders and resumes the run
+// window the tick interrupted.
+func (sr *shardedRun) reduceTick(until simtime.Time) {
+	for _, st := range sr.shards {
+		if !st.ctx.tickPending {
+			panic(fmt.Sprintf("sim: shard %d missed the recomputation tick the other shards paused at", st.ctx.self))
+		}
+		st.ctx.tickPending = false
+	}
+	order := sr.tree.Order()
+	for i := len(order) - 1; i >= 0; i-- {
+		child := order[i]
+		parent := sr.tree.Parent(child)
+		if parent < 0 {
+			continue // the root
+		}
+		//lint:ignore no-wallclock control-plane cost accounting only; excluded from Results byte-identity
+		t0 := time.Now()
+		sr.shards[parent].ctx.summary.Merge(&sr.shards[child].ctx.summary)
+		//lint:ignore no-wallclock,unit-taint control-plane cost accounting in wall nanoseconds; excluded from Results byte-identity
+		sr.shards[parent].ctx.ctrlNs += time.Since(t0).Nanoseconds()
+	}
+	root := sr.shards[sr.tree.Root()]
+	//lint:ignore no-wallclock control-plane cost accounting only; excluded from Results byte-identity
+	t0 := time.Now()
+	global := root.r2.computeGlobal(&root.ctx.summary)
+	//lint:ignore no-wallclock,unit-taint control-plane cost accounting in wall nanoseconds; excluded from Results byte-identity
+	root.ctx.ctrlNs += time.Since(t0).Nanoseconds()
+	for _, st := range sr.shards {
+		st.ctx.globalAlloc = global
+	}
+	sr.applyRunPhase(until)
+}
+
+// foldTicks folds the shards' per-tick view-hash logs into the running
+// Recomputations count — the serial engine dedups allocator runs per tick
+// by view hash across ALL nodes, so the union of the shards' distinct hash
+// sets reproduces its count exactly. Called at every drain (and once more
+// at merge), so the logs stay bounded by one epoch's ticks instead of
+// growing O(ticks) for the run.
+func (sr *shardedRun) foldTicks() {
+	n := len(sr.shards[0].ctx.tickHashes)
+	for _, st := range sr.shards {
+		if len(st.ctx.tickHashes) != n {
+			panic(fmt.Sprintf("sim: shard %d logged %d recomputation ticks, shard 0 logged %d",
+				st.ctx.self, len(st.ctx.tickHashes), n))
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if sr.seen == nil {
+		sr.seen = make(map[uint64]bool)
+	}
+	for t := 0; t < n; t++ {
+		clear(sr.seen)
+		for _, st := range sr.shards {
+			for _, h := range st.ctx.tickHashes[t] {
+				sr.seen[h] = true
+			}
+		}
+		sr.recomputations += uint64(len(sr.seen))
+	}
+	sr.ticksFolded += uint64(n)
+	for _, st := range sr.shards {
+		st.ctx.tickHashes = st.ctx.tickHashes[:0]
 	}
 }
 
 // drain moves every epoch's boundary handoffs into their destination
 // shards, serially and deterministically: per destination, handoffs are
-// gathered in source-shard order and stably sorted by timestamp, so the
-// ingest order — and with it the destination engine's FIFO tie-break — is
-// (at, source shard, emission index) regardless of worker count.
+// gathered in source-shard order and stably sorted by (fire time, emission
+// time), so the ingest order — and with it the destination engine's FIFO
+// tie-break — is (at, emission time, source shard, emission index)
+// regardless of worker count. Ordering by emission time matches the serial
+// engine's schedule-order tie-break whenever the emission instants differ;
+// only simultaneous emissions from different shards retain the
+// (source shard, emission index) policy (see DESIGN.md §15).
 //
 //r2c2:boundary
 func (sr *shardedRun) drain() {
+	sr.foldTicks() // every shard is at the barrier: fold this epoch's ticks
 	for d := range sr.shards {
 		buf := sr.gather[:0]
 		for s := range sr.shards {
@@ -421,7 +638,12 @@ func (sr *shardedRun) drain() {
 				buf = append(buf, &q.slots[i])
 			}
 		}
-		sort.SliceStable(buf, func(i, j int) bool { return buf[i].at < buf[j].at })
+		sort.SliceStable(buf, func(i, j int) bool {
+			if buf[i].at != buf[j].at {
+				return buf[i].at < buf[j].at
+			}
+			return buf[i].emit < buf[j].emit
+		})
 		for _, h := range buf {
 			sr.shards[d].ingest(h)
 		}
@@ -476,13 +698,12 @@ func (sr *shardedRun) merge(end simtime.Time) *Results {
 	ctrl := sr.shards[0].ctx.ctrl
 	rounds := sr.shards[0].r2.RecomputeRounds
 	reroutes := sr.shards[0].r2.FailureReroutes
-	ticks := len(sr.shards[0].ctx.tickHashes)
 	for _, st := range sr.shards {
 		if st.ctx.ctrl != ctrl || st.r2.RecomputeRounds != rounds ||
-			st.r2.FailureReroutes != reroutes || len(st.ctx.tickHashes) != ticks {
-			panic(fmt.Sprintf("sim: shard control divergence: ctrl %d/%d rounds %d/%d reroutes %d/%d ticks %d/%d",
+			st.r2.FailureReroutes != reroutes {
+			panic(fmt.Sprintf("sim: shard control divergence: ctrl %d/%d rounds %d/%d reroutes %d/%d",
 				st.ctx.ctrl, ctrl, st.r2.RecomputeRounds, rounds,
-				st.r2.FailureReroutes, reroutes, len(st.ctx.tickHashes), ticks))
+				st.r2.FailureReroutes, reroutes))
 		}
 	}
 	res.RecomputeRounds = rounds
@@ -495,19 +716,14 @@ func (sr *shardedRun) merge(end simtime.Time) *Results {
 	}
 	res.Events -= uint64(S-1) * ctrl
 
-	// Recomputations: the serial engine dedups allocator runs per tick by
-	// view hash across ALL nodes; the union of the shards' per-tick distinct
-	// hash sets reproduces that count exactly.
-	seen := make(map[uint64]bool)
-	for t := 0; t < ticks; t++ {
-		clear(seen)
-		for _, st := range sr.shards {
-			for _, h := range st.ctx.tickHashes[t] {
-				seen[h] = true
-			}
-		}
-		res.Recomputations += uint64(len(seen))
+	// Recomputations were folded at every drain; pick up ticks processed
+	// since the last barrier (replicated-mode inline advances can tick
+	// without draining) and cross-check the fold saw every round.
+	sr.foldTicks()
+	if sr.ticksFolded != rounds {
+		panic(fmt.Sprintf("sim: folded %d recomputation ticks, shards ran %d rounds", sr.ticksFolded, rounds))
 	}
+	res.Recomputations = sr.recomputations
 
 	// Per-port peaks live with the port's transmitting shard (the owner of
 	// the link's From node); other shards never enqueue on that port.
@@ -535,6 +751,7 @@ func (sr *shardedRun) merge(end simtime.Time) *Results {
 			Events:   st.eng.Processed(),
 			Handoffs: st.ctx.handoffs,
 			BusyNs:   st.busyNs,
+			CtrlNs:   st.ctx.ctrlNs,
 		})
 	}
 	return res

@@ -210,8 +210,8 @@ func (w *timerWheel) cancel(h timerHandle) bool {
 	if n.level == stagedLevel {
 		// Mid-heap removal is not O(1); tombstone the node in place. Only
 		// the ordering keys survive — references are dropped immediately.
-		at, seq := n.ev.at, n.ev.seq
-		n.ev = event{at: at, seq: seq, kind: evDead}
+		at, emit, seq := n.ev.at, n.ev.emit, n.ev.seq
+		n.ev = event{at: at, emit: emit, seq: seq, kind: evDead}
 		return true
 	}
 	w.unlink(h.idx, n)
@@ -219,12 +219,17 @@ func (w *timerWheel) cancel(h timerHandle) bool {
 	return true
 }
 
-// stageLess orders the staging heap by (at, seq) — the heap scheduler's
-// exact comparator.
+// stageLess orders the staging heap by (at, emit, seq) — the heap
+// scheduler's exact comparator. Slots bucket by timestamp range only, so
+// refining the within-slot order is safe; see Engine.less for why the
+// emission key leaves serial dispatch order untouched.
 func (w *timerWheel) stageLess(a, b int32) bool {
 	na, nb := &w.nodes[a-1], &w.nodes[b-1]
 	if na.ev.at != nb.ev.at {
 		return na.ev.at < nb.ev.at
+	}
+	if na.ev.emit != nb.ev.emit {
+		return na.ev.emit < nb.ev.emit
 	}
 	return na.ev.seq < nb.ev.seq
 }
